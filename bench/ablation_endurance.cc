@@ -1,0 +1,108 @@
+// Endurance ablation — the paper's open question, quantified.
+//
+// The WOM architectures change how often cells cycle: fast rewrites flip
+// only half the coded cells, but alpha-writes erase-and-program, and every
+// PCM-refresh cycles a whole row in the background. This bench reports the
+// hottest-line wear, the projected array lifetime at 1e8 cycles/cell, and
+// what Start-Gap wear leveling (Qureshi, MICRO 2009) buys on top.
+//
+// Usage: ablation_endurance [accesses=N] [seed=S]
+
+#include <cstdio>
+
+#include "common/config.h"
+#include "sim/experiment.h"
+#include "stats/table.h"
+
+using namespace wompcm;
+
+namespace {
+
+struct Variant {
+  const char* label;
+  ArchKind kind;
+  bool start_gap;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const KeyValueConfig args = KeyValueConfig::from_args(argc, argv);
+  const auto accesses =
+      static_cast<std::uint64_t>(args.get_int_or("accesses", 80000));
+  const auto seed = static_cast<std::uint64_t>(args.get_int_or("seed", 42));
+
+  std::printf(
+      "Endurance ablation (cell endurance 1e8 cycles; lifetime projected\n"
+      "from the hottest line's wear rate over the simulated window)\n\n");
+
+  const Variant variants[] = {
+      {"pcm", ArchKind::kBaseline, false},
+      {"wom-pcm", ArchKind::kWomPcm, false},
+      {"pcm-refresh", ArchKind::kRefreshWomPcm, false},
+      {"wcpcm", ArchKind::kWcpcm, false},
+      {"wom-pcm + start-gap", ArchKind::kWomPcm, true},
+      {"pcm-refresh + start-gap", ArchKind::kRefreshWomPcm, true},
+  };
+
+  for (const char* bench : {"464.h264ref", "401.bzip2"}) {
+    const auto p = *find_profile(bench);
+    std::printf("%s\n", bench);
+    TextTable t({"architecture", "max line wear", "mean line wear",
+                 "lifetime (hours)", "gap moves", "avg write ns"});
+    for (const Variant& v : variants) {
+      SimConfig cfg = paper_config();
+      cfg.arch.kind = v.kind;
+      cfg.arch.start_gap = v.start_gap;
+      cfg.arch.start_gap_interval = 128;
+      const SimResult r = run_benchmark(cfg, p, accesses, seed);
+      t.add_row({v.label, TextTable::fmt(r.max_line_wear, 1),
+                 TextTable::fmt(r.mean_line_wear, 2),
+                 TextTable::fmt(r.lifetime_years * 365.25 * 24.0, 1),
+                 std::to_string(r.stats.counters.get("wl.gap_moves")),
+                 TextTable::fmt(r.avg_write_ns(), 1)});
+    }
+    std::printf("%s\n", t.to_text().c_str());
+  }
+  std::printf(
+      "note: lifetimes look short because the synthetic stream compresses\n"
+      "hours of rewrite traffic into milliseconds; compare ratios, not\n"
+      "absolutes. At paper scale (32768 rows/bank) Start-Gap's rotation is\n"
+      "far slower than the simulated window, so its leveling shows up in\n"
+      "the small-array demo below, not in the tables above.\n\n");
+
+  // Leveling demo: a hot-row workload on a small array, where the gap
+  // completes many rotations within the window.
+  std::printf("Start-Gap leveling demo (64-row banks, interval 4)\n\n");
+  WorkloadProfile hot;
+  hot.name = "hot-row";
+  hot.suite = "demo";
+  hot.write_fraction = 0.8;
+  hot.footprint_pages = 8;
+  hot.write_zipf = 1.4;
+  hot.rewrite_frac = 0.9;
+  TextTable t2({"variant", "max line wear", "mean line wear", "gap moves",
+                "avg write ns"});
+  for (const bool sg : {false, true}) {
+    SimConfig cfg = paper_config();
+    cfg.geom.ranks = 2;
+    cfg.geom.banks_per_rank = 2;
+    cfg.geom.rows_per_bank = 64;
+    cfg.arch.kind = ArchKind::kWomPcm;
+    cfg.arch.start_gap = sg;
+    cfg.arch.start_gap_interval = 4;
+    const SimResult r = run_benchmark(cfg, hot, accesses / 2, seed);
+    t2.add_row({sg ? "wom-pcm + start-gap" : "wom-pcm",
+                TextTable::fmt(r.max_line_wear, 1),
+                TextTable::fmt(r.mean_line_wear, 2),
+                std::to_string(r.stats.counters.get("wl.gap_moves")),
+                TextTable::fmt(r.avg_write_ns(), 1)});
+  }
+  std::printf("%s\n", t2.to_text().c_str());
+  std::printf(
+      "expected shape: WOM rewrites wear cells no faster than conventional\n"
+      "writes per write, but alpha-writes and background refresh add\n"
+      "cycling; Start-Gap cuts the hottest line's wear once its rotation\n"
+      "period fits the workload, at a small latency cost\n");
+  return 0;
+}

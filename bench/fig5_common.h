@@ -1,0 +1,52 @@
+// Shared harness for Figs. 5(a) and 5(b): the 20-benchmark x 4-architecture
+// sweep with per-benchmark normalization against the conventional-PCM
+// baseline, plus the paper's "average" bar.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+
+#include "common/config.h"
+#include "sim/experiment.h"
+#include "stats/table.h"
+
+namespace wompcm::bench {
+
+inline int run_fig5(int argc, char** argv, const char* title,
+                    const char* metric_name, double paper_avg_wom,
+                    double paper_avg_refresh, double paper_avg_wcpcm,
+                    const std::function<double(const SimResult&)>& metric) {
+  const KeyValueConfig args = KeyValueConfig::from_args(argc, argv);
+  const auto accesses =
+      static_cast<std::uint64_t>(args.get_int_or("accesses", 100000));
+  const auto seed = static_cast<std::uint64_t>(args.get_int_or("seed", 42));
+
+  std::printf("%s\n(normalized %s; lower is better; %llu accesses/benchmark, "
+              "seed %llu)\n\n",
+              title, metric_name, static_cast<unsigned long long>(accesses),
+              static_cast<unsigned long long>(seed));
+
+  const auto rows = run_arch_sweep(paper_config(), paper_architectures(),
+                                   benchmark_profiles(), accesses, seed);
+  const auto norm = normalize(rows, metric);
+
+  TextTable t({"benchmark", "pcm", "wom-pcm", "pcm-refresh", "wcpcm"});
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    t.add_row({rows[i].benchmark, TextTable::fmt(norm[i][0]),
+               TextTable::fmt(norm[i][1]), TextTable::fmt(norm[i][2]),
+               TextTable::fmt(norm[i][3])});
+  }
+  t.add_row({"average", TextTable::fmt(column_mean(norm, 0)),
+             TextTable::fmt(column_mean(norm, 1)),
+             TextTable::fmt(column_mean(norm, 2)),
+             TextTable::fmt(column_mean(norm, 3))});
+  std::printf("%s\n", t.to_text().c_str());
+  std::printf("paper averages: wom-pcm %.3f, pcm-refresh %.3f, wcpcm %.3f\n",
+              paper_avg_wom, paper_avg_refresh, paper_avg_wcpcm);
+  if (args.get_bool_or("csv", false)) {
+    std::printf("\n%s", t.to_csv().c_str());
+  }
+  return 0;
+}
+
+}  // namespace wompcm::bench

@@ -1,0 +1,109 @@
+// Microbenchmarks (google-benchmark): throughput of the WOM-code layer and
+// the simulation substrate — encode/decode, page codec, generation
+// tracking, Zipf sampling, trace generation, and end-to-end simulation.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "sim/experiment.h"
+#include "trace/profiles.h"
+#include "wom/inverted_code.h"
+#include "wom/page_codec.h"
+#include "wom/registry.h"
+#include "wom/rs_code.h"
+#include "wom/wom_tracker.h"
+
+namespace {
+
+using namespace wompcm;
+
+void BM_RsEncodeFirst(benchmark::State& state) {
+  RivestShamirCode code;
+  const BitVec init = code.initial_state();
+  unsigned x = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(code.encode(x & 3, 0, init));
+    ++x;
+  }
+}
+BENCHMARK(BM_RsEncodeFirst);
+
+void BM_RsEncodeSecond(benchmark::State& state) {
+  RivestShamirCode code;
+  const BitVec first = RivestShamirCode::first_pattern(1);
+  unsigned x = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(code.encode(x & 3, 1, first));
+    ++x;
+  }
+}
+BENCHMARK(BM_RsEncodeSecond);
+
+void BM_RsDecode(benchmark::State& state) {
+  RivestShamirCode code;
+  const BitVec pat = RivestShamirCode::second_pattern(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(code.decode(pat));
+  }
+}
+BENCHMARK(BM_RsDecode);
+
+void BM_PageCodecWrite(benchmark::State& state) {
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  PageCodec page(make_code("rs23-inv"), bits);
+  Rng rng(7);
+  BitVec data(bits);
+  for (std::size_t i = 0; i < bits; ++i) data.set(i, rng.next_bool(0.5));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(page.write(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bits / 8));
+}
+BENCHMARK(BM_PageCodecWrite)->Arg(512)->Arg(4096)->Arg(32768);
+
+void BM_TrackerRecordWrite(benchmark::State& state) {
+  WomStateTracker tracker(2, 256);
+  Rng rng(11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tracker.record_write(
+        rng.next_below(4096), static_cast<unsigned>(rng.next_below(256))));
+  }
+}
+BENCHMARK(BM_TrackerRecordWrite);
+
+void BM_ZipfSample(benchmark::State& state) {
+  ZipfSampler zipf(1u << 20, 1.1);
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.sample(rng));
+  }
+}
+BENCHMARK(BM_ZipfSample);
+
+void BM_SyntheticTrace(benchmark::State& state) {
+  const auto profile = *find_profile("401.bzip2");
+  const MemoryGeometry geom;
+  SyntheticTraceSource src(profile, geom, 17, ~std::uint64_t{0});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(src.next());
+  }
+}
+BENCHMARK(BM_SyntheticTrace);
+
+void BM_SimulateAccesses(benchmark::State& state) {
+  const auto profile = *find_profile("456.hmmer");
+  const auto accesses = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    SimConfig cfg = paper_config();
+    cfg.arch.kind = ArchKind::kRefreshWomPcm;
+    benchmark::DoNotOptimize(run_benchmark(cfg, profile, accesses, 42));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(accesses));
+}
+BENCHMARK(BM_SimulateAccesses)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,80 @@
+// Quickstart: the two layers of the library in ~80 lines.
+//
+//  1. Functional layer: encode/decode data under the inverted <2^2>^2/3
+//     WOM-code with PageCodec and watch rewrites stay RESET-only.
+//  2. Timing layer: run one synthetic benchmark through the four paper
+//     architectures and compare average memory latencies.
+//
+// Usage: quickstart [accesses=N] [benchmark=NAME] [seed=S]
+
+#include <cstdio>
+
+#include "common/config.h"
+#include "sim/experiment.h"
+#include "stats/table.h"
+#include "wom/page_codec.h"
+#include "wom/registry.h"
+
+using namespace wompcm;
+
+namespace {
+
+void functional_demo() {
+  std::printf("== WOM-code functional demo (inverted <2^2>^2/3) ==\n");
+  WomCodePtr code = make_code("rs23-inv");
+  PageCodec page(code, /*data_bits=*/16);
+
+  const BitVec a = BitVec::from_string("1010110100101101");
+  const BitVec b = BitVec::from_string("0110001011010010");
+  const BitVec c = BitVec::from_string("1111000011001100");
+
+  for (const BitVec* data : {&a, &b, &c}) {
+    const PageWriteResult r = page.write(*data);
+    std::printf(
+        "write: %-10s (%3zu SET pulses, %3zu RESET pulses), readback %s\n",
+        to_string(r.write_class), r.set_pulses, r.reset_pulses,
+        page.read() == *data ? "ok" : "MISMATCH");
+  }
+  std::printf("generation after 3 writes: %u (rewrite limit %u)\n\n",
+              page.generation(), page.code().max_writes());
+}
+
+void timing_demo(const KeyValueConfig& args) {
+  const std::string bench = args.get_string_or("benchmark", "464.h264ref");
+  const auto accesses =
+      static_cast<std::uint64_t>(args.get_int_or("accesses", 60000));
+  const auto seed = static_cast<std::uint64_t>(args.get_int_or("seed", 42));
+
+  const auto profile = find_profile(bench);
+  if (!profile) {
+    std::printf("unknown benchmark %s\n", bench.c_str());
+    return;
+  }
+  std::printf("== Timing demo: %s, %llu accesses ==\n", bench.c_str(),
+              static_cast<unsigned long long>(accesses));
+
+  TextTable table({"architecture", "avg write ns", "avg read ns",
+                   "alpha writes", "fast writes", "refresh cmds",
+                   "overhead"});
+  for (const ArchConfig& arch : paper_architectures()) {
+    SimConfig cfg = paper_config();
+    cfg.arch = arch;
+    const SimResult r = run_benchmark(cfg, *profile, accesses, seed);
+    table.add_row({r.arch_name, TextTable::fmt(r.avg_write_ns(), 1),
+                   TextTable::fmt(r.avg_read_ns(), 1),
+                   std::to_string(r.stats.counters.get("writes.alpha")),
+                   std::to_string(r.stats.counters.get("writes.fast")),
+                   std::to_string(r.refresh_commands),
+                   TextTable::fmt(r.capacity_overhead * 100.0, 1) + "%"});
+  }
+  std::printf("%s\n", table.to_text().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const KeyValueConfig args = KeyValueConfig::from_args(argc, argv);
+  functional_demo();
+  timing_demo(args);
+  return 0;
+}

@@ -1,0 +1,153 @@
+#include "arch/arch.h"
+
+#include <stdexcept>
+
+#include "arch/baseline.h"
+#include "arch/flip_n_write.h"
+#include "arch/refresh_wom_pcm.h"
+#include "arch/wcpcm.h"
+#include "arch/wom_pcm.h"
+#include "wom/registry.h"
+
+namespace wompcm {
+
+const char* to_string(ArchKind k) {
+  switch (k) {
+    case ArchKind::kBaseline:
+      return "pcm";
+    case ArchKind::kWomPcm:
+      return "wom-pcm";
+    case ArchKind::kRefreshWomPcm:
+      return "pcm-refresh";
+    case ArchKind::kWcpcm:
+      return "wcpcm";
+    case ArchKind::kFlipNWrite:
+      return "flip-n-write";
+    case ArchKind::kSymmetric:
+      return "symmetric-ideal";
+  }
+  return "?";
+}
+
+Architecture::Architecture(const MemoryGeometry& geom, const PcmTiming& timing)
+    : geom_(geom),
+      mapper_(geom),
+      timing_(timing),
+      wear_(geom.lines_per_row()) {}
+
+unsigned Architecture::num_resources() const { return main_banks(); }
+
+void Architecture::enable_start_gap(unsigned interval) {
+  start_gap_.clear();
+  start_gap_.reserve(main_banks());
+  for (unsigned b = 0; b < main_banks(); ++b) {
+    start_gap_.emplace_back(geom_.rows_per_bank, interval);
+  }
+}
+
+unsigned Architecture::physical_row(const DecodedAddr& dec, AccessType type,
+                                    IssuePlan* plan) {
+  if (start_gap_.empty()) return dec.row;
+  StartGapRemapper& sg = start_gap_[flat_bank(dec)];
+  if (type == AccessType::kWrite && sg.on_write()) {
+    // Gap move: the bank copies one row (read + write) before servicing
+    // further accesses.
+    plan->post_ns += timing_.row_read_ns + timing_.row_write_ns;
+    counters_.inc("wl.gap_moves");
+  }
+  return sg.remap(dec.row);
+}
+
+unsigned Architecture::route(const DecodedAddr& dec, AccessType type,
+                             bool internal) const {
+  (void)type;
+  (void)internal;
+  return mapper_.flat_bank(dec);
+}
+
+double Architecture::refresh_pending_fraction(unsigned, unsigned) const {
+  return 0.0;
+}
+
+Architecture::RefreshWork Architecture::perform_refresh(
+    unsigned, unsigned, const std::function<bool(unsigned)>&) {
+  return {};
+}
+
+std::vector<unsigned> Architecture::refresh_resources(unsigned channel,
+                                                      unsigned rank) const {
+  std::vector<unsigned> res;
+  res.reserve(geom_.banks_per_rank);
+  const unsigned base =
+      (channel * geom_.ranks + rank) * geom_.banks_per_rank;
+  for (unsigned b = 0; b < geom_.banks_per_rank; ++b) res.push_back(base + b);
+  return res;
+}
+
+namespace {
+
+WomCodePtr resolve_inverted_code(const std::string& name) {
+  WomCodePtr code = make_code(name);
+  if (code == nullptr) {
+    throw std::invalid_argument("unknown WOM-code: " + name);
+  }
+  if (code->raises_bits()) {
+    throw std::invalid_argument(
+        "WOM architectures need an inverted code (RESET-only rewrites); "
+        "use e.g. \"" +
+        name + "-inv\"");
+  }
+  return code;
+}
+
+}  // namespace
+
+std::unique_ptr<Architecture> make_architecture(const ArchConfig& cfg,
+                                                const MemoryGeometry& geom,
+                                                const PcmTiming& timing) {
+  std::string why;
+  if (!geom.valid(&why)) {
+    throw std::invalid_argument("bad geometry: " + why);
+  }
+  if (!timing.valid(&why)) {
+    throw std::invalid_argument("bad timing: " + why);
+  }
+  std::unique_ptr<Architecture> arch;
+  switch (cfg.kind) {
+    case ArchKind::kBaseline:
+      arch = std::make_unique<BaselinePcm>(geom, timing);
+      break;
+    case ArchKind::kWomPcm:
+      arch = std::make_unique<WomPcm>(geom, timing,
+                                      resolve_inverted_code(cfg.code),
+                                      cfg.organization);
+      break;
+    case ArchKind::kRefreshWomPcm:
+      arch = std::make_unique<RefreshWomPcm>(geom, timing,
+                                             resolve_inverted_code(cfg.code),
+                                             cfg.organization,
+                                             cfg.rat_entries);
+      break;
+    case ArchKind::kWcpcm:
+      arch = std::make_unique<Wcpcm>(geom, timing,
+                                     resolve_inverted_code(cfg.code),
+                                     cfg.rat_entries);
+      break;
+    case ArchKind::kFlipNWrite:
+      arch = std::make_unique<FlipNWritePcm>(geom, timing,
+                                             cfg.fnw_fast_fraction, cfg.seed);
+      break;
+    case ArchKind::kSymmetric:
+      arch = std::make_unique<SymmetricPcm>(geom, timing);
+      break;
+  }
+  if (arch == nullptr) throw std::invalid_argument("unknown architecture");
+  if (cfg.start_gap && cfg.kind != ArchKind::kWcpcm) {
+    // The WOM-cache index is the row address, so remapping main rows would
+    // desynchronize the cache; Start-Gap covers the row-addressed kinds.
+    arch->enable_start_gap(cfg.start_gap_interval);
+  }
+  return arch;
+}
+
+}  // namespace wompcm

@@ -1,0 +1,167 @@
+// Architecture interface: the policy layer the memory controller consults.
+//
+// The controller owns the timing machinery (queues, banks, bus, refresh
+// engine); an Architecture decides *where* an access goes (which bank-like
+// resource), *how long* its array phase takes (the WOM fast path vs the
+// alpha-write), and what side work it creates (WCPCM victim write-backs).
+//
+// Resource indexing: main banks occupy flat indices
+// [0, channels*ranks*banks_per_rank); architectures with per-rank WOM-cache
+// arrays (WCPCM) append one resource per rank after the main banks.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/address.h"
+#include "common/types.h"
+#include "controller/wear_leveling.h"
+#include "pcm/endurance.h"
+#include "pcm/energy.h"
+#include "pcm/timing.h"
+#include "stats/stats.h"
+
+namespace wompcm {
+
+// An internal write the controller must enqueue on behalf of the
+// architecture (e.g. a WOM-cache victim flushed to PCM main memory).
+struct SpawnedWrite {
+  DecodedAddr dec;
+};
+
+// The issue-time decision for one demand or internal access.
+struct IssuePlan {
+  unsigned resource = 0;  // bank-like resource the access occupies
+  unsigned row = 0;       // row latched in that resource's row buffer
+  Tick pre_ns = 0;        // before the array phase: tag checks, pauses
+  Tick program_ns = 0;    // write programming latency (0 for reads)
+  Tick post_ns = 0;       // after the array phase: hidden-page second access
+  WriteClass write_class = WriteClass::kResetOnly;  // diagnostics
+  std::vector<SpawnedWrite> spawned;  // internal writes to enqueue
+};
+
+enum class ArchKind : std::uint8_t {
+  kBaseline,       // conventional PCM, every write is SET-bound
+  kWomPcm,         // WOM-code PCM (Section 3.1)
+  kRefreshWomPcm,  // WOM-code PCM + PCM-refresh (Section 3.2)
+  kWcpcm,          // WOM-code cached PCM (Section 4)
+  kFlipNWrite,     // Flip-N-Write coding baseline (ablation)
+  kSymmetric,      // hypothetical S=1 memory (every write at RESET latency):
+                   // the upper bound all the WOM machinery chases
+};
+
+const char* to_string(ArchKind k);
+
+struct ArchConfig {
+  ArchKind kind = ArchKind::kBaseline;
+  // WOM-code used by the WOM architectures; must be an inverted code.
+  std::string code = "rs23-inv";
+  WomOrganization organization = WomOrganization::kWideColumn;
+  // Row-address-table capacity per bank (Section 3.2 uses 5).
+  unsigned rat_entries = 5;
+  // Flip-N-Write: probability that a write needs no SET pulse at all.
+  double fnw_fast_fraction = 0.0;
+  std::uint64_t seed = 1;
+  // Optional Start-Gap wear leveling on the main-memory rows (endurance
+  // extension; the paper leaves endurance open). One gap move per
+  // `start_gap_interval` writes per bank. Not applied to the WOM-cache.
+  bool start_gap = false;
+  unsigned start_gap_interval = 128;
+};
+
+class Architecture {
+ public:
+  Architecture(const MemoryGeometry& geom, const PcmTiming& timing);
+  virtual ~Architecture() = default;
+
+  virtual std::string name() const = 0;
+
+  // Total bank-like resources (main banks + any per-rank cache arrays).
+  virtual unsigned num_resources() const;
+
+  // Resource an access will occupy. Pure routing: must not mutate state.
+  virtual unsigned route(const DecodedAddr& dec, AccessType type,
+                         bool internal) const;
+
+  // Commits the access at issue time (updates WOM generations, cache tags,
+  // energy) and returns its plan. Called exactly once per issued access.
+  virtual IssuePlan plan(const DecodedAddr& dec, AccessType type,
+                         bool internal, Tick now) = 0;
+
+  // ---- PCM-refresh hooks (Section 3.2) ----
+
+  // Work done by one burst-mode refresh command.
+  struct RefreshWork {
+    std::vector<unsigned> resources;  // units that streamed a row
+    unsigned rows = 0;                // rows re-initialized
+  };
+
+  virtual bool refresh_enabled() const { return false; }
+  // Fraction of this rank's refreshable units that have at least one row
+  // pending re-initialization (compared against r_th by the engine).
+  virtual double refresh_pending_fraction(unsigned channel,
+                                          unsigned rank) const;
+  // Executes one burst-mode refresh command against the units of
+  // (channel, rank) for which `unit_ready` is true (idle banks: demand on
+  // the other banks proceeds untouched, which is what write pausing buys).
+  // Pops pending rows from the row address tables and re-initializes them.
+  virtual RefreshWork perform_refresh(
+      unsigned channel, unsigned rank,
+      const std::function<bool(unsigned)>& unit_ready);
+  // Resources a refresh of (channel, rank) may touch.
+  virtual std::vector<unsigned> refresh_resources(unsigned channel,
+                                                  unsigned rank) const;
+
+  // Capacity overhead of the architecture relative to uncoded PCM
+  // (e.g. 0.5 for full <2^2>^2/3 WOM-code PCM, 1.5/32 for WCPCM).
+  virtual double capacity_overhead() const { return 0.0; }
+
+  const CounterSet& counters() const { return counters_; }
+  const EnergyCounters& energy() const { return energy_; }
+  const WearTracker& wear() const { return wear_; }
+  const MemoryGeometry& geometry() const { return geom_; }
+
+  // Enables Start-Gap wear leveling on the main-memory banks. Must be
+  // called before the first plan().
+  void enable_start_gap(unsigned interval);
+  bool start_gap_enabled() const { return !start_gap_.empty(); }
+
+ protected:
+  unsigned main_banks() const { return mapper_.num_flat_banks(); }
+  unsigned flat_bank(const DecodedAddr& dec) const {
+    return mapper_.flat_bank(dec);
+  }
+  std::uint64_t row_key(const DecodedAddr& dec) const {
+    return static_cast<std::uint64_t>(flat_bank(dec)) * geom_.rows_per_bank +
+           dec.row;
+  }
+  std::uint64_t row_key_for(unsigned bank, unsigned row) const {
+    // Physical rows may include the Start-Gap spare (== rows_per_bank), so
+    // key space is rows_per_bank + 1 per bank.
+    return static_cast<std::uint64_t>(bank) * (geom_.rows_per_bank + 1) + row;
+  }
+  std::uint64_t line_bits() const { return geom_.line_bytes() * 8ull; }
+
+  // Physical row backing this access. With Start-Gap enabled, writes may
+  // trigger a gap move whose row-copy cost is charged to `plan->post_ns`.
+  unsigned physical_row(const DecodedAddr& dec, AccessType type,
+                        IssuePlan* plan);
+
+  MemoryGeometry geom_;
+  AddressMapper mapper_;
+  PcmTiming timing_;
+  CounterSet counters_;
+  EnergyCounters energy_;
+  WearTracker wear_;
+  std::vector<StartGapRemapper> start_gap_;  // per main bank; empty = off
+};
+
+// Factory. Throws std::invalid_argument on bad configuration (unknown code
+// name, non-inverted code for a WOM architecture, ...).
+std::unique_ptr<Architecture> make_architecture(const ArchConfig& cfg,
+                                                const MemoryGeometry& geom,
+                                                const PcmTiming& timing);
+
+}  // namespace wompcm

@@ -1,0 +1,51 @@
+#include "arch/baseline.h"
+
+namespace wompcm {
+
+IssuePlan BaselinePcm::plan(const DecodedAddr& dec, AccessType type,
+                            bool internal, Tick now) {
+  (void)internal;
+  (void)now;
+  IssuePlan p;
+  p.resource = flat_bank(dec);
+  p.row = physical_row(dec, type, &p);
+  if (type == AccessType::kWrite) {
+    // A conventional write almost surely needs SET pulses somewhere in the
+    // line, so it completes at the full row-write latency.
+    p.write_class = WriteClass::kAlpha;
+    p.program_ns = timing_.row_write_ns;
+    counters_.inc("writes.slow");
+    energy_.on_write(WriteClass::kAlpha, line_bits());
+    // A conventional bit-alterable write flips about half the cells.
+    wear_.on_write_pulses(row_key_for(p.resource, p.row), dec.col,
+                          kResetOnlyWearPerCell);
+  } else {
+    counters_.inc("reads");
+    energy_.on_read(line_bits());
+  }
+  return p;
+}
+
+IssuePlan SymmetricPcm::plan(const DecodedAddr& dec, AccessType type,
+                             bool internal, Tick now) {
+  (void)internal;
+  (void)now;
+  IssuePlan p;
+  p.resource = flat_bank(dec);
+  p.row = physical_row(dec, type, &p);
+  if (type == AccessType::kWrite) {
+    // The what-if: every write completes at RESET latency.
+    p.write_class = WriteClass::kResetOnly;
+    p.program_ns = timing_.reset_ns;
+    counters_.inc("writes.fast");
+    energy_.on_write(WriteClass::kResetOnly, line_bits());
+    wear_.on_write_pulses(row_key_for(p.resource, p.row), dec.col,
+                          kResetOnlyWearPerCell);
+  } else {
+    counters_.inc("reads");
+    energy_.on_read(line_bits());
+  }
+  return p;
+}
+
+}  // namespace wompcm

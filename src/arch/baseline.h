@@ -1,0 +1,33 @@
+// Conventional PCM: every row write is SET-bound (the paper's baseline).
+#pragma once
+
+#include "arch/arch.h"
+
+namespace wompcm {
+
+class BaselinePcm final : public Architecture {
+ public:
+  BaselinePcm(const MemoryGeometry& geom, const PcmTiming& timing)
+      : Architecture(geom, timing) {}
+
+  std::string name() const override { return "pcm"; }
+
+  IssuePlan plan(const DecodedAddr& dec, AccessType type, bool internal,
+                 Tick now) override;
+};
+
+// Hypothetical symmetric-write memory: SET as fast as RESET (S = 1). Not a
+// buildable PCM — it is the latency upper bound the WOM-code architectures
+// approach, used as a reference line in the benches.
+class SymmetricPcm final : public Architecture {
+ public:
+  SymmetricPcm(const MemoryGeometry& geom, const PcmTiming& timing)
+      : Architecture(geom, timing) {}
+
+  std::string name() const override { return "symmetric-ideal"; }
+
+  IssuePlan plan(const DecodedAddr& dec, AccessType type, bool internal,
+                 Tick now) override;
+};
+
+}  // namespace wompcm

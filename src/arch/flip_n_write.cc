@@ -1,0 +1,33 @@
+#include "arch/flip_n_write.h"
+
+namespace wompcm {
+
+FlipNWritePcm::FlipNWritePcm(const MemoryGeometry& geom,
+                             const PcmTiming& timing, double fast_fraction,
+                             std::uint64_t seed)
+    : Architecture(geom, timing), fast_fraction_(fast_fraction), rng_(seed) {}
+
+IssuePlan FlipNWritePcm::plan(const DecodedAddr& dec, AccessType type,
+                              bool internal, Tick now) {
+  (void)internal;
+  (void)now;
+  IssuePlan p;
+  p.resource = flat_bank(dec);
+  p.row = physical_row(dec, type, &p);
+  if (type == AccessType::kWrite) {
+    const bool fast = fast_fraction_ > 0.0 && rng_.next_bool(fast_fraction_);
+    p.write_class = fast ? WriteClass::kResetOnly : WriteClass::kAlpha;
+    p.program_ns = timing_.program_ns(p.write_class);
+    counters_.inc(fast ? "writes.fast" : "writes.slow");
+    // Flip-N-Write programs at most half the line's bits.
+    energy_.on_write(p.write_class, line_bits() / 2);
+    wear_.on_write_pulses(row_key_for(p.resource, p.row), dec.col,
+                          kResetOnlyWearPerCell / 2);
+  } else {
+    counters_.inc("reads");
+    energy_.on_read(line_bits());
+  }
+  return p;
+}
+
+}  // namespace wompcm

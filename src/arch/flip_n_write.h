@@ -1,0 +1,39 @@
+// Flip-N-Write coding baseline (Cho & Lee, MICRO 2009) — ablation.
+//
+// Flip-N-Write stores each word either directly or complemented (plus a flip
+// bit), guaranteeing at most half the bits are programmed per write. That
+// bounds write *energy and endurance*, but a write completes at RESET
+// latency only if the chosen encoding needs no SET pulse anywhere in the
+// line — which for realistic data is rare. The paper's Section 1 makes this
+// point against latency-aware coding schemes [16, 17]: they "need to SET a
+// minimum number of PCM bits in each write operation".
+//
+// The timing model carries no data payloads, so the probability that a
+// write turns out SET-free is an explicit parameter (default 0); energy is
+// modelled with the halved programmed-bit guarantee.
+#pragma once
+
+#include "arch/arch.h"
+#include "common/rng.h"
+
+namespace wompcm {
+
+class FlipNWritePcm final : public Architecture {
+ public:
+  FlipNWritePcm(const MemoryGeometry& geom, const PcmTiming& timing,
+                double fast_fraction, std::uint64_t seed);
+
+  std::string name() const override { return "flip-n-write"; }
+
+  IssuePlan plan(const DecodedAddr& dec, AccessType type, bool internal,
+                 Tick now) override;
+
+  // One flip bit per data word.
+  double capacity_overhead() const override { return 1.0 / 64.0; }
+
+ private:
+  double fast_fraction_;
+  Rng rng_;
+};
+
+}  // namespace wompcm

@@ -1,0 +1,79 @@
+#include "arch/refresh_wom_pcm.h"
+
+#include <algorithm>
+
+namespace wompcm {
+
+RefreshWomPcm::RefreshWomPcm(const MemoryGeometry& geom,
+                             const PcmTiming& timing, WomCodePtr code,
+                             WomOrganization organization,
+                             unsigned rat_entries)
+    : WomPcm(geom, timing, std::move(code), organization),
+      rat_entries_(rat_entries == 0 ? 1 : rat_entries),
+      rat_(main_banks()) {}
+
+std::string RefreshWomPcm::name() const {
+  return std::string("pcm-refresh[") + code_->name() + "," +
+         to_string(organization_) + "]";
+}
+
+void RefreshWomPcm::on_row_at_limit(const DecodedAddr& dec,
+                                    std::uint64_t key) {
+  auto& q = rat_[flat_bank(dec)];
+  // The RAT records the most recent rows at the limit; re-touching a row
+  // moves it to the back, and the oldest entry falls off when full.
+  const auto it = std::find(q.begin(), q.end(), key);
+  if (it != q.end()) {
+    q.erase(it);
+  } else {
+    counters_.inc("rat.insert");
+  }
+  q.push_back(key);
+  if (q.size() > rat_entries_) {
+    q.pop_front();
+    counters_.inc("rat.evict");
+  }
+}
+
+double RefreshWomPcm::refresh_pending_fraction(unsigned channel,
+                                               unsigned rank) const {
+  const unsigned base = (channel * geom_.ranks + rank) * geom_.banks_per_rank;
+  unsigned pending = 0;
+  for (unsigned b = 0; b < geom_.banks_per_rank; ++b) {
+    if (!rat_[base + b].empty()) ++pending;
+  }
+  return static_cast<double>(pending) /
+         static_cast<double>(geom_.banks_per_rank);
+}
+
+Architecture::RefreshWork RefreshWomPcm::perform_refresh(
+    unsigned channel, unsigned rank,
+    const std::function<bool(unsigned)>& unit_ready) {
+  const unsigned base = (channel * geom_.ranks + rank) * geom_.banks_per_rank;
+  RefreshWork work;
+  for (unsigned b = 0; b < geom_.banks_per_rank; ++b) {
+    const unsigned resource = base + b;
+    if (!unit_ready(resource)) continue;  // demand in flight: skip the bank
+    auto& q = rat_[resource];
+    // Serve the most recently recorded row first: it is the hottest and the
+    // most likely to take its alpha-write soon. Pop until a row that is
+    // still at the limit is found: a demand alpha-write may have reset a
+    // listed row in the meantime.
+    while (!q.empty()) {
+      const std::uint64_t key = q.back();
+      q.pop_back();
+      if (tracker_.refresh(key)) {
+        ++work.rows;
+        work.resources.push_back(resource);
+        energy_.on_refresh(coded_line_bits());
+        wear_.on_refresh(key);
+        break;
+      }
+      counters_.inc("rat.stale_pop");
+    }
+  }
+  counters_.inc("refresh.rows", work.rows);
+  return work;
+}
+
+}  // namespace wompcm

@@ -1,0 +1,46 @@
+// WOM-code PCM with PCM-refresh (Section 3.2).
+//
+// Extends WomPcm with the per-bank row address table (RAT): a small ring of
+// the most recent rows that reached the rewrite limit. The controller's
+// refresh engine periodically picks an idle rank and issues a burst-mode
+// refresh command; this class pops one RAT entry per bank and pre-erases
+// those rows so their next write takes the RESET-only fast path.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "arch/wom_pcm.h"
+
+namespace wompcm {
+
+class RefreshWomPcm final : public WomPcm {
+ public:
+  RefreshWomPcm(const MemoryGeometry& geom, const PcmTiming& timing,
+                WomCodePtr code, WomOrganization organization,
+                unsigned rat_entries);
+
+  std::string name() const override;
+
+  bool refresh_enabled() const override { return true; }
+  double refresh_pending_fraction(unsigned channel,
+                                  unsigned rank) const override;
+  RefreshWork perform_refresh(
+      unsigned channel, unsigned rank,
+      const std::function<bool(unsigned)>& unit_ready) override;
+
+  // Test access: pending rows in one bank's RAT.
+  std::size_t rat_size(unsigned flat_bank_idx) const {
+    return rat_[flat_bank_idx].size();
+  }
+
+ protected:
+  void on_row_at_limit(const DecodedAddr& dec, std::uint64_t key) override;
+
+ private:
+  unsigned rat_entries_;
+  // Per main bank: rows (keys) at the rewrite limit, most recent last.
+  std::vector<std::deque<std::uint64_t>> rat_;
+};
+
+}  // namespace wompcm

@@ -1,0 +1,190 @@
+#include "arch/wcpcm.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace wompcm {
+
+Wcpcm::Wcpcm(const MemoryGeometry& geom, const PcmTiming& timing,
+             WomCodePtr code, unsigned rat_entries)
+    : Architecture(geom, timing),
+      code_(std::move(code)),
+      rat_entries_(rat_entries == 0 ? 1 : rat_entries),
+      cache_tracker_(code_ != nullptr ? code_->max_writes() : 1,
+                     geom.lines_per_row(), /*erased_start=*/true) {
+  if (code_ == nullptr) throw std::invalid_argument("Wcpcm: null code");
+  if (code_->raises_bits()) {
+    throw std::invalid_argument("Wcpcm: code must be inverted (1->0 writes)");
+  }
+  const unsigned caches = geom_.channels * geom_.ranks;
+  tags_.assign(caches, std::vector<TagEntry>(geom_.rows_per_bank));
+  rat_.assign(caches, {});
+}
+
+std::string Wcpcm::name() const {
+  return std::string("wcpcm[") + code_->name() + "]";
+}
+
+unsigned Wcpcm::num_resources() const {
+  return main_banks() + geom_.channels * geom_.ranks;
+}
+
+void Wcpcm::set_line(TagEntry& e, unsigned line, unsigned lines_per_row) {
+  if (e.line_valid.empty()) {
+    e.line_valid.assign((lines_per_row + 63) / 64, 0);
+  }
+  e.line_valid[line / 64] |= std::uint64_t{1} << (line % 64);
+}
+
+bool Wcpcm::get_line(const TagEntry& e, unsigned line) {
+  if (e.line_valid.empty()) return false;
+  return (e.line_valid[line / 64] >> (line % 64)) & 1;
+}
+
+bool Wcpcm::probe_read_hit(const DecodedAddr& dec) const {
+  const TagEntry& e = tags_[cache_index(dec.channel, dec.rank)][dec.row];
+  // A read hits only if this bank's row is installed AND the requested
+  // line was written since the install; other lines of the row are still
+  // current in main memory.
+  return e.valid && e.bank == dec.bank && get_line(e, dec.col);
+}
+
+unsigned Wcpcm::route(const DecodedAddr& dec, AccessType type,
+                      bool internal) const {
+  if (internal) return flat_bank(dec);  // victim write-back to main memory
+  if (type == AccessType::kWrite) {
+    return cache_resource(dec.channel, dec.rank);
+  }
+  // Reads probe cache and main memory in parallel; a hit is served by the
+  // cache array, a miss by the main bank.
+  return probe_read_hit(dec) ? cache_resource(dec.channel, dec.rank)
+                             : flat_bank(dec);
+}
+
+IssuePlan Wcpcm::plan(const DecodedAddr& dec, AccessType type, bool internal,
+                      Tick now) {
+  (void)now;
+  IssuePlan p;
+  p.row = dec.row;
+
+  if (internal) {
+    // Victim write-back: a conventional (SET-bound) write to main memory.
+    p.resource = flat_bank(dec);
+    p.write_class = WriteClass::kAlpha;
+    p.program_ns = timing_.row_write_ns;
+    counters_.inc("writes.victim");
+    energy_.on_write(WriteClass::kAlpha, line_bits());
+    wear_.on_write_pulses(row_key_for(p.resource, p.row), dec.col,
+                          kResetOnlyWearPerCell);
+    return p;
+  }
+
+  const unsigned ci = cache_index(dec.channel, dec.rank);
+
+  if (type == AccessType::kWrite) {
+    p.resource = cache_resource(dec.channel, dec.rank);
+    p.pre_ns += timing_.tag_check_ns;
+    TagEntry& e = tags_[ci][dec.row];
+    const bool hit = !e.valid || e.bank == dec.bank;
+    if (hit) {
+      counters_.inc("wcpcm.write_hits");
+    } else {
+      counters_.inc("wcpcm.write_misses");
+      // Read the victim row out to the register, then hand it to the
+      // main-memory write queue; the new install starts with only the
+      // written line valid.
+      p.pre_ns += timing_.row_read_ns;
+      DecodedAddr victim = dec;
+      victim.bank = e.bank;
+      p.spawned.push_back(SpawnedWrite{victim});
+      counters_.inc("wcpcm.victims");
+      e.line_valid.clear();
+    }
+    const std::uint64_t key = cache_row_key(ci, dec.row);
+    const auto rec = cache_tracker_.record_write(key, dec.col);
+    p.write_class = rec.cls;
+    p.program_ns = timing_.program_ns(p.write_class);
+    if (p.write_class == WriteClass::kAlpha) {
+      counters_.inc("writes.alpha");
+      if (rec.cold) counters_.inc("writes.alpha.cold");
+    } else {
+      counters_.inc("writes.fast");
+    }
+    energy_.on_write(p.write_class,
+                     line_bits() * code_->wits() / code_->data_bits());
+    wear_.on_write(cache_wear_key(ci, dec.row), dec.col, p.write_class);
+    if (cache_tracker_.row_has_limit_lines(key)) {
+      auto& q = rat_[ci];
+      const auto it = std::find(q.begin(), q.end(), dec.row);
+      if (it != q.end()) q.erase(it);
+      q.push_back(dec.row);
+      if (q.size() > rat_entries_) q.pop_front();
+    }
+    e.valid = true;
+    e.bank = dec.bank;
+    set_line(e, dec.col, geom_.lines_per_row());
+    return p;
+  }
+
+  // Read: parallel probe, tag-comparison penalty either way.
+  p.pre_ns += timing_.tag_check_ns;
+  if (probe_read_hit(dec)) {
+    counters_.inc("wcpcm.read_hits");
+    p.resource = cache_resource(dec.channel, dec.rank);
+    energy_.on_read(line_bits() * code_->wits() / code_->data_bits());
+  } else {
+    counters_.inc("wcpcm.read_misses");
+    p.resource = flat_bank(dec);
+    energy_.on_read(line_bits());
+  }
+  return p;
+}
+
+double Wcpcm::refresh_pending_fraction(unsigned channel, unsigned rank) const {
+  return rat_[cache_index(channel, rank)].empty() ? 0.0 : 1.0;
+}
+
+Architecture::RefreshWork Wcpcm::perform_refresh(
+    unsigned channel, unsigned rank,
+    const std::function<bool(unsigned)>& unit_ready) {
+  // One command streams one pending row of this rank's cache array through
+  // the row buffer, mirroring the rank-wide "refresh a page per bank" rule.
+  RefreshWork work;
+  const unsigned resource = cache_resource(channel, rank);
+  if (!unit_ready(resource)) return work;
+  const unsigned ci = cache_index(channel, rank);
+  auto& q = rat_[ci];
+  while (!q.empty() && work.rows == 0) {
+    const unsigned row = q.front();
+    q.pop_front();
+    if (cache_tracker_.refresh(cache_row_key(ci, row))) {
+      ++work.rows;
+      energy_.on_refresh(line_bits() * code_->wits() / code_->data_bits());
+      wear_.on_refresh(cache_wear_key(ci, row));
+    }
+  }
+  if (work.rows > 0) work.resources.push_back(resource);
+  counters_.inc("refresh.rows", work.rows);
+  return work;
+}
+
+std::vector<unsigned> Wcpcm::refresh_resources(unsigned channel,
+                                               unsigned rank) const {
+  return {cache_resource(channel, rank)};
+}
+
+double Wcpcm::write_hit_rate() const {
+  const auto h = counters_.get("wcpcm.write_hits");
+  const auto m = counters_.get("wcpcm.write_misses");
+  return h + m == 0 ? 0.0
+                    : static_cast<double>(h) / static_cast<double>(h + m);
+}
+
+double Wcpcm::read_hit_rate() const {
+  const auto h = counters_.get("wcpcm.read_hits");
+  const auto m = counters_.get("wcpcm.read_misses");
+  return h + m == 0 ? 0.0
+                    : static_cast<double>(h) / static_cast<double>(h + m);
+}
+
+}  // namespace wompcm

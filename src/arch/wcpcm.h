@@ -1,0 +1,100 @@
+// WOM-code cached PCM — WCPCM (Section 4).
+//
+// Each rank carries one WOM-code PCM array (the WOM-cache: wide-column,
+// with PCM-refresh) with the same number of rows as a bank. A cache row
+// holds the row image of one of the rank's banks, identified by a
+// log2(N_bank)-bit tag plus a valid bit, making the cache N_bank-way
+// associative by bank address.
+//
+// Write protocol: demand writes always go to the WOM-cache. On a hit
+// (invalid entry or matching tag) the row is programmed in place, normally
+// at RESET-only latency. On a miss the victim row is read out to a register
+// (one extra row activation) and re-queued as an internal write to PCM main
+// memory, then the new row is programmed and the tag updated.
+//
+// Read protocol: the WOM-cache and main memory are probed in parallel; a
+// tag hit returns the cache copy (which is always the freshest), a miss the
+// main-memory copy. Reads never change cache contents. Both directions pay
+// only the 1-2 cycle tag-comparison penalty.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "arch/arch.h"
+#include "wom/wom_code.h"
+#include "wom/wom_tracker.h"
+
+namespace wompcm {
+
+class Wcpcm final : public Architecture {
+ public:
+  Wcpcm(const MemoryGeometry& geom, const PcmTiming& timing, WomCodePtr code,
+        unsigned rat_entries);
+
+  std::string name() const override;
+
+  unsigned num_resources() const override;
+  unsigned route(const DecodedAddr& dec, AccessType type,
+                 bool internal) const override;
+  IssuePlan plan(const DecodedAddr& dec, AccessType type, bool internal,
+                 Tick now) override;
+
+  bool refresh_enabled() const override { return true; }
+  double refresh_pending_fraction(unsigned channel,
+                                  unsigned rank) const override;
+  RefreshWork perform_refresh(
+      unsigned channel, unsigned rank,
+      const std::function<bool(unsigned)>& unit_ready) override;
+  std::vector<unsigned> refresh_resources(unsigned channel,
+                                          unsigned rank) const override;
+
+  // The WOM-cache stores one coded bank's worth of rows per rank:
+  // (1 + code overhead) / N_bank of the main capacity (4.7% at 32 banks).
+  double capacity_overhead() const override {
+    return (1.0 + code_->overhead()) /
+           static_cast<double>(geom_.banks_per_rank);
+  }
+
+  const WomCode& code() const { return *code_; }
+  double write_hit_rate() const;
+  double read_hit_rate() const;
+
+ private:
+  struct TagEntry {
+    bool valid = false;
+    unsigned bank = 0;
+    // Per-line dirty/valid bits: the cache row only holds the lines written
+    // since this bank's row was installed; reads of other lines are served
+    // by PCM main memory (whose copy of those lines is still current).
+    std::vector<std::uint64_t> line_valid;
+  };
+
+  unsigned cache_index(unsigned channel, unsigned rank) const {
+    return channel * geom_.ranks + rank;
+  }
+  // Wear-tracking row key for a cache row, disjoint from main-memory keys
+  // (which use row_key_for's rows_per_bank + 1 stride).
+  std::uint64_t cache_wear_key(unsigned cache_idx, unsigned row) const {
+    return row_key_for(main_banks() + cache_idx, row);
+  }
+  unsigned cache_resource(unsigned channel, unsigned rank) const {
+    return main_banks() + cache_index(channel, rank);
+  }
+  bool probe_read_hit(const DecodedAddr& dec) const;
+  static void set_line(TagEntry& e, unsigned line, unsigned lines_per_row);
+  static bool get_line(const TagEntry& e, unsigned line);
+  std::uint64_t cache_row_key(unsigned cache_idx, unsigned row) const {
+    return static_cast<std::uint64_t>(cache_idx) * geom_.rows_per_bank + row;
+  }
+
+  WomCodePtr code_;
+  unsigned rat_entries_;
+  WomStateTracker cache_tracker_;
+  // tags_[cache_index][row]
+  std::vector<std::vector<TagEntry>> tags_;
+  // Rows of each WOM-cache array pending re-initialization.
+  std::vector<std::deque<unsigned>> rat_;
+};
+
+}  // namespace wompcm

@@ -1,0 +1,71 @@
+#include "arch/wom_pcm.h"
+
+#include <stdexcept>
+
+namespace wompcm {
+
+WomPcm::WomPcm(const MemoryGeometry& geom, const PcmTiming& timing,
+               WomCodePtr code, WomOrganization organization)
+    : Architecture(geom, timing),
+      code_(std::move(code)),
+      organization_(organization),
+      tracker_(code_ != nullptr ? code_->max_writes() : 1,
+               geom.lines_per_row()) {
+  if (code_ == nullptr) throw std::invalid_argument("WomPcm: null code");
+  if (code_->raises_bits()) {
+    throw std::invalid_argument("WomPcm: code must be inverted (1->0 writes)");
+  }
+}
+
+std::string WomPcm::name() const {
+  return std::string("wom-pcm[") + code_->name() + "," +
+         to_string(organization_) + "]";
+}
+
+std::uint64_t WomPcm::coded_line_bits() const {
+  return line_bits() * code_->wits() / code_->data_bits();
+}
+
+IssuePlan WomPcm::plan(const DecodedAddr& dec, AccessType type, bool internal,
+                       Tick now) {
+  (void)internal;
+  (void)now;
+  IssuePlan p;
+  p.resource = flat_bank(dec);
+  p.row = physical_row(dec, type, &p);
+  if (type == AccessType::kWrite) {
+    const std::uint64_t key = row_key_for(p.resource, p.row);
+    const auto rec = tracker_.record_write(key, dec.col);
+    p.write_class = rec.cls;
+    p.program_ns = timing_.program_ns(p.write_class);
+    if (p.write_class == WriteClass::kAlpha) {
+      counters_.inc("writes.alpha");
+      if (rec.cold) counters_.inc("writes.alpha.cold");
+    } else {
+      counters_.inc("writes.fast");
+    }
+    energy_.on_write(p.write_class, coded_line_bits());
+    wear_.on_write(key, dec.col, p.write_class);
+    if (organization_ == WomOrganization::kHiddenPage) {
+      // The upper half-codeword lives in a hidden page the controller
+      // reserves in a parallel bank region, so its program overlaps the
+      // main one; the cost is the extra command/data transfer plus the
+      // tail of the (half-width) hidden program that outlasts the overlap.
+      p.post_ns += timing_.burst_ns() + timing_.tag_check_ns;
+      counters_.inc("hidden_page.extra_writes");
+    }
+    if (tracker_.row_has_limit_lines(key)) on_row_at_limit(dec, key);
+  } else {
+    counters_.inc("reads");
+    energy_.on_read(coded_line_bits());
+    if (organization_ == WomOrganization::kHiddenPage) {
+      // Fetch the hidden half-codeword (parallel bank region) before
+      // decode: one extra column access plus its burst.
+      p.post_ns += timing_.col_read_ns + timing_.burst_ns();
+      counters_.inc("hidden_page.extra_reads");
+    }
+  }
+  return p;
+}
+
+}  // namespace wompcm

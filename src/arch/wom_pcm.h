@@ -1,0 +1,55 @@
+// WOM-code PCM (Section 3.1).
+//
+// Rows are stored under an inverted WOM-code, so a write to a row whose
+// write generation is within the code's budget needs only RESET pulses and
+// completes at RESET latency. Once a row reaches the rewrite limit, the next
+// write is the alpha-write: the row is re-initialized (SET) and reprogrammed
+// at the full row-write latency.
+//
+// The organization determines where the encoded overhead bits live:
+//  - wide-column: columns are 1.5x wide, the whole codeword is programmed in
+//    one array operation (no extra latency);
+//  - hidden-page: the upper 0.5x of the codeword lives in a controller-
+//    reserved hidden row, so every access issues a dependent second row
+//    access (activate + program for writes, activate + column read for
+//    reads).
+#pragma once
+
+#include "arch/arch.h"
+#include "wom/wom_code.h"
+#include "wom/wom_tracker.h"
+
+namespace wompcm {
+
+class WomPcm : public Architecture {
+ public:
+  WomPcm(const MemoryGeometry& geom, const PcmTiming& timing, WomCodePtr code,
+         WomOrganization organization);
+
+  std::string name() const override;
+
+  IssuePlan plan(const DecodedAddr& dec, AccessType type, bool internal,
+                 Tick now) override;
+
+  double capacity_overhead() const override { return code_->overhead(); }
+
+  const WomCode& code() const { return *code_; }
+  WomOrganization organization() const { return organization_; }
+  const WomStateTracker& tracker() const { return tracker_; }
+
+ protected:
+  // Hook for RefreshWomPcm: called when a write leaves `row` at the limit.
+  virtual void on_row_at_limit(const DecodedAddr& dec, std::uint64_t key) {
+    (void)dec;
+    (void)key;
+  }
+
+  // Coded bits programmed per line write, for the energy model.
+  std::uint64_t coded_line_bits() const;
+
+  WomCodePtr code_;
+  WomOrganization organization_;
+  WomStateTracker tracker_;
+};
+
+}  // namespace wompcm

@@ -1,0 +1,150 @@
+#include "common/address.h"
+
+#include <cassert>
+
+namespace wompcm {
+
+bool is_pow2(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+unsigned log2_exact(std::size_t n) {
+  assert(is_pow2(n));
+  unsigned b = 0;
+  while ((std::size_t{1} << b) < n) ++b;
+  return b;
+}
+
+const char* to_string(AddressMapping m) {
+  switch (m) {
+    case AddressMapping::kRowRankBankCol:
+      return "row:rank:bank:col";
+    case AddressMapping::kRowBankRankCol:
+      return "row:bank:rank:col";
+    case AddressMapping::kRankBankRowCol:
+      return "rank:bank:row:col";
+  }
+  return "?";
+}
+
+bool MemoryGeometry::valid(std::string* why) const {
+  auto fail = [&](const char* msg) {
+    if (why != nullptr) *why = msg;
+    return false;
+  };
+  if (channels == 0 || ranks == 0 || banks_per_rank == 0 ||
+      rows_per_bank == 0 || cols_per_row == 0 || bits_per_col == 0 ||
+      devices_per_rank == 0 || burst_length == 0) {
+    return fail("all geometry fields must be non-zero");
+  }
+  if (!is_pow2(channels) || !is_pow2(ranks) || !is_pow2(banks_per_rank) ||
+      !is_pow2(rows_per_bank)) {
+    return fail("channels/ranks/banks/rows must be powers of two");
+  }
+  if (data_width_bits() % 8 != 0) {
+    return fail("data width must be byte aligned");
+  }
+  if (row_bytes() % line_bytes() != 0) {
+    return fail("row size must be a whole number of burst lines");
+  }
+  if (!is_pow2(lines_per_row()) || !is_pow2(line_bytes())) {
+    return fail("lines per row and line size must be powers of two");
+  }
+  return true;
+}
+
+AddressMapper::AddressMapper(const MemoryGeometry& geom) : geom_(geom) {
+  std::string why;
+  (void)why;
+  assert(geom_.valid(&why));
+  offset_bits_ = log2_exact(geom_.line_bytes());
+  col_bits_ = log2_exact(geom_.lines_per_row());
+  bank_bits_ = log2_exact(geom_.banks_per_rank);
+  rank_bits_ = log2_exact(geom_.ranks);
+  row_bits_ = log2_exact(geom_.rows_per_bank);
+  channel_bits_ = log2_exact(geom_.channels);
+}
+
+namespace {
+
+// Extracts `bits` bits of `addr` starting at `*shift`, advancing the shift.
+unsigned take(Addr addr, unsigned bits, unsigned* shift) {
+  const unsigned v =
+      static_cast<unsigned>((addr >> *shift) & ((Addr{1} << bits) - 1));
+  *shift += bits;
+  return v;
+}
+
+// Inserts `value` into `*addr` at `*shift`, advancing the shift.
+void put(Addr* addr, unsigned value, unsigned bits, unsigned* shift) {
+  *addr |= (static_cast<Addr>(value) & ((Addr{1} << bits) - 1)) << *shift;
+  *shift += bits;
+}
+
+}  // namespace
+
+DecodedAddr AddressMapper::decode(Addr addr) const {
+  DecodedAddr d;
+  unsigned shift = offset_bits_;
+  switch (geom_.mapping) {
+    case AddressMapping::kRowRankBankCol:
+      d.col = take(addr, col_bits_, &shift);
+      d.bank = take(addr, bank_bits_, &shift);
+      d.rank = take(addr, rank_bits_, &shift);
+      break;
+    case AddressMapping::kRowBankRankCol:
+      d.col = take(addr, col_bits_, &shift);
+      d.rank = take(addr, rank_bits_, &shift);
+      d.bank = take(addr, bank_bits_, &shift);
+      break;
+    case AddressMapping::kRankBankRowCol:
+      d.col = take(addr, col_bits_, &shift);
+      break;
+  }
+  if (geom_.mapping == AddressMapping::kRankBankRowCol) {
+    d.row = take(addr, row_bits_, &shift);
+    d.bank = take(addr, bank_bits_, &shift);
+    d.rank = take(addr, rank_bits_, &shift);
+  } else {
+    d.row = take(addr, row_bits_, &shift);
+  }
+  d.channel = take(addr, channel_bits_, &shift);
+  // Addresses beyond the configured capacity wrap; the row mask above already
+  // guarantees coordinates are in range.
+  return d;
+}
+
+Addr AddressMapper::encode(const DecodedAddr& d) const {
+  Addr addr = 0;
+  unsigned shift = offset_bits_;
+  switch (geom_.mapping) {
+    case AddressMapping::kRowRankBankCol:
+      put(&addr, d.col, col_bits_, &shift);
+      put(&addr, d.bank, bank_bits_, &shift);
+      put(&addr, d.rank, rank_bits_, &shift);
+      put(&addr, d.row, row_bits_, &shift);
+      break;
+    case AddressMapping::kRowBankRankCol:
+      put(&addr, d.col, col_bits_, &shift);
+      put(&addr, d.rank, rank_bits_, &shift);
+      put(&addr, d.bank, bank_bits_, &shift);
+      put(&addr, d.row, row_bits_, &shift);
+      break;
+    case AddressMapping::kRankBankRowCol:
+      put(&addr, d.col, col_bits_, &shift);
+      put(&addr, d.row, row_bits_, &shift);
+      put(&addr, d.bank, bank_bits_, &shift);
+      put(&addr, d.rank, rank_bits_, &shift);
+      break;
+  }
+  put(&addr, d.channel, channel_bits_, &shift);
+  return addr;
+}
+
+unsigned AddressMapper::flat_bank(const DecodedAddr& d) const {
+  return (d.channel * geom_.ranks + d.rank) * geom_.banks_per_rank + d.bank;
+}
+
+unsigned AddressMapper::num_flat_banks() const {
+  return geom_.channels * geom_.ranks * geom_.banks_per_rank;
+}
+
+}  // namespace wompcm

@@ -1,0 +1,138 @@
+#include "common/bitvec.h"
+
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+
+namespace wompcm {
+
+BitVec::BitVec(std::size_t nbits, bool value) : nbits_(nbits) {
+  words_.assign(word_count(), value ? ~std::uint64_t{0} : 0);
+  mask_tail();
+}
+
+BitVec BitVec::from_string(const std::string& bits) {
+  BitVec v(bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i] != '0' && bits[i] != '1') {
+      throw std::invalid_argument("BitVec::from_string: bad character");
+    }
+    v.set(i, bits[i] == '1');
+  }
+  return v;
+}
+
+bool BitVec::get(std::size_t i) const {
+  assert(i < nbits_);
+  return (words_[i / kWordBits] >> (i % kWordBits)) & 1;
+}
+
+void BitVec::set(std::size_t i, bool value) {
+  assert(i < nbits_);
+  const std::uint64_t mask = std::uint64_t{1} << (i % kWordBits);
+  if (value) {
+    words_[i / kWordBits] |= mask;
+  } else {
+    words_[i / kWordBits] &= ~mask;
+  }
+}
+
+void BitVec::set_all(bool value) {
+  for (auto& w : words_) w = value ? ~std::uint64_t{0} : 0;
+  mask_tail();
+}
+
+std::size_t BitVec::popcount() const {
+  std::size_t n = 0;
+  for (auto w : words_) n += static_cast<std::size_t>(std::popcount(w));
+  return n;
+}
+
+void BitVec::mask_tail() {
+  const std::size_t rem = nbits_ % kWordBits;
+  if (rem != 0 && !words_.empty()) {
+    words_.back() &= (std::uint64_t{1} << rem) - 1;
+  }
+}
+
+BitVec BitVec::operator~() const {
+  BitVec r = *this;
+  for (auto& w : r.words_) w = ~w;
+  r.mask_tail();
+  return r;
+}
+
+BitVec BitVec::operator&(const BitVec& o) const {
+  assert(nbits_ == o.nbits_);
+  BitVec r = *this;
+  for (std::size_t i = 0; i < words_.size(); ++i) r.words_[i] &= o.words_[i];
+  return r;
+}
+
+BitVec BitVec::operator|(const BitVec& o) const {
+  assert(nbits_ == o.nbits_);
+  BitVec r = *this;
+  for (std::size_t i = 0; i < words_.size(); ++i) r.words_[i] |= o.words_[i];
+  return r;
+}
+
+BitVec BitVec::operator^(const BitVec& o) const {
+  assert(nbits_ == o.nbits_);
+  BitVec r = *this;
+  for (std::size_t i = 0; i < words_.size(); ++i) r.words_[i] ^= o.words_[i];
+  return r;
+}
+
+bool BitVec::operator==(const BitVec& o) const {
+  return nbits_ == o.nbits_ && words_ == o.words_;
+}
+
+void BitVec::append(const BitVec& o) {
+  const std::size_t base = nbits_;
+  nbits_ += o.nbits_;
+  words_.resize(word_count(), 0);
+  for (std::size_t i = 0; i < o.nbits_; ++i) set(base + i, o.get(i));
+}
+
+BitVec BitVec::slice(std::size_t begin, std::size_t len) const {
+  assert(begin + len <= nbits_);
+  BitVec r(len);
+  for (std::size_t i = 0; i < len; ++i) r.set(i, get(begin + i));
+  return r;
+}
+
+std::size_t BitVec::set_transitions_to(const BitVec& next) const {
+  assert(nbits_ == next.nbits_);
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    n += static_cast<std::size_t>(
+        std::popcount(~words_[i] & next.words_[i]));
+  }
+  return n;
+}
+
+std::size_t BitVec::reset_transitions_to(const BitVec& next) const {
+  assert(nbits_ == next.nbits_);
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    n += static_cast<std::size_t>(
+        std::popcount(words_[i] & ~next.words_[i]));
+  }
+  return n;
+}
+
+bool BitVec::monotone_decreasing_to(const BitVec& next) const {
+  return set_transitions_to(next) == 0;
+}
+
+bool BitVec::monotone_increasing_to(const BitVec& next) const {
+  return reset_transitions_to(next) == 0;
+}
+
+std::string BitVec::to_string() const {
+  std::string s(nbits_, '0');
+  for (std::size_t i = 0; i < nbits_; ++i) s[i] = get(i) ? '1' : '0';
+  return s;
+}
+
+}  // namespace wompcm

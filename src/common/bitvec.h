@@ -1,0 +1,69 @@
+// A compact dynamic bit vector used to hold WOM wit arrays and row images.
+//
+// Besides the usual set/get operations it provides the transition counters
+// the PCM cell model needs: how many bits a programming step takes 0->1
+// (SET pulses) versus 1->0 (RESET pulses).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wompcm {
+
+class BitVec {
+ public:
+  BitVec() = default;
+  explicit BitVec(std::size_t nbits, bool value = false);
+
+  // Builds from a string of '0'/'1' characters, most significant bit first.
+  static BitVec from_string(const std::string& bits);
+
+  std::size_t size() const { return nbits_; }
+  bool empty() const { return nbits_ == 0; }
+
+  bool get(std::size_t i) const;
+  void set(std::size_t i, bool value);
+  void set_all(bool value);
+
+  // Number of 1 bits.
+  std::size_t popcount() const;
+
+  // Bitwise operators; operands must be the same size.
+  BitVec operator~() const;
+  BitVec operator&(const BitVec& o) const;
+  BitVec operator|(const BitVec& o) const;
+  BitVec operator^(const BitVec& o) const;
+  bool operator==(const BitVec& o) const;
+
+  // Appends the bits of `o` after the current contents.
+  void append(const BitVec& o);
+  // Returns bits [begin, begin+len).
+  BitVec slice(std::size_t begin, std::size_t len) const;
+
+  // Transition counts for programming this vector into `next` state.
+  // set_transitions: bits going 0 -> 1 (PCM SET, slow).
+  // reset_transitions: bits going 1 -> 0 (PCM RESET, fast).
+  std::size_t set_transitions_to(const BitVec& next) const;
+  std::size_t reset_transitions_to(const BitVec& next) const;
+
+  // True if programming to `next` never raises a bit (0 -> 1), i.e. the
+  // write is RESET-only and can complete at RESET latency.
+  bool monotone_decreasing_to(const BitVec& next) const;
+  // True if programming to `next` never lowers a bit (conventional WOM).
+  bool monotone_increasing_to(const BitVec& next) const;
+
+  // Most significant bit first, e.g. "0110".
+  std::string to_string() const;
+
+ private:
+  static constexpr std::size_t kWordBits = 64;
+  std::size_t word_count() const { return (nbits_ + kWordBits - 1) / kWordBits; }
+  void mask_tail();
+
+  std::size_t nbits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace wompcm

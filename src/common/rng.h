@@ -1,0 +1,127 @@
+// Deterministic random number generation for synthetic workloads.
+//
+// All stochastic components of the simulator take an explicit 64-bit seed so
+// that every experiment is bit-reproducible. The generator is xoshiro256**,
+// seeded through SplitMix64 per the reference implementation.
+#pragma once
+
+#include <array>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+
+namespace wompcm {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    // SplitMix64 expansion of the seed into the xoshiro state.
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) {
+    assert(bound > 0);
+    // Lemire's multiply-shift rejection method.
+    std::uint64_t x = next_u64();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    std::uint64_t l = static_cast<std::uint64_t>(m);
+    if (l < bound) {
+      const std::uint64_t t = -bound % bound;
+      while (l < t) {
+        x = next_u64();
+        m = static_cast<__uint128_t>(x) * bound;
+        l = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  // Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  bool next_bool(double p_true) { return next_double() < p_true; }
+
+  // Geometric inter-arrival style gap with the given mean (>= 0 result).
+  std::uint64_t next_exponential(double mean) {
+    if (mean <= 0.0) return 0;
+    double u = next_double();
+    if (u >= 1.0) u = 0.9999999999;
+    const double v = -mean * std::log(1.0 - u);
+    return static_cast<std::uint64_t>(v);
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_{};
+};
+
+// Zipf(alpha) sampler over {0, 1, ..., n-1} using rejection-inversion
+// (W. Hormann, G. Derflinger, "Rejection-inversion to generate variates
+// from monotone discrete distributions"). O(1) per sample, no O(n) tables,
+// so it scales to working sets of millions of pages.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::uint64_t n, double alpha) : n_(n), alpha_(alpha) {
+    assert(n >= 1);
+    assert(alpha >= 0.0);
+    h_x1_ = h(1.5) - 1.0;
+    h_n_ = h(static_cast<double>(n_) + 0.5);
+    s_ = 2.0 - h_inv(h(2.5) - std::pow(2.0, -alpha_));
+  }
+
+  std::uint64_t sample(Rng& rng) {
+    if (alpha_ == 0.0) return rng.next_below(n_);
+    while (true) {
+      const double u = h_n_ + rng.next_double() * (h_x1_ - h_n_);
+      const double x = h_inv(u);
+      double k = std::floor(x + 0.5);
+      if (k < 1.0) k = 1.0;
+      if (k > static_cast<double>(n_)) k = static_cast<double>(n_);
+      if (k - x <= s_ || u >= h(k + 0.5) - std::pow(k, -alpha_)) {
+        return static_cast<std::uint64_t>(k) - 1;  // 0-based
+      }
+    }
+  }
+
+ private:
+  double h(double x) const {
+    if (alpha_ == 1.0) return std::log(x);
+    return (std::pow(x, 1.0 - alpha_) - 1.0) / (1.0 - alpha_);
+  }
+  double h_inv(double u) const {
+    if (alpha_ == 1.0) return std::exp(u);
+    return std::pow(1.0 + u * (1.0 - alpha_), 1.0 / (1.0 - alpha_));
+  }
+
+  std::uint64_t n_;
+  double alpha_;
+  double h_x1_;
+  double h_n_;
+  double s_;
+};
+
+}  // namespace wompcm

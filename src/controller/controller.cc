@@ -1,0 +1,246 @@
+#include "controller/controller.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace wompcm {
+
+const char* to_string(RowPolicy p) {
+  return p == RowPolicy::kOpen ? "open-page" : "closed-page";
+}
+
+MemoryController::MemoryController(const ControllerConfig& cfg,
+                                   Architecture& arch, SimStats& stats)
+    : cfg_(cfg),
+      arch_(arch),
+      stats_(stats),
+      banks_(arch.num_resources()),
+      bus_free_(cfg.geom.channels, 0),
+      drain_(cfg.sched),
+      refresh_(cfg.refresh, cfg.timing, cfg.geom) {
+  std::string why;
+  if (!cfg_.geom.valid(&why)) {
+    throw std::invalid_argument("controller: bad geometry: " + why);
+  }
+  if (!cfg_.timing.valid(&why)) {
+    throw std::invalid_argument("controller: bad timing: " + why);
+  }
+  if (!cfg_.sched.valid(&why)) {
+    throw std::invalid_argument("controller: bad scheduler config: " + why);
+  }
+  if (refresh_.active(arch_)) push_event(refresh_.next_check());
+}
+
+bool MemoryController::can_accept() const {
+  return read_q_.size() + write_q_.size() < cfg_.queue_capacity;
+}
+
+void MemoryController::enqueue(Transaction tx) {
+  assert(tx.arrival >= last_tick_);
+  if (tx.internal) {
+    internal_q_.push(tx);
+    push_event(tx.arrival);
+    return;
+  }
+  if (tx.type == AccessType::kRead) {
+    if (cfg_.read_forwarding &&
+        write_q_.contains_line(tx.addr, cfg_.geom.line_bytes())) {
+      // The freshest copy sits in the write queue: forward it at buffer
+      // latency without touching the array.
+      const Tick latency = cfg_.timing.col_read_ns + cfg_.timing.burst_ns();
+      if (tx.record) {
+        stats_.demand_read_latency.add(latency);
+        stats_.read_latency_hist.add(latency);
+        stats_.counters.inc("ctrl.reads_forwarded");
+      }
+      if (tx.arrival + latency > last_completion_) {
+        last_completion_ = tx.arrival + latency;
+      }
+      return;
+    }
+    read_q_.push(tx);
+  } else {
+    write_q_.push(tx);
+  }
+  push_event(tx.arrival);
+}
+
+bool MemoryController::is_row_hit(const Transaction& tx) const {
+  const unsigned r = arch_.route(tx.dec, tx.type, tx.internal);
+  const auto open = banks_[r].open_row();
+  return open.has_value() && *open == tx.dec.row;
+}
+
+bool MemoryController::can_issue(const Transaction& tx, Tick now) const {
+  if (tx.arrival > now) return false;  // not yet visible to the controller
+  if (bus_free_[tx.dec.channel] > now) return false;
+  const unsigned r = arch_.route(tx.dec, tx.type, tx.internal);
+  return banks_[r].demand_ready_at(now, refresh_.write_pausing()) <= now;
+}
+
+bool MemoryController::issue_from(TransactionQueue& q, Tick now) {
+  const std::size_t i = pick_transaction(
+      q, cfg_.sched,
+      [&](const Transaction& tx) { return can_issue(tx, now); },
+      [&](const Transaction& tx) { return is_row_hit(tx); });
+  if (i == kNoPick) return false;
+  issue(q.take(i), now);
+  return true;
+}
+
+MemoryController::Pick MemoryController::find_pick(const TransactionQueue& q,
+                                                   Tick now) const {
+  Pick p;
+  p.idx = pick_transaction(
+      q, cfg_.sched,
+      [&](const Transaction& tx) { return can_issue(tx, now); },
+      [&](const Transaction& tx) { return is_row_hit(tx); });
+  if (p.idx != kNoPick) {
+    p.row_hit = is_row_hit(q.at(p.idx));
+    p.arrival = q.at(p.idx).arrival;
+  }
+  return p;
+}
+
+bool MemoryController::issue_fcfs(Tick now) {
+  const Pick r = find_pick(read_q_, now);
+  const Pick w = find_pick(write_q_, now);
+  if (r.idx == kNoPick && w.idx == kNoPick) return false;
+  bool take_read;
+  if (r.idx == kNoPick) {
+    take_read = false;
+  } else if (w.idx == kNoPick) {
+    take_read = true;
+  } else if (cfg_.sched.row_hit_first && r.row_hit != w.row_hit) {
+    take_read = r.row_hit;  // FR-FCFS: an open-row hit goes first
+  } else {
+    take_read = r.arrival <= w.arrival;  // strict age order otherwise
+  }
+  if (take_read) {
+    issue(read_q_.take(r.idx), now);
+  } else {
+    issue(write_q_.take(w.idx), now);
+  }
+  return true;
+}
+
+void MemoryController::issue(Transaction tx, Tick now) {
+  IssuePlan plan = arch_.plan(tx.dec, tx.type, tx.internal, now);
+  Bank& bank = banks_[plan.resource];
+
+  Tick pre = plan.pre_ns;
+  if (bank.refreshing(now)) {
+    // Write pausing: preempting the in-progress refresh costs the pause
+    // penalty up front (the refresh completion is pushed back in
+    // begin_demand).
+    pre += cfg_.timing.pause_resume_ns;
+    stats_.counters.inc("ctrl.refresh_pauses");
+  }
+  const Tick activate =
+      (bank.open_row().has_value() && *bank.open_row() == plan.row)
+          ? 0
+          : cfg_.timing.row_read_ns;
+  Tick service = pre + activate + plan.post_ns;
+  if (tx.type == AccessType::kRead) {
+    service += cfg_.timing.col_read_ns + cfg_.timing.burst_ns();
+  } else {
+    service += cfg_.timing.burst_ns() + plan.program_ns;
+  }
+
+  const Tick finish = bank.begin_demand(now, service, plan.row,
+                                        refresh_.write_pausing(),
+                                        cfg_.timing.pause_resume_ns);
+  if (cfg_.row_policy == RowPolicy::kClosed) bank.close_row();
+  bus_free_[tx.dec.channel] = now + cfg_.timing.burst_ns();
+  push_event(finish);
+  push_event(bus_free_[tx.dec.channel]);
+  if (finish > last_completion_) last_completion_ = finish;
+
+  const Tick latency = finish - tx.arrival;
+  if (tx.record) {
+    if (tx.internal) {
+      stats_.internal_write_latency.add(latency);
+    } else if (tx.type == AccessType::kRead) {
+      stats_.demand_read_latency.add(latency);
+      stats_.read_latency_hist.add(latency);
+    } else {
+      stats_.demand_write_latency.add(latency);
+      stats_.write_latency_hist.add(latency);
+    }
+  }
+
+  for (const SpawnedWrite& s : plan.spawned) {
+    Transaction victim;
+    victim.id = next_internal_id_++;
+    victim.dec = s.dec;
+    victim.addr = 0;  // internal writes are routed by decoded coordinates
+    victim.type = AccessType::kWrite;
+    victim.arrival = now;
+    victim.internal = true;
+    victim.record = tx.record;
+    internal_q_.push(victim);
+    if (tx.record) stats_.counters.inc("ctrl.internal_writes");
+  }
+}
+
+bool MemoryController::refresh_unit_ready(unsigned resource, Tick now) const {
+  if (!banks_[resource].idle(now)) return false;
+  if (!cfg_.refresh.require_empty_queues) return true;
+  auto targets = [&](const Transaction& tx) {
+    return arch_.route(tx.dec, tx.type, tx.internal) == resource;
+  };
+  for (const Transaction& tx : read_q_.entries()) {
+    if (targets(tx)) return false;
+  }
+  for (const Transaction& tx : write_q_.entries()) {
+    if (targets(tx)) return false;
+  }
+  return true;
+}
+
+void MemoryController::tick(Tick now) {
+  assert(now >= last_tick_);
+  last_tick_ = now;
+
+  // Run due PCM-refresh checks first: refresh only targets quiet ranks, so
+  // pending demand work always wins.
+  if (refresh_.active(arch_)) {
+    const Tick f = refresh_.run(
+        now, arch_, banks_,
+        [&](unsigned resource) { return refresh_unit_ready(resource, now); });
+    if (f != 0) {
+      push_event(f);
+      if (f > last_completion_) last_completion_ = f;
+    }
+    if (refresh_.next_check() != kNeverTick) {
+      push_event(refresh_.next_check());
+    }
+  }
+
+  // Issue until neither class can make progress at this instant. Internal
+  // write-backs drain only when no demand transaction can go.
+  for (;;) {
+    bool issued = false;
+    if (cfg_.sched.policy == SchedulingPolicy::kFcfs) {
+      issued = issue_fcfs(now);
+    } else {
+      const bool writes_first =
+          drain_.update(write_q_.size(), read_q_.size());
+      if (writes_first) {
+        issued = issue_from(write_q_, now) || issue_from(read_q_, now);
+      } else {
+        issued = issue_from(read_q_, now) || issue_from(write_q_, now);
+      }
+    }
+    if (!issued) issued = issue_from(internal_q_, now);
+    if (!issued) break;
+  }
+}
+
+Tick MemoryController::next_event_after(Tick now) {
+  while (!events_.empty() && events_.top() <= now) events_.pop();
+  if (events_.empty()) return kNeverTick;
+  return events_.top();
+}
+
+}  // namespace wompcm

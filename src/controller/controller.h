@@ -1,0 +1,118 @@
+// The PCM memory controller: queues, bank/bus timing, write drain, write
+// pausing, PCM-refresh — the DRAMSim2-equivalent substrate of the paper.
+//
+// The controller is event-stepped: tick(now) performs all work available at
+// `now` (issue demand accesses, run due refresh checks), and
+// next_event_after(now) reports the earliest future instant at which new
+// work may become possible. The driving loop (sim/Simulator) interleaves
+// trace arrivals with these events.
+//
+// Service-time model for an access issued at time s on bank B:
+//   activate = row_read_ns if B's open row differs from the target row
+//   read:  pre + activate + col_read_ns + burst + post
+//   write: pre + activate + burst + program + post
+// where pre/program/post come from the architecture's IssuePlan (WOM fast
+// path vs alpha-write, tag checks, hidden-page second access) and the data
+// bus of the channel is held for one burst at issue.
+#pragma once
+
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "arch/arch.h"
+#include "controller/queues.h"
+#include "controller/refresh_engine.h"
+#include "controller/scheduler.h"
+#include "pcm/bank.h"
+#include "stats/stats.h"
+
+namespace wompcm {
+
+// Row-buffer management policy.
+enum class RowPolicy : std::uint8_t {
+  kOpen,    // leave the accessed row latched (open-page; default)
+  kClosed,  // precharge after every access (no row-buffer hits)
+};
+
+const char* to_string(RowPolicy p);
+
+struct ControllerConfig {
+  MemoryGeometry geom;
+  PcmTiming timing;
+  SchedulerConfig sched;
+  RefreshConfig refresh;
+  RowPolicy row_policy = RowPolicy::kOpen;
+  // Back-pressure bound on total queued demand transactions.
+  unsigned queue_capacity = 256;
+  // Forward reads that hit a queued write (write-to-read forwarding).
+  bool read_forwarding = true;
+};
+
+class MemoryController {
+ public:
+  MemoryController(const ControllerConfig& cfg, Architecture& arch,
+                   SimStats& stats);
+
+  // Frontend back-pressure: false when the demand queues are full.
+  bool can_accept() const;
+
+  // Hands a demand transaction to the controller. tx.arrival is the
+  // enqueue time and must not precede the latest tick.
+  void enqueue(Transaction tx);
+
+  // Performs all work possible at time `now` (monotone across calls).
+  void tick(Tick now);
+
+  // Earliest future time at which tick() could make progress, or
+  // kNeverTick if the controller is fully drained and quiescent.
+  Tick next_event_after(Tick now);
+
+  bool drained() const {
+    return read_q_.empty() && write_q_.empty() && internal_q_.empty();
+  }
+  Tick last_completion() const { return last_completion_; }
+
+  std::size_t read_queue_size() const { return read_q_.size(); }
+  std::size_t write_queue_size() const { return write_q_.size(); }
+  std::size_t internal_queue_size() const { return internal_q_.size(); }
+  const std::vector<Bank>& banks() const { return banks_; }
+  const RefreshEngine& refresh_engine() const { return refresh_; }
+
+ private:
+  struct Pick {
+    std::size_t idx = kNoPick;
+    bool row_hit = false;
+    Tick arrival = kNeverTick;
+  };
+
+  bool can_issue(const Transaction& tx, Tick now) const;
+  bool is_row_hit(const Transaction& tx) const;
+  Pick find_pick(const TransactionQueue& q, Tick now) const;
+  bool issue_fcfs(Tick now);
+  bool issue_from(TransactionQueue& q, Tick now);
+  void issue(Transaction tx, Tick now);
+  bool refresh_unit_ready(unsigned resource, Tick now) const;
+  void push_event(Tick t) { events_.push(t); }
+
+  ControllerConfig cfg_;
+  Architecture& arch_;
+  SimStats& stats_;
+
+  TransactionQueue read_q_;
+  TransactionQueue write_q_;
+  // Architecture-generated write-backs (WCPCM victims): drained in the
+  // background, only when no demand transaction can issue.
+  TransactionQueue internal_q_;
+  std::vector<Bank> banks_;
+  std::vector<Tick> bus_free_;  // per channel
+  WriteDrainPolicy drain_;
+  RefreshEngine refresh_;
+
+  std::priority_queue<Tick, std::vector<Tick>, std::greater<Tick>> events_;
+  Tick last_tick_ = 0;
+  Tick last_completion_ = 0;
+  std::uint64_t next_internal_id_ = 1ull << 62;
+};
+
+}  // namespace wompcm

@@ -1,0 +1,31 @@
+#include "controller/queues.h"
+
+#include <cassert>
+
+namespace wompcm {
+
+Transaction TransactionQueue::take(std::size_t i) {
+  assert(i < q_.size());
+  Transaction tx = q_[i];
+  q_.erase(q_.begin() + static_cast<std::ptrdiff_t>(i));
+  return tx;
+}
+
+bool TransactionQueue::contains_line(Addr addr, unsigned line_bytes) const {
+  const Addr line = addr / line_bytes;
+  for (const Transaction& tx : q_) {
+    if (tx.addr / line_bytes == line) return true;
+  }
+  return false;
+}
+
+Tick TransactionQueue::oldest_arrival() const {
+  if (q_.empty()) return kNeverTick;
+  Tick t = q_.front().arrival;
+  for (const Transaction& tx : q_) {
+    if (tx.arrival < t) t = tx.arrival;
+  }
+  return t;
+}
+
+}  // namespace wompcm

@@ -1,0 +1,34 @@
+// Read / write transaction queues with age order and line lookup.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+#include "controller/transaction.h"
+
+namespace wompcm {
+
+class TransactionQueue {
+ public:
+  void push(const Transaction& tx) { q_.push_back(tx); }
+
+  bool empty() const { return q_.empty(); }
+  std::size_t size() const { return q_.size(); }
+
+  const Transaction& at(std::size_t i) const { return q_[i]; }
+  Transaction take(std::size_t i);
+
+  // True if some queued transaction covers the same line address
+  // (used for write-to-read forwarding).
+  bool contains_line(Addr addr, unsigned line_bytes) const;
+
+  // Oldest arrival time in the queue (kNeverTick when empty).
+  Tick oldest_arrival() const;
+
+  const std::deque<Transaction>& entries() const { return q_; }
+
+ private:
+  std::deque<Transaction> q_;
+};
+
+}  // namespace wompcm

@@ -1,0 +1,21 @@
+// A memory transaction as seen by the controller.
+#pragma once
+
+#include <cstdint>
+
+#include "common/address.h"
+#include "common/types.h"
+
+namespace wompcm {
+
+struct Transaction {
+  std::uint64_t id = 0;
+  Addr addr = 0;
+  DecodedAddr dec;
+  AccessType type = AccessType::kRead;
+  Tick arrival = 0;     // when the transaction entered the controller
+  bool internal = false;  // controller-generated (e.g. WCPCM victim flush)
+  bool record = true;     // false during warmup: simulate but keep no stats
+};
+
+}  // namespace wompcm

@@ -1,0 +1,27 @@
+#include "pcm/bank.h"
+
+#include <cassert>
+
+namespace wompcm {
+
+Tick Bank::begin_demand(Tick start, Tick service, unsigned row,
+                        bool allow_pause, Tick pause_resume_ns) {
+  assert(start >= busy_until_);
+  const Tick finish = start + service;
+  if (start < refresh_until_) {
+    // Write pausing: the demand op preempts the refresh; the refresh
+    // resumes afterwards, extended by the preempted span plus the penalty.
+    assert(allow_pause);
+    (void)allow_pause;
+    ++pauses_;
+    refresh_until_ += service + pause_resume_ns;
+  }
+  if (open_row_.has_value() && *open_row_ == row) ++row_hits_;
+  open_row_ = row;
+  busy_until_ = finish;
+  busy_time_ += service;
+  ++ops_;
+  return finish;
+}
+
+}  // namespace wompcm

@@ -1,0 +1,66 @@
+// Bank state for the event-stepped timing model.
+//
+// A bank services one demand operation at a time (busy_until) and may also
+// be occupied by a background PCM-refresh (refresh_until). With write
+// pausing enabled, a demand access may preempt an in-progress refresh at a
+// small pause/resume penalty; the refresh completion is pushed back by the
+// demand service time.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/types.h"
+
+namespace wompcm {
+
+class Bank {
+ public:
+  // Row currently latched in the row buffer (open-row policy).
+  std::optional<unsigned> open_row() const { return open_row_; }
+
+  bool demand_busy(Tick now) const { return now < busy_until_; }
+  bool refreshing(Tick now) const { return now < refresh_until_; }
+  Tick busy_until() const { return busy_until_; }
+  Tick refresh_until() const { return refresh_until_; }
+
+  // Earliest instant a demand op may start, given write pausing policy.
+  Tick demand_ready_at(Tick now, bool allow_pause) const {
+    Tick t = busy_until_ > now ? busy_until_ : now;
+    if (t < refresh_until_ && !allow_pause) t = refresh_until_;
+    return t;
+  }
+
+  bool idle(Tick now) const { return !demand_busy(now) && !refreshing(now); }
+
+  // Starts a demand operation [start, start+service). If the bank is under
+  // refresh and pausing is allowed, the refresh end is pushed back by the
+  // demand service plus the resume penalty. Returns the completion time.
+  Tick begin_demand(Tick start, Tick service, unsigned row,
+                    bool allow_pause, Tick pause_resume_ns);
+
+  // Occupies the bank with a PCM-refresh until `until`.
+  void begin_refresh(Tick until) {
+    if (until > refresh_until_) refresh_until_ = until;
+  }
+
+  // Closes the row buffer (e.g. after a refresh re-initializes the array).
+  void close_row() { open_row_.reset(); }
+
+  // Cumulative demand-busy time, for utilization accounting.
+  Tick busy_time() const { return busy_time_; }
+  std::uint64_t ops() const { return ops_; }
+  std::uint64_t row_hits() const { return row_hits_; }
+  std::uint64_t pauses() const { return pauses_; }
+
+ private:
+  std::optional<unsigned> open_row_;
+  Tick busy_until_ = 0;
+  Tick refresh_until_ = 0;
+  Tick busy_time_ = 0;
+  std::uint64_t ops_ = 0;
+  std::uint64_t row_hits_ = 0;
+  std::uint64_t pauses_ = 0;
+};
+
+}  // namespace wompcm

@@ -1,0 +1,17 @@
+#include "pcm/endurance.h"
+
+#include <limits>
+
+namespace wompcm {
+
+double WearTracker::lifetime_seconds(Tick elapsed_ns,
+                                     double cell_endurance) const {
+  if (max_ <= 0.0 || elapsed_ns == 0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const double elapsed_s = static_cast<double>(elapsed_ns) * 1e-9;
+  const double wear_rate = max_ / elapsed_s;  // cycles/second, hottest line
+  return cell_endurance / wear_rate;
+}
+
+}  // namespace wompcm

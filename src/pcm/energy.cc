@@ -1,0 +1,40 @@
+#include "pcm/energy.h"
+
+namespace wompcm {
+
+void EnergyCounters::on_read(std::uint64_t bits) {
+  read_pj_ += p_.read_pj_per_bit * static_cast<double>(bits);
+}
+
+void EnergyCounters::on_write(WriteClass cls, std::uint64_t bits) {
+  const double b = static_cast<double>(bits);
+  if (cls == WriteClass::kResetOnly) {
+    // Half the coded bits flip on average, all with RESET pulses.
+    const double flipped = b / 2.0;
+    write_pj_ += p_.reset_pj_per_bit * flipped;
+    reset_pulses_ += static_cast<std::uint64_t>(flipped);
+  } else {
+    // Erase (SET) plus program (RESET), half the bits each on average.
+    write_pj_ += (p_.set_pj_per_bit + p_.reset_pj_per_bit) * (b / 2.0);
+    set_pulses_ += static_cast<std::uint64_t>(b / 2.0);
+    reset_pulses_ += static_cast<std::uint64_t>(b / 2.0);
+  }
+}
+
+void EnergyCounters::on_refresh(std::uint64_t bits) {
+  const double b = static_cast<double>(bits);
+  // One row read plus a row write that raises roughly half the bits back to
+  // the erased (all-ones) inverted-code state.
+  refresh_pj_ += p_.read_pj_per_bit * b + p_.set_pj_per_bit * (b / 2.0);
+  set_pulses_ += static_cast<std::uint64_t>(b / 2.0);
+}
+
+void EnergyCounters::add_pulses(std::uint64_t set_pulses,
+                                std::uint64_t reset_pulses) {
+  set_pulses_ += set_pulses;
+  reset_pulses_ += reset_pulses;
+  write_pj_ += p_.set_pj_per_bit * static_cast<double>(set_pulses) +
+               p_.reset_pj_per_bit * static_cast<double>(reset_pulses);
+}
+
+}  // namespace wompcm

@@ -1,0 +1,16 @@
+#include "pcm/rank.h"
+
+namespace wompcm {
+
+bool RankView::idle(Tick now) const {
+  for (const Bank& b : banks_) {
+    if (!b.idle(now)) return false;
+  }
+  return true;
+}
+
+void RankView::begin_refresh(Tick until) {
+  for (Bank& b : banks_) b.begin_refresh(until);
+}
+
+}  // namespace wompcm

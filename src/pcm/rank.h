@@ -1,0 +1,30 @@
+// Rank-level helpers: a rank is the refresh scheduling unit (Section 3.2).
+#pragma once
+
+#include <span>
+
+#include "pcm/bank.h"
+
+namespace wompcm {
+
+// Non-owning view over the banks of one rank (plus, for WCPCM, the rank's
+// WOM-cache array, which refreshes with the rank).
+class RankView {
+ public:
+  explicit RankView(std::span<Bank> banks) : banks_(banks) {}
+
+  std::size_t size() const { return banks_.size(); }
+  Bank& bank(std::size_t i) { return banks_[i]; }
+  const Bank& bank(std::size_t i) const { return banks_[i]; }
+
+  // A rank is idle when no bank is servicing a demand op or refreshing.
+  bool idle(Tick now) const;
+
+  // Occupies every bank of the rank with a burst-mode refresh until `until`.
+  void begin_refresh(Tick until);
+
+ private:
+  std::span<Bank> banks_;
+};
+
+}  // namespace wompcm

@@ -1,0 +1,23 @@
+#include "pcm/timing.h"
+
+namespace wompcm {
+
+bool PcmTiming::valid(std::string* why) const {
+  auto fail = [&](const char* msg) {
+    if (why != nullptr) *why = msg;
+    return false;
+  };
+  if (row_read_ns == 0 || row_write_ns == 0 || reset_ns == 0 || set_ns == 0) {
+    return fail("latencies must be non-zero");
+  }
+  if (reset_ns > row_write_ns) {
+    return fail("RESET latency must not exceed the full row write latency");
+  }
+  if (burst_length == 0 || burst_length % 2 != 0) {
+    return fail("burst length must be a non-zero even beat count");
+  }
+  if (refresh_period_ns == 0) return fail("refresh period must be non-zero");
+  return true;
+}
+
+}  // namespace wompcm

@@ -1,0 +1,45 @@
+// PCM timing parameters.
+//
+// Defaults follow the paper's simulation setup (Section 5), which extends
+// DRAMSim2 with PCM latencies from Bheda et al.: row read 27 ns, row write
+// 150 ns, RESET 40 ns, SET 150 ns, PCM-refresh period 4000 ns. The data bus
+// follows DDR3 conventions: a burst of 8 beats occupies L_burst/2 = 4 ns of
+// bus time. One simulator tick is one nanosecond.
+#pragma once
+
+#include <string>
+
+#include "common/types.h"
+
+namespace wompcm {
+
+struct PcmTiming {
+  Tick row_read_ns = 27;    // array row -> row buffer (activate)
+  Tick row_write_ns = 150;  // conventional full-row program (SET-bound)
+  Tick reset_ns = 40;       // RESET-only row program (the WOM fast path)
+  Tick set_ns = 150;        // SET pulse duration (alpha-write erase phase)
+  Tick col_read_ns = 13;    // column access from an open row buffer (CAS)
+  unsigned burst_length = 8;  // DDR3 burst beats
+
+  Tick refresh_period_ns = 4000;  // PCM-refresh controller check period
+  Tick tag_check_ns = 2;          // WOM-cache tag comparison (1-2 cycles)
+  Tick pause_resume_ns = 5;       // write-pausing preempt/resume penalty
+
+  // Data bus occupancy of one burst: L_burst / 2 bus ticks (DDR).
+  Tick burst_ns() const { return burst_length / 2; }
+
+  // Latency of programming a full row, by write class.
+  Tick program_ns(WriteClass c) const {
+    return c == WriteClass::kResetOnly ? reset_ns : row_write_ns;
+  }
+
+  // Burst-mode PCM-refresh of one rank (Section 3.2):
+  // t_WR + N_bank * L_burst / 2.
+  Tick refresh_op_ns(unsigned banks_per_rank) const {
+    return row_write_ns + static_cast<Tick>(banks_per_rank) * burst_ns();
+  }
+
+  bool valid(std::string* why = nullptr) const;
+};
+
+}  // namespace wompcm

@@ -1,0 +1,227 @@
+#include "sim/config_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace wompcm {
+
+namespace {
+
+[[noreturn]] void bad(const std::string& key, const std::string& value) {
+  throw std::invalid_argument("config: bad value for " + key + ": " + value);
+}
+
+unsigned get_unsigned(const KeyValueConfig& kv, const std::string& key,
+                      unsigned fallback) {
+  if (!kv.has(key)) return fallback;
+  const auto v = kv.get_int(key);
+  if (!v || *v < 0) bad(key, kv.get_string_or(key, ""));
+  return static_cast<unsigned>(*v);
+}
+
+Tick get_tick(const KeyValueConfig& kv, const std::string& key,
+              Tick fallback) {
+  if (!kv.has(key)) return fallback;
+  const auto v = kv.get_int(key);
+  if (!v || *v <= 0) bad(key, kv.get_string_or(key, ""));
+  return static_cast<Tick>(*v);
+}
+
+}  // namespace
+
+SimConfig apply_overrides(SimConfig cfg, const KeyValueConfig& kv) {
+  // Geometry.
+  cfg.geom.channels = get_unsigned(kv, "channels", cfg.geom.channels);
+  cfg.geom.ranks = get_unsigned(kv, "ranks", cfg.geom.ranks);
+  cfg.geom.banks_per_rank = get_unsigned(kv, "banks", cfg.geom.banks_per_rank);
+  cfg.geom.rows_per_bank = get_unsigned(kv, "rows", cfg.geom.rows_per_bank);
+  cfg.geom.cols_per_row = get_unsigned(kv, "cols", cfg.geom.cols_per_row);
+  cfg.geom.devices_per_rank =
+      get_unsigned(kv, "devices", cfg.geom.devices_per_rank);
+  cfg.geom.burst_length = get_unsigned(kv, "burst", cfg.geom.burst_length);
+
+  // Timing.
+  cfg.timing.row_read_ns = get_tick(kv, "row_read", cfg.timing.row_read_ns);
+  cfg.timing.row_write_ns = get_tick(kv, "row_write", cfg.timing.row_write_ns);
+  cfg.timing.reset_ns = get_tick(kv, "reset", cfg.timing.reset_ns);
+  cfg.timing.set_ns = get_tick(kv, "set", cfg.timing.set_ns);
+  cfg.timing.col_read_ns = get_tick(kv, "col_read", cfg.timing.col_read_ns);
+  cfg.timing.refresh_period_ns =
+      get_tick(kv, "refresh_period", cfg.timing.refresh_period_ns);
+
+  // Architecture.
+  if (kv.has("arch")) {
+    const std::string a = kv.get_string_or("arch", "");
+    if (a == "pcm") {
+      cfg.arch.kind = ArchKind::kBaseline;
+    } else if (a == "wom") {
+      cfg.arch.kind = ArchKind::kWomPcm;
+    } else if (a == "refresh") {
+      cfg.arch.kind = ArchKind::kRefreshWomPcm;
+    } else if (a == "wcpcm") {
+      cfg.arch.kind = ArchKind::kWcpcm;
+    } else if (a == "fnw") {
+      cfg.arch.kind = ArchKind::kFlipNWrite;
+    } else if (a == "symmetric") {
+      cfg.arch.kind = ArchKind::kSymmetric;
+    } else {
+      bad("arch", a);
+    }
+  }
+  if (kv.has("code")) cfg.arch.code = kv.get_string_or("code", cfg.arch.code);
+  if (kv.has("organization")) {
+    const std::string o = kv.get_string_or("organization", "");
+    if (o == "wide") {
+      cfg.arch.organization = WomOrganization::kWideColumn;
+    } else if (o == "hidden") {
+      cfg.arch.organization = WomOrganization::kHiddenPage;
+    } else {
+      bad("organization", o);
+    }
+  }
+  cfg.arch.rat_entries = get_unsigned(kv, "rat", cfg.arch.rat_entries);
+  if (kv.has("rth")) {
+    const auto v = kv.get_double("rth");
+    if (!v || *v < 0.0 || *v > 1.0) bad("rth", kv.get_string_or("rth", ""));
+    cfg.refresh.threshold = *v;
+  }
+  if (kv.has("pausing")) {
+    const auto v = kv.get_bool("pausing");
+    if (!v) bad("pausing", kv.get_string_or("pausing", ""));
+    cfg.refresh.write_pausing = *v;
+  }
+  if (kv.has("fnw_fast")) {
+    const auto v = kv.get_double("fnw_fast");
+    if (!v || *v < 0.0 || *v > 1.0) {
+      bad("fnw_fast", kv.get_string_or("fnw_fast", ""));
+    }
+    cfg.arch.fnw_fast_fraction = *v;
+  }
+  if (kv.has("start_gap")) {
+    const auto v = kv.get_bool("start_gap");
+    if (!v) bad("start_gap", kv.get_string_or("start_gap", ""));
+    cfg.arch.start_gap = *v;
+  }
+  cfg.arch.start_gap_interval =
+      get_unsigned(kv, "start_gap_interval", cfg.arch.start_gap_interval);
+  if (kv.has("seed")) {
+    const auto v = kv.get_int("seed");
+    if (!v) bad("seed", kv.get_string_or("seed", ""));
+    cfg.arch.seed = static_cast<std::uint64_t>(*v);
+  }
+
+  // Controller.
+  if (kv.has("policy")) {
+    const std::string p = kv.get_string_or("policy", "");
+    if (p == "fcfs") {
+      cfg.sched.policy = SchedulingPolicy::kFcfs;
+    } else if (p == "read-priority" || p == "readprio") {
+      cfg.sched.policy = SchedulingPolicy::kReadPriority;
+    } else {
+      bad("policy", p);
+    }
+  }
+  if (kv.has("row_policy")) {
+    const std::string p = kv.get_string_or("row_policy", "");
+    if (p == "open") {
+      cfg.row_policy = RowPolicy::kOpen;
+    } else if (p == "closed") {
+      cfg.row_policy = RowPolicy::kClosed;
+    } else {
+      bad("row_policy", p);
+    }
+  }
+  cfg.queue_capacity =
+      get_unsigned(kv, "queue_capacity", cfg.queue_capacity);
+  if (kv.has("read_forwarding")) {
+    const auto v = kv.get_bool("read_forwarding");
+    if (!v) bad("read_forwarding", kv.get_string_or("read_forwarding", ""));
+    cfg.read_forwarding = *v;
+  }
+  if (kv.has("warmup")) {
+    const auto v = kv.get_int("warmup");
+    if (!v || *v < 0) bad("warmup", kv.get_string_or("warmup", ""));
+    cfg.warmup_accesses = static_cast<std::uint64_t>(*v);
+  }
+  return cfg;
+}
+
+SimConfig load_config_file(const SimConfig& base, const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open config file: " + path);
+  std::vector<std::string> tokens;
+  std::string line;
+  while (std::getline(f, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream is(line);
+    std::string tok;
+    while (is >> tok) tokens.push_back(tok);
+  }
+  return apply_overrides(base, KeyValueConfig::from_tokens(tokens));
+}
+
+std::string describe(const SimConfig& cfg) {
+  std::ostringstream os;
+  os << "channels=" << cfg.geom.channels << "\n"
+     << "ranks=" << cfg.geom.ranks << "\n"
+     << "banks=" << cfg.geom.banks_per_rank << "\n"
+     << "rows=" << cfg.geom.rows_per_bank << "\n"
+     << "cols=" << cfg.geom.cols_per_row << "\n"
+     << "devices=" << cfg.geom.devices_per_rank << "\n"
+     << "burst=" << cfg.geom.burst_length << "\n"
+     << "row_read=" << cfg.timing.row_read_ns << "\n"
+     << "row_write=" << cfg.timing.row_write_ns << "\n"
+     << "reset=" << cfg.timing.reset_ns << "\n"
+     << "set=" << cfg.timing.set_ns << "\n"
+     << "col_read=" << cfg.timing.col_read_ns << "\n"
+     << "refresh_period=" << cfg.timing.refresh_period_ns << "\n";
+  const char* arch = "pcm";
+  switch (cfg.arch.kind) {
+    case ArchKind::kBaseline:
+      arch = "pcm";
+      break;
+    case ArchKind::kWomPcm:
+      arch = "wom";
+      break;
+    case ArchKind::kRefreshWomPcm:
+      arch = "refresh";
+      break;
+    case ArchKind::kWcpcm:
+      arch = "wcpcm";
+      break;
+    case ArchKind::kFlipNWrite:
+      arch = "fnw";
+      break;
+    case ArchKind::kSymmetric:
+      arch = "symmetric";
+      break;
+  }
+  os << "arch=" << arch << "\n"
+     << "code=" << cfg.arch.code << "\n"
+     << "organization="
+     << (cfg.arch.organization == WomOrganization::kWideColumn ? "wide"
+                                                               : "hidden")
+     << "\n"
+     << "rat=" << cfg.arch.rat_entries << "\n"
+     << "rth=" << cfg.refresh.threshold << "\n"
+     << "pausing=" << (cfg.refresh.write_pausing ? "true" : "false") << "\n"
+     << "policy="
+     << (cfg.sched.policy == SchedulingPolicy::kFcfs ? "fcfs"
+                                                     : "read-priority")
+     << "\n"
+     << "row_policy="
+     << (cfg.row_policy == RowPolicy::kOpen ? "open" : "closed") << "\n"
+     << "queue_capacity=" << cfg.queue_capacity << "\n"
+     << "read_forwarding=" << (cfg.read_forwarding ? "true" : "false")
+     << "\n"
+     << "start_gap=" << (cfg.arch.start_gap ? "true" : "false") << "\n"
+     << "start_gap_interval=" << cfg.arch.start_gap_interval << "\n";
+  if (cfg.warmup_accesses.has_value()) {
+    os << "warmup=" << *cfg.warmup_accesses << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace wompcm

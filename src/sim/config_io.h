@@ -1,0 +1,35 @@
+// SimConfig <-> key=value plumbing for the CLI tools.
+//
+// All examples and benches accept overrides like "ranks=4 arch=wcpcm
+// code=rs23-inv row_policy=closed"; this module centralizes the mapping so
+// every binary understands the same dialect, and a config can be loaded
+// from a file of key=value lines ('#' comments allowed).
+#pragma once
+
+#include <string>
+
+#include "common/config.h"
+#include "sim/simulator.h"
+
+namespace wompcm {
+
+// Applies the recognized keys from `kv` onto `base`. Unrecognized keys are
+// ignored (they may belong to the harness, e.g. accesses/seed/benchmark).
+// Throws std::invalid_argument when a recognized key has a bad value.
+//
+// Keys: channels ranks banks rows cols devices burst
+//       row_read row_write reset set col_read refresh_period
+//       arch (pcm|wom|refresh|wcpcm|fnw) code organization (wide|hidden)
+//       rat rth pausing policy (fcfs|read-priority) row_policy (open|closed)
+//       queue_capacity read_forwarding warmup
+//       start_gap start_gap_interval fnw_fast seed
+SimConfig apply_overrides(SimConfig base, const KeyValueConfig& kv);
+
+// Loads key=value lines from a file and applies them onto `base`.
+// Throws std::runtime_error if the file cannot be read.
+SimConfig load_config_file(const SimConfig& base, const std::string& path);
+
+// Human-readable one-key-per-line dump, loadable by load_config_file.
+std::string describe(const SimConfig& cfg);
+
+}  // namespace wompcm

@@ -1,0 +1,71 @@
+#include "sim/experiment.h"
+
+#include <functional>
+
+namespace wompcm {
+
+SimConfig paper_config() {
+  SimConfig cfg;
+  // MemoryGeometry and PcmTiming defaults already encode the paper values.
+  cfg.geom = MemoryGeometry{};
+  cfg.timing = PcmTiming{};
+  cfg.sched = SchedulerConfig{};
+  cfg.refresh = RefreshConfig{};
+  cfg.arch = ArchConfig{};
+  return cfg;
+}
+
+std::vector<ArchConfig> paper_architectures() {
+  std::vector<ArchConfig> v(4);
+  v[0].kind = ArchKind::kBaseline;
+  v[1].kind = ArchKind::kWomPcm;
+  v[2].kind = ArchKind::kRefreshWomPcm;
+  v[3].kind = ArchKind::kWcpcm;
+  for (auto& a : v) a.code = "rs23-inv";
+  return v;
+}
+
+SimResult run_benchmark(const SimConfig& cfg, const WorkloadProfile& profile,
+                        std::uint64_t accesses, std::uint64_t seed) {
+  // Mix the benchmark name into the seed so different benchmarks draw
+  // different streams even with the same base seed.
+  std::uint64_t s = seed;
+  for (const char c : profile.name) {
+    s = s * 1099511628211ull + static_cast<unsigned char>(c);
+  }
+  SimConfig resolved = cfg;
+  if (!resolved.warmup_accesses.has_value()) {
+    resolved.warmup_accesses = accesses / 5;
+  }
+  SyntheticTraceSource trace(profile, resolved.geom, s, accesses);
+  Simulator sim(resolved);
+  return sim.run(trace);
+}
+
+std::vector<SweepRow> run_arch_sweep(
+    const SimConfig& base, const std::vector<ArchConfig>& archs,
+    const std::vector<WorkloadProfile>& profiles, std::uint64_t accesses,
+    std::uint64_t seed) {
+  std::vector<SweepRow> rows;
+  rows.reserve(profiles.size());
+  for (const WorkloadProfile& p : profiles) {
+    SweepRow row;
+    row.benchmark = p.name;
+    for (const ArchConfig& a : archs) {
+      SimConfig cfg = base;
+      cfg.arch = a;
+      row.results.push_back(run_benchmark(cfg, p, accesses, seed));
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+double column_mean(const std::vector<std::vector<double>>& m, std::size_t c) {
+  if (m.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& row : m) sum += row.at(c);
+  return sum / static_cast<double>(m.size());
+}
+
+}  // namespace wompcm

@@ -1,0 +1,123 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <memory>
+#include <optional>
+
+namespace wompcm {
+
+Simulator::Simulator(const SimConfig& cfg) : cfg_(cfg) {}
+
+SimResult Simulator::run(TraceSource& trace) {
+  std::unique_ptr<Architecture> arch =
+      make_architecture(cfg_.arch, cfg_.geom, cfg_.timing);
+
+  SimResult result;
+  result.arch_name = arch->name();
+  result.capacity_overhead = arch->capacity_overhead();
+
+  ControllerConfig ccfg;
+  ccfg.geom = cfg_.geom;
+  ccfg.timing = cfg_.timing;
+  ccfg.sched = cfg_.sched;
+  ccfg.refresh = cfg_.refresh;
+  ccfg.row_policy = cfg_.row_policy;
+  ccfg.queue_capacity = cfg_.queue_capacity;
+  ccfg.read_forwarding = cfg_.read_forwarding;
+
+  MemoryController ctrl(ccfg, *arch, result.stats);
+  AddressMapper mapper(cfg_.geom);
+
+  Tick now = 0;
+  Tick trace_clock = 0;
+  std::uint64_t next_id = 1;
+  const std::uint64_t warmup = cfg_.warmup_accesses.value_or(0);
+  std::optional<Transaction> pending;
+
+  auto fetch = [&]() -> std::optional<Transaction> {
+    const auto rec = trace.next();
+    if (!rec) return std::nullopt;
+    trace_clock += rec->gap;
+    Transaction tx;
+    tx.id = next_id++;
+    tx.addr = rec->addr;
+    tx.dec = mapper.decode(rec->addr);
+    tx.type = rec->type;
+    tx.arrival = trace_clock;
+    tx.record = tx.id > warmup;
+    return tx;
+  };
+
+  pending = fetch();
+
+  while (pending.has_value() || !ctrl.drained()) {
+    Tick t_arrival = kNeverTick;
+    if (pending.has_value() && ctrl.can_accept()) {
+      t_arrival = std::max(pending->arrival, now);
+    }
+    const Tick t_ctrl = ctrl.next_event_after(now);
+    const Tick t = std::min(t_arrival, t_ctrl);
+    if (t == kNeverTick) break;  // quiescent: nothing can ever happen
+    now = t;
+
+    // Deliver all arrivals due at or before `now` while the queue accepts
+    // them. An arrival held back by back-pressure is timestamped with its
+    // actual acceptance time (the CPU stalled; memory latency starts when
+    // the controller sees the request).
+    while (pending.has_value() && ctrl.can_accept() &&
+           pending->arrival <= now) {
+      Transaction tx = *pending;
+      if (tx.arrival < now) {
+        ++result.deferred_injections;
+        tx.arrival = now;
+      }
+      if (tx.type == AccessType::kRead) {
+        ++result.injected_reads;
+      } else {
+        ++result.injected_writes;
+      }
+      ctrl.enqueue(tx);
+      pending = fetch();
+    }
+
+    ctrl.tick(now);
+  }
+
+  result.end_time = ctrl.last_completion();
+  result.refresh_commands = ctrl.refresh_engine().commands();
+  result.refresh_rows = ctrl.refresh_engine().rows_refreshed();
+  result.stats.counters.merge(arch->counters());
+  result.energy_read_pj = arch->energy().read_pj();
+  result.energy_write_pj = arch->energy().write_pj();
+  result.energy_refresh_pj = arch->energy().refresh_pj();
+  result.max_line_wear = arch->wear().max_line_wear();
+  result.mean_line_wear = arch->wear().mean_line_wear();
+  result.lifetime_years = arch->wear().lifetime_years(result.end_time);
+  result.banks.reserve(ctrl.banks().size());
+  for (const Bank& b : ctrl.banks()) {
+    result.banks.push_back(SimResult::BankUtilization{
+        b.busy_time(), b.ops(), b.row_hits(), b.pauses()});
+  }
+  return result;
+}
+
+double SimResult::max_bank_utilization() const {
+  if (end_time == 0) return 0.0;
+  Tick busiest = 0;
+  for (const BankUtilization& b : banks) {
+    if (b.busy_time > busiest) busiest = b.busy_time;
+  }
+  return static_cast<double>(busiest) / static_cast<double>(end_time);
+}
+
+double SimResult::row_hit_rate() const {
+  std::uint64_t ops = 0, hits = 0;
+  for (const BankUtilization& b : banks) {
+    ops += b.ops;
+    hits += b.row_hits;
+  }
+  return ops == 0 ? 0.0
+                  : static_cast<double>(hits) / static_cast<double>(ops);
+}
+
+}  // namespace wompcm

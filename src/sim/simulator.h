@@ -1,0 +1,85 @@
+// Trace-driven simulation driver.
+//
+// Wires a trace source, an architecture, and the memory controller into one
+// run, handling frontend back-pressure (a full controller queue defers
+// injection, like a stalled CPU would) and end-of-trace draining.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "arch/arch.h"
+#include "controller/controller.h"
+#include "trace/trace.h"
+
+namespace wompcm {
+
+struct SimConfig {
+  MemoryGeometry geom;
+  PcmTiming timing;
+  SchedulerConfig sched;
+  RefreshConfig refresh;
+  ArchConfig arch;
+  RowPolicy row_policy = RowPolicy::kOpen;
+  unsigned queue_capacity = 256;
+  bool read_forwarding = true;
+  // Number of leading trace accesses to simulate without recording latency
+  // stats (steady-state measurement, like a warmed trace window). nullopt
+  // means "auto": run_benchmark() resolves it to 20% of the trace length;
+  // a raw Simulator treats it as zero.
+  std::optional<std::uint64_t> warmup_accesses;
+};
+
+struct SimResult {
+  std::string arch_name;
+  SimStats stats;
+  Tick end_time = 0;
+  std::uint64_t injected_reads = 0;
+  std::uint64_t injected_writes = 0;
+  std::uint64_t deferred_injections = 0;  // arrivals delayed by back-pressure
+  std::uint64_t refresh_commands = 0;
+  std::uint64_t refresh_rows = 0;
+  double capacity_overhead = 0.0;
+  double energy_read_pj = 0.0;
+  double energy_write_pj = 0.0;
+  double energy_refresh_pj = 0.0;
+  // Endurance (see pcm/endurance.h): hottest-line pulse count and the
+  // projected array lifetime at the observed wear rate.
+  double max_line_wear = 0.0;
+  double mean_line_wear = 0.0;
+  double lifetime_years = 0.0;
+
+  // Per bank-like resource (main banks first, then any cache arrays).
+  struct BankUtilization {
+    Tick busy_time = 0;
+    std::uint64_t ops = 0;
+    std::uint64_t row_hits = 0;
+    std::uint64_t pauses = 0;
+  };
+  std::vector<BankUtilization> banks;
+
+  double avg_read_ns() const { return stats.demand_read_latency.mean(); }
+  double avg_write_ns() const { return stats.demand_write_latency.mean(); }
+
+  // Demand-busy fraction of the most loaded resource over the whole run.
+  double max_bank_utilization() const;
+  // Fraction of array accesses that hit an open row.
+  double row_hit_rate() const;
+};
+
+class Simulator {
+ public:
+  explicit Simulator(const SimConfig& cfg);
+
+  // Runs the trace to completion (injection + drain) and returns the
+  // aggregated result. The simulator may be reused for further runs; each
+  // run builds a fresh architecture and controller.
+  SimResult run(TraceSource& trace);
+
+ private:
+  SimConfig cfg_;
+};
+
+}  // namespace wompcm

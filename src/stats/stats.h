@@ -1,0 +1,64 @@
+// Streaming statistics used across the simulator.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+
+#include "common/types.h"
+#include "stats/histogram.h"
+
+namespace wompcm {
+
+// Streaming min/max/mean over latency samples.
+class LatencyStats {
+ public:
+  void add(Tick sample);
+
+  std::uint64_t count() const { return count_; }
+  Tick min() const { return count_ == 0 ? 0 : min_; }
+  Tick max() const { return max_; }
+  double sum() const { return sum_; }
+  double mean() const {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+
+  void merge(const LatencyStats& o);
+
+ private:
+  std::uint64_t count_ = 0;
+  Tick min_ = std::numeric_limits<Tick>::max();
+  Tick max_ = 0;
+  double sum_ = 0.0;
+};
+
+// A named bag of integer counters (architectural event counts).
+class CounterSet {
+ public:
+  void inc(const std::string& name, std::uint64_t by = 1) { map_[name] += by; }
+  std::uint64_t get(const std::string& name) const {
+    const auto it = map_.find(name);
+    return it == map_.end() ? 0 : it->second;
+  }
+  const std::map<std::string, std::uint64_t>& all() const { return map_; }
+  void merge(const CounterSet& o);
+
+ private:
+  std::map<std::string, std::uint64_t> map_;
+};
+
+// Everything a simulation run reports.
+struct SimStats {
+  LatencyStats demand_read_latency;   // arrival -> data burst complete
+  LatencyStats demand_write_latency;  // arrival -> cells programmed
+  LatencyStats internal_write_latency;  // WCPCM victim write-backs
+  Log2Histogram read_latency_hist;
+  Log2Histogram write_latency_hist;
+  CounterSet counters;
+
+  double read_hit_rate(const std::string& hits,
+                       const std::string& misses) const;
+};
+
+}  // namespace wompcm

@@ -1,0 +1,38 @@
+// Plain-text and CSV table rendering for the bench harnesses.
+//
+// Every figure/table bench builds a TextTable and prints it, so the output
+// format is uniform across experiments and trivially machine-parseable.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace wompcm {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  // Convenience: formats doubles with the given precision.
+  static std::string fmt(double v, int precision = 3);
+
+  std::size_t rows() const { return rows_.size(); }
+  const std::vector<std::string>& row(std::size_t i) const { return rows_[i]; }
+  const std::vector<std::string>& header() const { return header_; }
+
+  // Aligned, pipe-separated plain text rendering.
+  std::string to_text() const;
+  // RFC-4180-ish CSV rendering (values containing commas are quoted).
+  std::string to_csv() const;
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace wompcm

@@ -1,0 +1,118 @@
+#include "trace/file_source.h"
+
+#include <cinttypes>
+#include <cstring>
+#include <stdexcept>
+
+namespace wompcm {
+
+FileTraceSource::FileTraceSource(const std::string& path) {
+  f_ = std::fopen(path.c_str(), "rb");
+  if (f_ == nullptr) {
+    throw std::runtime_error("cannot open trace file: " + path);
+  }
+  char magic[8] = {};
+  const std::size_t got = std::fread(magic, 1, sizeof(magic), f_);
+  if (got == sizeof(magic) && std::memcmp(magic, kTraceMagic, 8) == 0) {
+    binary_ = true;
+  } else {
+    binary_ = false;
+    std::rewind(f_);
+  }
+}
+
+FileTraceSource::~FileTraceSource() {
+  if (f_ != nullptr) std::fclose(f_);
+}
+
+std::optional<TraceRecord> FileTraceSource::next() {
+  return binary_ ? next_binary() : next_text();
+}
+
+std::optional<TraceRecord> FileTraceSource::next_text() {
+  char buf[256];
+  while (std::fgets(buf, sizeof(buf), f_) != nullptr) {
+    ++line_;
+    const char* p = buf;
+    while (*p == ' ' || *p == '\t') ++p;
+    if (*p == '\0' || *p == '\n' || *p == '#') continue;
+    std::uint64_t gap = 0;
+    char type = 0;
+    std::uint64_t addr = 0;
+    if (std::sscanf(p, "%" SCNu64 " %c %" SCNx64, &gap, &type, &addr) != 3 ||
+        (type != 'R' && type != 'W' && type != 'r' && type != 'w')) {
+      throw std::runtime_error("malformed trace line " + std::to_string(line_));
+    }
+    TraceRecord rec;
+    rec.gap = gap;
+    rec.type = (type == 'W' || type == 'w') ? AccessType::kWrite
+                                            : AccessType::kRead;
+    rec.addr = addr;
+    return rec;
+  }
+  return std::nullopt;
+}
+
+std::optional<TraceRecord> FileTraceSource::next_binary() {
+  std::uint8_t buf[17];
+  const std::size_t got = std::fread(buf, 1, sizeof(buf), f_);
+  if (got == 0) return std::nullopt;
+  if (got != sizeof(buf)) {
+    throw std::runtime_error("truncated binary trace record");
+  }
+  auto u64 = [&](std::size_t off) {
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i) v = (v << 8) | buf[off + static_cast<std::size_t>(i)];
+    return v;
+  };
+  TraceRecord rec;
+  rec.gap = u64(0);
+  rec.type = buf[8] != 0 ? AccessType::kWrite : AccessType::kRead;
+  rec.addr = u64(9);
+  return rec;
+}
+
+TraceWriter::TraceWriter(const std::string& path, Format format)
+    : format_(format) {
+  f_ = std::fopen(path.c_str(), format == Format::kBinary ? "wb" : "w");
+  if (f_ == nullptr) {
+    throw std::runtime_error("cannot create trace file: " + path);
+  }
+  if (format_ == Format::kBinary) {
+    if (std::fwrite(kTraceMagic, 1, 8, f_) != 8) {
+      throw std::runtime_error("cannot write trace header");
+    }
+  } else {
+    std::fputs("# gap-ns R|W addr-hex\n", f_);
+  }
+}
+
+TraceWriter::~TraceWriter() { close(); }
+
+void TraceWriter::close() {
+  if (f_ != nullptr) {
+    std::fclose(f_);
+    f_ = nullptr;
+  }
+}
+
+void TraceWriter::write(const TraceRecord& rec) {
+  if (f_ == nullptr) throw std::logic_error("TraceWriter: already closed");
+  if (format_ == Format::kBinary) {
+    std::uint8_t buf[17];
+    auto put = [&](std::size_t off, std::uint64_t v) {
+      for (std::size_t i = 0; i < 8; ++i) buf[off + i] = (v >> (8 * i)) & 0xff;
+    };
+    put(0, rec.gap);
+    buf[8] = rec.type == AccessType::kWrite ? 1 : 0;
+    put(9, rec.addr);
+    if (std::fwrite(buf, 1, sizeof(buf), f_) != sizeof(buf)) {
+      throw std::runtime_error("trace write failed");
+    }
+  } else {
+    std::fprintf(f_, "%" PRIu64 " %c 0x%" PRIx64 "\n", rec.gap,
+                 rec.type == AccessType::kWrite ? 'W' : 'R', rec.addr);
+  }
+}
+
+}  // namespace wompcm

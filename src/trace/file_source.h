@@ -1,0 +1,65 @@
+// File-based traces, so real Pin/valgrind-captured traces can be dropped in.
+//
+// Text format (one record per line, '#' comments allowed):
+//     <gap-ns> <R|W> <address-hex>
+// e.g. "120 W 0x7fff9a40".
+//
+// Binary format: 8-byte magic "WOMPCMT1" followed by packed records of
+// { u64 gap, u8 type (0=read, 1=write), u64 addr } in little-endian order.
+// The reader auto-detects the format from the magic.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "trace/trace.h"
+
+namespace wompcm {
+
+inline constexpr char kTraceMagic[8] = {'W', 'O', 'M', 'P', 'C', 'M', 'T', '1'};
+
+class FileTraceSource final : public TraceSource {
+ public:
+  // Throws std::runtime_error if the file cannot be opened or the header is
+  // malformed.
+  explicit FileTraceSource(const std::string& path);
+  ~FileTraceSource() override;
+
+  FileTraceSource(const FileTraceSource&) = delete;
+  FileTraceSource& operator=(const FileTraceSource&) = delete;
+
+  std::optional<TraceRecord> next() override;
+
+  bool binary() const { return binary_; }
+
+ private:
+  std::optional<TraceRecord> next_text();
+  std::optional<TraceRecord> next_binary();
+
+  std::FILE* f_ = nullptr;
+  bool binary_ = false;
+  std::size_t line_ = 0;
+};
+
+// Trace writer (both formats), used by tests and by the trace-conversion
+// example.
+class TraceWriter {
+ public:
+  enum class Format { kText, kBinary };
+
+  TraceWriter(const std::string& path, Format format);
+  ~TraceWriter();
+
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  void write(const TraceRecord& rec);
+  void close();
+
+ private:
+  std::FILE* f_ = nullptr;
+  Format format_;
+};
+
+}  // namespace wompcm

@@ -1,0 +1,48 @@
+#include "trace/mix.h"
+
+#include <stdexcept>
+
+namespace wompcm {
+
+MixTraceSource::MixTraceSource(
+    std::vector<std::unique_ptr<TraceSource>> sources)
+    : sources_(std::move(sources)),
+      clocks_(sources_.size(), 0),
+      contributed_(sources_.size(), 0) {
+  if (sources_.empty()) {
+    throw std::invalid_argument("MixTraceSource: no component sources");
+  }
+  for (const auto& s : sources_) {
+    if (s == nullptr) {
+      throw std::invalid_argument("MixTraceSource: null component source");
+    }
+  }
+}
+
+void MixTraceSource::refill(std::size_t src) {
+  const auto rec = sources_[src]->next();
+  if (!rec) return;
+  clocks_[src] += rec->gap;
+  heads_.push(Head{clocks_[src], src, rec->addr, rec->type});
+}
+
+std::optional<TraceRecord> MixTraceSource::next() {
+  if (!primed_) {
+    primed_ = true;
+    for (std::size_t i = 0; i < sources_.size(); ++i) refill(i);
+  }
+  if (heads_.empty()) return std::nullopt;
+  const Head h = heads_.top();
+  heads_.pop();
+  refill(h.src);
+
+  TraceRecord rec;
+  rec.gap = h.time - last_emitted_;
+  rec.addr = h.addr;
+  rec.type = h.type;
+  last_emitted_ = h.time;
+  ++contributed_[h.src];
+  return rec;
+}
+
+}  // namespace wompcm

@@ -1,0 +1,93 @@
+#include "trace/profiles.h"
+
+namespace wompcm {
+
+namespace {
+
+WorkloadProfile make(const char* name, const char* suite, double wf,
+                     std::uint64_t pages, double wz, double rz, double lz,
+                     double stay, double burst, Tick intra, Tick idle,
+                     double rwf, double rwa) {
+  WorkloadProfile p;
+  p.name = name;
+  p.suite = suite;
+  p.write_fraction = wf;
+  p.footprint_pages = pages;
+  p.write_zipf = wz;
+  p.read_zipf = rz;
+  p.line_zipf = lz;
+  p.stay_prob = stay;
+  p.burst_len_mean = burst;
+  p.intra_gap_ns = intra;
+  p.idle_gap_mean_ns = idle;
+  p.rewrite_frac = rwf;
+  p.read_write_affinity = rwa;
+  return p;
+}
+
+std::vector<WorkloadProfile> build_profiles() {
+  std::vector<WorkloadProfile> v;
+  // Columns: write_frac, pages, write_zipf, read_zipf, line_zipf, stay,
+  //          burst_len, intra_gap_ns, idle_gap_mean_ns, rewrite_frac,
+  //          read_write_affinity.
+  // ---- SPEC CPU2006 integer ----
+  // perlbench: pointer-chasing interpreter, moderate writes, good locality.
+  v.push_back(make("400.perlbench", "spec-int", 0.32, 12288, 1.30, 0.80, 1.30, 0.53, 25, 12, 1200, 0.60, 0.60));
+  // bzip2: block compression, write bursts over a modest working set.
+  v.push_back(make("401.bzip2", "spec-int", 0.38, 8192, 1.35, 0.85, 1.35, 0.64, 35, 15, 960, 0.70, 0.65));
+  // hmmer: dynamic programming tables, read mostly, tight locality.
+  v.push_back(make("456.hmmer", "spec-int", 0.22, 6144, 1.25, 0.95, 1.40, 0.68, 30, 10, 800, 0.55, 0.60));
+  // libquantum: streaming over a large vector, low per-line reuse, intense.
+  v.push_back(make("462.libq", "spec-int", 0.30, 32768, 0.80, 0.40, 0.90, 0.68, 60, 8, 480, 0.25, 0.40));
+  // h264ref: frame buffers rewritten constantly — the most write-local
+  // benchmark (best WOM-code improvement in the paper).
+  v.push_back(make("464.h264ref", "spec-int", 0.46, 4096, 1.40, 0.90, 1.45, 0.68, 40, 21, 720, 0.85, 0.70));
+  // ---- SPEC CPU2006 floating point ----
+  // bwaves: large-grid CFD, streaming with moderate writes.
+  v.push_back(make("410.bwaves", "spec-fp", 0.34, 24576, 0.90, 0.45, 0.95, 0.68, 50, 10, 560, 0.35, 0.45));
+  // cactusADM: stencil solver, high write share, decent reuse.
+  v.push_back(make("436.cactusADM", "spec-fp", 0.40, 16384, 1.20, 0.70, 1.25, 0.64, 40, 13, 640, 0.60, 0.55));
+  // tonto: quantum chemistry, read dominated, small hot set.
+  v.push_back(make("465.tonto", "spec-fp", 0.24, 8192, 1.25, 0.90, 1.35, 0.57, 25, 12, 1120, 0.50, 0.60));
+  // lbm: lattice-Boltzmann, the classic write-streaming workload.
+  v.push_back(make("470.lbm", "spec-fp", 0.44, 40960, 0.85, 0.40, 0.90, 0.68, 55, 8, 400, 0.30, 0.40));
+  // sphinx3: speech decoding, read heavy, bursty.
+  v.push_back(make("482.sphinx3", "spec-fp", 0.20, 12288, 1.15, 0.85, 1.25, 0.57, 22, 12, 1440, 0.45, 0.55));
+  // ---- MiBench (embedded: small footprints, long idle gaps) ----
+  v.push_back(make("qsort", "mibench", 0.42, 2048, 1.40, 0.90, 1.45, 0.64, 20, 14, 4800, 0.75, 0.65));
+  v.push_back(make("mad", "mibench", 0.30, 1536, 1.30, 0.85, 1.35, 0.68, 22, 14, 6400, 0.65, 0.65));
+  v.push_back(make("FFT.mi", "mibench", 0.36, 3072, 1.25, 0.80, 1.35, 0.68, 25, 12, 4000, 0.70, 0.60));
+  v.push_back(make("typeset", "mibench", 0.28, 4096, 1.20, 0.80, 1.25, 0.57, 18, 15, 5600, 0.55, 0.55));
+  v.push_back(make("stringsearch", "mibench", 0.15, 1024, 1.25, 0.95, 1.35, 0.64, 15, 14, 8000, 0.60, 0.65));
+  // ---- SPLASH-2 (HPC: intense, little idleness) ----
+  v.push_back(make("ocean", "splash2", 0.35, 20480, 1.05, 0.60, 1.10, 0.68, 65, 10, 208, 0.45, 0.50));
+  v.push_back(make("water-ns", "splash2", 0.30, 10240, 1.25, 0.80, 1.30, 0.64, 55, 18, 256, 0.60, 0.55));
+  v.push_back(make("water-sp", "splash2", 0.29, 12288, 1.23, 0.78, 1.27, 0.64, 55, 14, 272, 0.57, 0.55));
+  v.push_back(make("raytrace", "splash2", 0.18, 16384, 1.10, 0.95, 1.15, 0.53, 50, 9, 304, 0.40, 0.60));
+  v.push_back(make("LU-ncb", "splash2", 0.33, 14336, 1.15, 0.70, 1.20, 0.68, 60, 15, 240, 0.50, 0.50));
+  return v;
+}
+
+}  // namespace
+
+const std::vector<WorkloadProfile>& benchmark_profiles() {
+  static const std::vector<WorkloadProfile> kProfiles = build_profiles();
+  return kProfiles;
+}
+
+std::vector<WorkloadProfile> suite_profiles(const std::string& suite) {
+  std::vector<WorkloadProfile> out;
+  for (const auto& p : benchmark_profiles()) {
+    if (p.suite == suite) out.push_back(p);
+  }
+  return out;
+}
+
+std::optional<WorkloadProfile> find_profile(const std::string& name) {
+  for (const auto& p : benchmark_profiles()) {
+    if (p.name == name) return p;
+  }
+  return std::nullopt;
+}
+
+}  // namespace wompcm

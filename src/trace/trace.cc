@@ -1,0 +1,5 @@
+#include "trace/trace.h"
+
+// TraceSource is header-only today; this TU anchors the vtable.
+
+namespace wompcm {}  // namespace wompcm

@@ -1,0 +1,46 @@
+// Memory access trace abstraction.
+//
+// The paper drives its simulator with Pin-captured traces of SPEC CPU2006,
+// MiBench, and SPLASH-2. Those traces cannot be redistributed, so this
+// library accepts both file traces (text or binary, see file_source.h) and
+// synthetic per-benchmark generators (synthetic.h) that reproduce the
+// aggregate stream statistics the architectures are sensitive to.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+
+namespace wompcm {
+
+struct TraceRecord {
+  Tick gap = 0;  // nanoseconds since the previous record's arrival
+  AccessType type = AccessType::kRead;
+  Addr addr = 0;
+};
+
+class TraceSource {
+ public:
+  virtual ~TraceSource() = default;
+  // Returns the next record, or nullopt at end of trace.
+  virtual std::optional<TraceRecord> next() = 0;
+};
+
+// In-memory trace, mainly for tests.
+class VectorTraceSource final : public TraceSource {
+ public:
+  explicit VectorTraceSource(std::vector<TraceRecord> records)
+      : records_(std::move(records)) {}
+
+  std::optional<TraceRecord> next() override {
+    if (pos_ >= records_.size()) return std::nullopt;
+    return records_[pos_++];
+  }
+
+ private:
+  std::vector<TraceRecord> records_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace wompcm

@@ -1,0 +1,111 @@
+#include "wom/code_search.h"
+
+#include <algorithm>
+#include <bit>
+#include <vector>
+
+namespace wompcm {
+
+namespace {
+
+using Mask = std::uint32_t;
+
+struct Searcher {
+  unsigned k, n, t, v;
+  std::uint64_t budget;
+  std::uint64_t nodes = 0;
+  // assignment[g * v + x] = chosen mask; filled in DFS order.
+  std::vector<Mask> assignment;
+  // candidate masks ordered by popcount (prefer cheap early writes).
+  std::vector<Mask> ordered_masks;
+  bool found = false;
+
+  bool decode_consistent(unsigned upto, Mask m, unsigned x) const {
+    for (unsigned i = 0; i < upto; ++i) {
+      if (assignment[i] == m && (i % v) != x) return false;
+    }
+    return true;
+  }
+
+  bool dfs(unsigned slot) {
+    if (++nodes > budget) return false;
+    if (slot == t * v) {
+      found = true;
+      return true;
+    }
+    const unsigned g = slot / v;
+    const unsigned x = slot % v;
+    for (const Mask m : ordered_masks) {
+      // Distinct within the generation.
+      bool dup = false;
+      for (unsigned y = 0; y < x; ++y) {
+        if (assignment[g * v + y] == m) {
+          dup = true;
+          break;
+        }
+      }
+      if (dup) continue;
+      // Monotone from every earlier generation's pattern of another value.
+      bool ok = true;
+      for (unsigned g1 = 0; g1 < g && ok; ++g1) {
+        for (unsigned y = 0; y < v; ++y) {
+          if (y == x) continue;
+          if ((assignment[g1 * v + y] & ~m) != 0) {
+            ok = false;
+            break;
+          }
+        }
+      }
+      if (!ok) continue;
+      if (!decode_consistent(slot, m, x)) continue;
+      assignment[slot] = m;
+      if (dfs(slot + 1)) return true;
+      if (nodes > budget) return false;
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+std::optional<CodeSearchResult> search_wom_code(const CodeSearchParams& p) {
+  if (p.data_bits == 0 || p.data_bits > 4 || p.wits == 0 || p.wits > 20 ||
+      p.writes == 0) {
+    return std::nullopt;
+  }
+  Searcher s;
+  s.k = p.data_bits;
+  s.n = p.wits;
+  s.t = p.writes;
+  s.v = 1u << p.data_bits;
+  s.budget = p.max_nodes;
+  s.assignment.assign(static_cast<std::size_t>(s.t) * s.v, 0);
+  s.ordered_masks.resize(std::size_t{1} << s.n);
+  for (Mask m = 0; m < s.ordered_masks.size(); ++m) s.ordered_masks[m] = m;
+  std::stable_sort(s.ordered_masks.begin(), s.ordered_masks.end(),
+                   [](Mask a, Mask b) {
+                     return std::popcount(a) < std::popcount(b);
+                   });
+
+  if (!s.dfs(0)) return std::nullopt;
+
+  // Convert the assignment into BitVec tables and a TabularCode.
+  std::vector<std::vector<BitVec>> table(s.t);
+  for (unsigned g = 0; g < s.t; ++g) {
+    for (unsigned x = 0; x < s.v; ++x) {
+      BitVec pat(s.n);
+      const Mask m = s.assignment[g * s.v + x];
+      for (unsigned b = 0; b < s.n; ++b) pat.set(b, (m >> b) & 1);
+      table[g].push_back(std::move(pat));
+    }
+  }
+  CodeSearchResult r;
+  r.nodes = s.nodes;
+  r.code = std::make_shared<TabularCode>(
+      "search-k" + std::to_string(s.k) + "n" + std::to_string(s.n) + "t" +
+          std::to_string(s.t),
+      s.k, std::move(table));
+  return r;
+}
+
+}  // namespace wompcm

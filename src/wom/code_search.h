@@ -1,0 +1,34 @@
+// Brute-force search for small <2^k>^t/n WOM-codes.
+//
+// Enumerates per-generation pattern tables by depth-first search under the
+// WOM validity constraints (monotone cross-generation transitions, unique
+// decode). Practical for symbol sizes up to ~6 wits; used to discover codes
+// beyond the hand-built families (e.g. a 2-bit 3-write code) and as a test
+// oracle for the validation logic.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "wom/tabular_code.h"
+
+namespace wompcm {
+
+struct CodeSearchParams {
+  unsigned data_bits = 2;
+  unsigned wits = 3;
+  unsigned writes = 2;
+  // DFS node budget; the search gives up (returns nullopt) once exhausted.
+  std::uint64_t max_nodes = 50'000'000;
+};
+
+struct CodeSearchResult {
+  WomCodePtr code;           // a valid TabularCode
+  std::uint64_t nodes = 0;   // DFS nodes visited
+};
+
+// Returns a valid code with the requested parameters, or nullopt if none
+// exists (or the node budget ran out).
+std::optional<CodeSearchResult> search_wom_code(const CodeSearchParams& p);
+
+}  // namespace wompcm

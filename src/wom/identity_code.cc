@@ -1,0 +1,39 @@
+#include "wom/identity_code.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace wompcm {
+
+IdentityCode::IdentityCode(unsigned data_bits) : k_(data_bits) {
+  assert(k_ >= 1 && k_ <= 16);
+}
+
+std::string IdentityCode::name() const {
+  return "identity-k" + std::to_string(k_);
+}
+
+BitVec IdentityCode::encode(unsigned value, unsigned generation,
+                            const BitVec& current) const {
+  (void)current;
+  if (value >= values()) {
+    throw std::invalid_argument("identity: value out of range");
+  }
+  if (generation >= 1) {
+    throw std::invalid_argument("identity: only one write supported");
+  }
+  BitVec w(k_);
+  for (unsigned i = 0; i < k_; ++i) w.set(i, (value >> (k_ - 1 - i)) & 1);
+  return w;
+}
+
+unsigned IdentityCode::decode(const BitVec& w) const {
+  if (w.size() != k_) throw std::invalid_argument("identity: bad wit count");
+  unsigned v = 0;
+  for (unsigned i = 0; i < k_; ++i) {
+    v = (v << 1) | static_cast<unsigned>(w.get(i));
+  }
+  return v;
+}
+
+}  // namespace wompcm

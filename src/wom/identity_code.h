@@ -1,0 +1,29 @@
+// The trivial "code": k data bits stored directly in k wits, one write.
+// Used as the no-WOM reference point in tests and code-level ablations.
+#pragma once
+
+#include "wom/wom_code.h"
+
+namespace wompcm {
+
+class IdentityCode final : public WomCode {
+ public:
+  explicit IdentityCode(unsigned data_bits);
+
+  std::string name() const override;
+  unsigned data_bits() const override { return k_; }
+  unsigned wits() const override { return k_; }
+  unsigned max_writes() const override { return 1; }
+
+  BitVec initial_state() const override { return BitVec(k_, false); }
+  bool raises_bits() const override { return true; }
+
+  BitVec encode(unsigned value, unsigned generation,
+                const BitVec& current) const override;
+  unsigned decode(const BitVec& wits) const override;
+
+ private:
+  unsigned k_;
+};
+
+}  // namespace wompcm

@@ -1,0 +1,23 @@
+#include "wom/inverted_code.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace wompcm {
+
+InvertedCode::InvertedCode(WomCodePtr base) : base_(std::move(base)) {
+  if (base_ == nullptr) {
+    throw std::invalid_argument("InvertedCode: null base code");
+  }
+  if (!base_->raises_bits()) {
+    throw std::invalid_argument("InvertedCode: base code is already inverted");
+  }
+}
+
+WomCodePtr invert(WomCodePtr base) {
+  assert(base != nullptr);
+  if (!base->raises_bits()) return base;
+  return std::make_shared<InvertedCode>(std::move(base));
+}
+
+}  // namespace wompcm

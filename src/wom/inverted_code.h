@@ -1,0 +1,47 @@
+// Inverted-WOM adapter (Fig. 1b of the paper).
+//
+// Wraps any conventional WOM-code and complements its wit patterns so that
+// every in-budget write only lowers bits (1 -> 0). In PCM, lowering a bit is
+// the fast RESET operation, so rewrites under an inverted code complete at
+// RESET latency; only the re-initialization (the alpha-write) needs SET.
+// The inversion is applied off-line to the code tables, so encode/decode
+// cost is identical to the wrapped code and no per-bitline inverters
+// (Fig. 1a) are required.
+#pragma once
+
+#include "wom/wom_code.h"
+
+namespace wompcm {
+
+class InvertedCode final : public WomCode {
+ public:
+  explicit InvertedCode(WomCodePtr base);
+
+  std::string name() const override { return base_->name() + "-inv"; }
+  unsigned data_bits() const override { return base_->data_bits(); }
+  unsigned wits() const override { return base_->wits(); }
+  unsigned max_writes() const override { return base_->max_writes(); }
+
+  BitVec initial_state() const override {
+    return ~base_->initial_state();
+  }
+  bool raises_bits() const override { return false; }
+
+  BitVec encode(unsigned value, unsigned generation,
+                const BitVec& current) const override {
+    return ~base_->encode(value, generation, ~current);
+  }
+  unsigned decode(const BitVec& wits) const override {
+    return base_->decode(~wits);
+  }
+
+  const WomCode& base() const { return *base_; }
+
+ private:
+  WomCodePtr base_;
+};
+
+// Convenience: wraps `base` unless it is already inverted.
+WomCodePtr invert(WomCodePtr base);
+
+}  // namespace wompcm

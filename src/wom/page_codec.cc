@@ -1,0 +1,93 @@
+#include "wom/page_codec.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace wompcm {
+
+namespace {
+
+BitVec initial_image(const WomCode& code, std::size_t symbols) {
+  BitVec img;
+  const BitVec init = code.initial_state();
+  for (std::size_t s = 0; s < symbols; ++s) img.append(init);
+  return img;
+}
+
+}  // namespace
+
+PageCodec::PageCodec(WomCodePtr code, std::size_t data_bits)
+    : code_(std::move(code)), data_bits_(data_bits) {
+  if (code_ == nullptr) throw std::invalid_argument("PageCodec: null code");
+  if (data_bits_ == 0 || data_bits_ % code_->data_bits() != 0) {
+    throw std::invalid_argument(
+        "PageCodec: data_bits must be a positive multiple of the symbol size");
+  }
+  symbols_ = data_bits_ / code_->data_bits();
+  image_ = initial_image(*code_, symbols_);
+}
+
+PageWriteResult PageCodec::write(const BitVec& data) {
+  if (data.size() != data_bits_) {
+    throw std::invalid_argument("PageCodec::write: wrong data size");
+  }
+  PageWriteResult r;
+  const unsigned k = code_->data_bits();
+  const unsigned n = code_->wits();
+
+  if (at_rewrite_limit()) {
+    // Alpha-write: re-initialize, then program as a fresh first write.
+    r.write_class = WriteClass::kAlpha;
+    const BitVec fresh = initial_image(*code_, symbols_);
+    r.set_pulses += image_.set_transitions_to(fresh);
+    r.reset_pulses += image_.reset_transitions_to(fresh);
+    image_ = fresh;
+    generation_ = 0;
+  }
+
+  BitVec next(image_.size());
+  for (std::size_t s = 0; s < symbols_; ++s) {
+    unsigned value = 0;
+    for (unsigned b = 0; b < k; ++b) {
+      value = (value << 1) | static_cast<unsigned>(data.get(s * k + b));
+    }
+    const BitVec cur = image_.slice(s * n, n);
+    const BitVec enc = code_->encode(value, generation_, cur);
+    for (unsigned b = 0; b < n; ++b) next.set(s * n + b, enc.get(b));
+  }
+  r.set_pulses += image_.set_transitions_to(next);
+  r.reset_pulses += image_.reset_transitions_to(next);
+  // In-budget writes under an inverted code must be RESET-only.
+  assert(code_->raises_bits() || r.write_class == WriteClass::kAlpha ||
+         image_.set_transitions_to(next) == 0);
+  image_ = next;
+  ++generation_;
+  r.generation_after = generation_;
+  return r;
+}
+
+BitVec PageCodec::read() const {
+  if (generation_ == 0) {
+    throw std::logic_error("PageCodec::read: page has no written data");
+  }
+  const unsigned k = code_->data_bits();
+  const unsigned n = code_->wits();
+  BitVec data(data_bits_);
+  for (std::size_t s = 0; s < symbols_; ++s) {
+    const unsigned value = code_->decode(image_.slice(s * n, n));
+    for (unsigned b = 0; b < k; ++b) {
+      data.set(s * k + b, (value >> (k - 1 - b)) & 1);
+    }
+  }
+  return data;
+}
+
+std::size_t PageCodec::refresh() {
+  const BitVec fresh = initial_image(*code_, symbols_);
+  const std::size_t sets = image_.set_transitions_to(fresh);
+  image_ = fresh;
+  generation_ = 0;
+  return sets;
+}
+
+}  // namespace wompcm

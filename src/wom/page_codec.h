@@ -1,0 +1,68 @@
+// Functional page-level WOM codec.
+//
+// Models the actual wit image of one memory row (page) encoded under a
+// WOM-code: data is split into k-bit symbols, each stored in its own n-wit
+// group. Tracks the write generation, classifies each write as RESET-only
+// or alpha (re-initialization needed), and counts the SET/RESET pulses a
+// programming step requires — the inputs to the energy model.
+//
+// The timing simulator does not carry data payloads (the inverted code makes
+// write latency data-independent); this codec is the bit-exact reference
+// used by the examples, tests, and the energy ablations.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/types.h"
+#include "wom/wom_code.h"
+
+namespace wompcm {
+
+struct PageWriteResult {
+  WriteClass write_class = WriteClass::kResetOnly;
+  std::size_t set_pulses = 0;    // bits driven 0 -> 1 (slow, high energy)
+  std::size_t reset_pulses = 0;  // bits driven 1 -> 0 (fast)
+  unsigned generation_after = 0;
+};
+
+class PageCodec {
+ public:
+  // data_bits must be a positive multiple of code->data_bits().
+  PageCodec(WomCodePtr code, std::size_t data_bits);
+
+  std::size_t data_bits() const { return data_bits_; }
+  std::size_t wit_bits() const { return image_.size(); }
+  const WomCode& code() const { return *code_; }
+
+  // Generation of the next write (0 after initialization / refresh).
+  unsigned generation() const { return generation_; }
+  bool at_rewrite_limit() const {
+    return generation_ == code_->max_writes();
+  }
+
+  // Writes `data` (data_bits() bits) into the page. If the page is at its
+  // rewrite limit, this is an alpha-write: the image is re-initialized
+  // (costing SET pulses for an inverted code) and the data is stored as a
+  // fresh first write.
+  PageWriteResult write(const BitVec& data);
+
+  // Decodes the current image back into data bits. Must not be called on a
+  // page that has never been written since the last (re-)initialization.
+  BitVec read() const;
+
+  // Pre-erases the page to the code's initial state (the PCM-refresh
+  // operation). Returns the number of SET pulses spent re-initializing.
+  std::size_t refresh();
+
+  const BitVec& image() const { return image_; }
+
+ private:
+  WomCodePtr code_;
+  std::size_t data_bits_;
+  std::size_t symbols_;
+  unsigned generation_ = 0;
+  BitVec image_;
+};
+
+}  // namespace wompcm

@@ -1,0 +1,93 @@
+#include "wom/registry.h"
+
+#include <cstdlib>
+
+#include "wom/code_search.h"
+#include "wom/identity_code.h"
+#include "wom/inverted_code.h"
+#include "wom/rs_code.h"
+#include "wom/tabular_code.h"
+
+namespace wompcm {
+
+namespace {
+
+// Parses a decimal number following `prefix` inside `s` at position `pos`.
+bool parse_num(const std::string& s, std::size_t* pos, unsigned* out) {
+  if (*pos >= s.size() || !isdigit(static_cast<unsigned char>(s[*pos]))) {
+    return false;
+  }
+  unsigned v = 0;
+  while (*pos < s.size() && isdigit(static_cast<unsigned char>(s[*pos]))) {
+    v = v * 10 + static_cast<unsigned>(s[*pos] - '0');
+    ++*pos;
+  }
+  *out = v;
+  return true;
+}
+
+WomCodePtr make_base_code(const std::string& name) {
+  if (name == "rs23") return std::make_shared<RivestShamirCode>();
+  if (name.rfind("identity-k", 0) == 0) {
+    std::size_t pos = 10;
+    unsigned k = 0;
+    if (!parse_num(name, &pos, &k) || pos != name.size()) return nullptr;
+    if (k < 1 || k > 16) return nullptr;
+    return std::make_shared<IdentityCode>(k);
+  }
+  if (name.rfind("marker-k", 0) == 0) {
+    std::size_t pos = 8;
+    unsigned k = 0, t = 0;
+    if (!parse_num(name, &pos, &k)) return nullptr;
+    if (pos >= name.size() || name[pos] != 't') return nullptr;
+    ++pos;
+    if (!parse_num(name, &pos, &t) || pos != name.size()) return nullptr;
+    if (k < 1 || k > 8 || t < 1 || t > 16) return nullptr;
+    return make_marker_code(k, t);
+  }
+  if (name.rfind("parity-t", 0) == 0) {
+    std::size_t pos = 8;
+    unsigned t = 0;
+    if (!parse_num(name, &pos, &t) || pos != name.size()) return nullptr;
+    if (t < 1 || t > 32) return nullptr;
+    return make_parity_code(t);
+  }
+  if (name.rfind("search-k", 0) == 0) {
+    // On-demand brute-force construction, e.g. "search-k2n5t3" builds the
+    // <2^2>^3/5 code the DFS discovers. Deterministic (the search is), so
+    // the name always denotes the same code.
+    std::size_t pos = 8;
+    CodeSearchParams p;
+    if (!parse_num(name, &pos, &p.data_bits)) return nullptr;
+    if (pos >= name.size() || name[pos] != 'n') return nullptr;
+    ++pos;
+    if (!parse_num(name, &pos, &p.wits)) return nullptr;
+    if (pos >= name.size() || name[pos] != 't') return nullptr;
+    ++pos;
+    if (!parse_num(name, &pos, &p.writes) || pos != name.size()) {
+      return nullptr;
+    }
+    const auto found = search_wom_code(p);
+    return found ? found->code : nullptr;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+WomCodePtr make_code(const std::string& name) {
+  const bool inverted =
+      name.size() > 4 && name.compare(name.size() - 4, 4, "-inv") == 0;
+  const std::string base_name =
+      inverted ? name.substr(0, name.size() - 4) : name;
+  WomCodePtr base = make_base_code(base_name);
+  if (base == nullptr) return nullptr;
+  return inverted ? invert(std::move(base)) : base;
+}
+
+std::vector<std::string> known_code_names() {
+  return {"rs23",       "rs23-inv",      "identity-k2", "identity-k4",
+          "marker-k2t2", "marker-k2t4-inv", "parity-t3",   "parity-t4-inv"};
+}
+
+}  // namespace wompcm

@@ -1,0 +1,26 @@
+// Name-based WOM-code factory for CLI tools, examples, and benches.
+//
+// Recognized names:
+//   rs23               the <2^2>^2/3 Rivest-Shamir code (Table 1)
+//   identity-k<K>      K data bits, 1 write (no WOM)
+//   marker-k<K>t<T>    the marker-group family, K bits, T writes
+//   parity-t<T>        the parity family, 1 bit, T writes
+// Any name may carry an "-inv" suffix to get the PCM-friendly inverted
+// variant (e.g. "rs23-inv"), which is what the architectures use.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "wom/wom_code.h"
+
+namespace wompcm {
+
+// Returns the named code, or nullptr if the name is not recognized.
+WomCodePtr make_code(const std::string& name);
+
+// Names with one representative parameterization each, for enumeration in
+// tests and help text.
+std::vector<std::string> known_code_names();
+
+}  // namespace wompcm

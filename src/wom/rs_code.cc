@@ -1,0 +1,65 @@
+#include "wom/rs_code.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace wompcm {
+
+namespace {
+
+// Table 1 of the paper: value -> first write pattern "abc".
+// Index 0 of the BitVec is wit 'a'.
+constexpr std::array<std::array<bool, 3>, 4> kFirst = {{
+    {false, false, false},  // 00 -> 000
+    {true, false, false},   // 01 -> 100
+    {false, true, false},   // 10 -> 010
+    {false, false, true},   // 11 -> 001
+}};
+
+BitVec make_pattern(const std::array<bool, 3>& bits) {
+  BitVec v(3);
+  for (std::size_t i = 0; i < 3; ++i) v.set(i, bits[i]);
+  return v;
+}
+
+}  // namespace
+
+BitVec RivestShamirCode::first_pattern(unsigned value) {
+  assert(value < 4);
+  return make_pattern(kFirst[value]);
+}
+
+BitVec RivestShamirCode::second_pattern(unsigned value) {
+  // r'(x) is the bitwise complement of r(x).
+  return ~first_pattern(value);
+}
+
+BitVec RivestShamirCode::encode(unsigned value, unsigned generation,
+                                const BitVec& current) const {
+  if (value >= 4) throw std::invalid_argument("rs23: value out of range");
+  if (generation >= max_writes()) {
+    throw std::invalid_argument("rs23: generation exceeds rewrite limit");
+  }
+  if (generation == 0) {
+    // First write into an erased symbol.
+    assert(current == initial_state());
+    return first_pattern(value);
+  }
+  // Second write. Rewriting the same value keeps the wits unchanged (the
+  // r' pattern of the same value is not reachable monotonically, and no
+  // change is needed anyway).
+  if (decode(current) == value) return current;
+  return second_pattern(value);
+}
+
+unsigned RivestShamirCode::decode(const BitVec& w) const {
+  if (w.size() != 3) throw std::invalid_argument("rs23: expected 3 wits");
+  const bool a = w.get(0);
+  const bool b = w.get(1);
+  const bool c = w.get(2);
+  const unsigned u = static_cast<unsigned>(b ^ c);
+  const unsigned v = static_cast<unsigned>(a ^ c);
+  return (u << 1) | v;
+}
+
+}  // namespace wompcm

@@ -1,0 +1,37 @@
+// The <2^2>^2/3 Rivest-Shamir WOM-code (Table 1 of the paper).
+//
+// Two data bits are stored in three wits and can be written twice. The first
+// write of value x stores pattern r(x); a second write of y != x stores
+// r'(y), the bitwise complement of r(y). Decoding is by XOR: for a pattern
+// "abc", u = b ^ c and v = a ^ c recover the value x = "uv".
+#pragma once
+
+#include <array>
+
+#include "wom/wom_code.h"
+
+namespace wompcm {
+
+class RivestShamirCode final : public WomCode {
+ public:
+  RivestShamirCode() = default;
+
+  std::string name() const override { return "rs23"; }
+  unsigned data_bits() const override { return 2; }
+  unsigned wits() const override { return 3; }
+  unsigned max_writes() const override { return 2; }
+
+  BitVec initial_state() const override { return BitVec(3, false); }
+  bool raises_bits() const override { return true; }
+
+  BitVec encode(unsigned value, unsigned generation,
+                const BitVec& current) const override;
+  unsigned decode(const BitVec& wits) const override;
+
+  // The raw table patterns, exposed for tests and the Table 1 bench.
+  // first_pattern(x) == r(x); second_pattern(x) == r'(x).
+  static BitVec first_pattern(unsigned value);
+  static BitVec second_pattern(unsigned value);
+};
+
+}  // namespace wompcm

@@ -1,0 +1,160 @@
+#include "wom/tabular_code.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace wompcm {
+
+bool validate_wom_table(unsigned data_bits,
+                        const std::vector<std::vector<BitVec>>& table,
+                        std::string* why) {
+  auto fail = [&](const std::string& msg) {
+    if (why != nullptr) *why = msg;
+    return false;
+  };
+  if (table.empty()) return fail("no generations");
+  const unsigned v = 1u << data_bits;
+  std::size_t n = 0;
+  for (const auto& gen : table) {
+    if (gen.size() != v) return fail("generation with wrong value count");
+    for (const auto& p : gen) {
+      if (n == 0) n = p.size();
+      if (p.size() != n || n == 0) return fail("inconsistent wit count");
+    }
+  }
+  // Decode consistency: a pattern may appear in several generations, but it
+  // must always represent the same value.
+  std::vector<std::pair<std::string, unsigned>> seen;
+  for (const auto& gen : table) {
+    for (unsigned x = 0; x < v; ++x) {
+      const std::string key = gen[x].to_string();
+      for (const auto& [k2, v2] : seen) {
+        if (k2 == key && v2 != x) {
+          return fail("pattern decodes to two different values: " + key);
+        }
+      }
+      seen.emplace_back(key, x);
+    }
+  }
+  // Within a generation, patterns of distinct values must differ.
+  for (const auto& gen : table) {
+    for (unsigned x = 0; x < v; ++x) {
+      for (unsigned y = x + 1; y < v; ++y) {
+        if (gen[x] == gen[y]) return fail("duplicate pattern in generation");
+      }
+    }
+  }
+  // First write must be reachable from the erased (all-zero) state.
+  const BitVec erased(n, false);
+  for (unsigned x = 0; x < v; ++x) {
+    if (!erased.monotone_increasing_to(table[0][x])) {
+      return fail("first write not reachable from erased state");
+    }
+  }
+  // Monotone transitions between any earlier and later generation for
+  // distinct values. (Same value keeps the current pattern, so it needs no
+  // reachable successor.)
+  for (std::size_t g1 = 0; g1 < table.size(); ++g1) {
+    for (std::size_t g2 = g1 + 1; g2 < table.size(); ++g2) {
+      for (unsigned x = 0; x < v; ++x) {
+        for (unsigned y = 0; y < v; ++y) {
+          if (x == y) continue;
+          if (!table[g1][x].monotone_increasing_to(table[g2][y])) {
+            return fail("non-monotone transition g" + std::to_string(g1) +
+                        "[" + std::to_string(x) + "] -> g" +
+                        std::to_string(g2) + "[" + std::to_string(y) + "]");
+          }
+        }
+      }
+    }
+  }
+  return true;
+}
+
+TabularCode::TabularCode(std::string name, unsigned data_bits,
+                         std::vector<std::vector<BitVec>> table)
+    : name_(std::move(name)), k_(data_bits), table_(std::move(table)) {
+  std::string why;
+  if (!validate_wom_table(k_, table_, &why)) {
+    throw std::invalid_argument("TabularCode " + name_ + ": " + why);
+  }
+  n_ = static_cast<unsigned>(table_[0][0].size());
+  for (const auto& gen : table_) {
+    for (unsigned x = 0; x < gen.size(); ++x) {
+      const std::string key = gen[x].to_string();
+      const auto it = std::find_if(
+          decode_map_.begin(), decode_map_.end(),
+          [&](const auto& e) { return e.first == key; });
+      if (it == decode_map_.end()) decode_map_.emplace_back(key, x);
+    }
+  }
+}
+
+BitVec TabularCode::encode(unsigned value, unsigned generation,
+                           const BitVec& current) const {
+  if (value >= values()) {
+    throw std::invalid_argument(name_ + ": value out of range");
+  }
+  if (generation >= max_writes()) {
+    throw std::invalid_argument(name_ + ": generation exceeds rewrite limit");
+  }
+  if (generation == 0) return table_[0][value];
+  if (decode(current) == value) return current;
+  return table_[generation][value];
+}
+
+unsigned TabularCode::decode(const BitVec& w) const {
+  const std::string key = w.to_string();
+  for (const auto& [k2, v2] : decode_map_) {
+    if (k2 == key) return v2;
+  }
+  throw std::invalid_argument(name_ + ": pattern is not a codeword: " + key);
+}
+
+WomCodePtr make_marker_code(unsigned data_bits, unsigned writes) {
+  assert(data_bits >= 1 && data_bits <= 8);
+  assert(writes >= 1 && writes <= 16);
+  const unsigned k = data_bits;
+  const unsigned v = 1u << k;
+  const unsigned group = k + 1;  // marker wit + k data wits
+  const unsigned n = writes * group;
+  std::vector<std::vector<BitVec>> table(writes);
+  for (unsigned g = 0; g < writes; ++g) {
+    table[g].reserve(v);
+    for (unsigned x = 0; x < v; ++x) {
+      BitVec p(n, false);
+      // Groups before g are fully burned (marker + all data wits set).
+      for (unsigned i = 0; i < g * group; ++i) p.set(i, true);
+      // Group g: marker set, data wits hold x (MSB first).
+      p.set(g * group, true);
+      for (unsigned b = 0; b < k; ++b) {
+        p.set(g * group + 1 + b, (x >> (k - 1 - b)) & 1);
+      }
+      table[g].push_back(std::move(p));
+    }
+  }
+  return std::make_shared<TabularCode>(
+      "marker-k" + std::to_string(k) + "t" + std::to_string(writes), k,
+      std::move(table));
+}
+
+WomCodePtr make_parity_code(unsigned writes) {
+  assert(writes >= 1 && writes <= 32);
+  const unsigned n = 2 * writes - 1;
+  std::vector<std::vector<BitVec>> table(writes);
+  for (unsigned g = 0; g < writes; ++g) {
+    for (unsigned x = 0; x < 2; ++x) {
+      // Prefix of ones whose length has parity x; length 2g + x fits and is
+      // monotone across generations.
+      const unsigned len = 2 * g + x;
+      BitVec p(n, false);
+      for (unsigned i = 0; i < len; ++i) p.set(i, true);
+      table[g].push_back(std::move(p));
+    }
+  }
+  return std::make_shared<TabularCode>("parity-t" + std::to_string(writes), 1,
+                                       std::move(table));
+}
+
+}  // namespace wompcm

@@ -1,0 +1,63 @@
+// A WOM-code defined by explicit per-generation pattern tables.
+//
+// table[g][x] is the absolute wit state after writing value x as the g-th
+// write. Construction validates the WOM property: for any two generations
+// g1 < g2 and values x != y, the transition table[g1][x] -> table[g2][y]
+// only raises bits, and every pattern decodes to a unique value. Rewriting
+// the value a symbol already holds leaves the wits untouched.
+//
+// Two constructive families are provided:
+//   make_marker_code(k, t)  — <2^k>^t / t*(k+1): each write burns a fresh
+//     group of k data wits plus a marker wit; decode reads the last marked
+//     group. Arbitrary t at overhead t*(k+1)/k.
+//   make_parity_code(t)     — <2>^t / (2t-1): one data bit stored as the
+//     parity of the number of set wits in a prefix-of-ones pattern.
+#pragma once
+
+#include <vector>
+
+#include "wom/wom_code.h"
+
+namespace wompcm {
+
+class TabularCode final : public WomCode {
+ public:
+  // Throws std::invalid_argument if the tables violate the WOM property.
+  TabularCode(std::string name, unsigned data_bits,
+              std::vector<std::vector<BitVec>> table);
+
+  std::string name() const override { return name_; }
+  unsigned data_bits() const override { return k_; }
+  unsigned wits() const override { return n_; }
+  unsigned max_writes() const override {
+    return static_cast<unsigned>(table_.size());
+  }
+
+  BitVec initial_state() const override { return BitVec(n_, false); }
+  bool raises_bits() const override { return true; }
+
+  BitVec encode(unsigned value, unsigned generation,
+                const BitVec& current) const override;
+  unsigned decode(const BitVec& wits) const override;
+
+  const std::vector<std::vector<BitVec>>& table() const { return table_; }
+
+ private:
+  std::string name_;
+  unsigned k_;
+  unsigned n_;
+  std::vector<std::vector<BitVec>> table_;
+  // decode map: wit pattern (as string) -> value
+  std::vector<std::pair<std::string, unsigned>> decode_map_;
+};
+
+// Validates the tables without constructing; returns false and fills `why`
+// on the first violation. Used by the code search and by tests.
+bool validate_wom_table(unsigned data_bits,
+                        const std::vector<std::vector<BitVec>>& table,
+                        std::string* why);
+
+WomCodePtr make_marker_code(unsigned data_bits, unsigned writes);
+WomCodePtr make_parity_code(unsigned writes);
+
+}  // namespace wompcm

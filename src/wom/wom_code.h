@@ -1,0 +1,62 @@
+// Write-once-memory (WOM) code framework.
+//
+// A "<v>^t/n WOM-code" (Rivest & Shamir, 1982) stores one of v = 2^k values
+// in n wits and supports t successive writes, where each write may only move
+// wits in one direction. Conventional WOM raises bits (0 -> 1); the paper's
+// *inverted* codes (Fig. 1b) lower bits (1 -> 0) so that every in-budget PCM
+// rewrite consists purely of fast RESET pulses.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/bitvec.h"
+
+namespace wompcm {
+
+class WomCode {
+ public:
+  virtual ~WomCode() = default;
+
+  virtual std::string name() const = 0;
+
+  // k: number of data bits stored per symbol.
+  virtual unsigned data_bits() const = 0;
+  // n: number of wits used per symbol.
+  virtual unsigned wits() const = 0;
+  // t: number of guaranteed writes before the symbol must be re-initialized.
+  virtual unsigned max_writes() const = 0;
+
+  // v = 2^k distinct values per write.
+  unsigned values() const { return 1u << data_bits(); }
+
+  // Capacity overhead relative to uncoded storage, e.g. 0.5 for <2^2>^2/3.
+  double overhead() const {
+    return static_cast<double>(wits()) / data_bits() - 1.0;
+  }
+
+  // Wit state of a freshly initialized (erased) symbol: all zeros for
+  // conventional WOM, all ones for inverted codes.
+  virtual BitVec initial_state() const = 0;
+
+  // True if writes raise bits (conventional WOM); false if writes lower bits
+  // (inverted, the PCM-friendly direction).
+  virtual bool raises_bits() const = 0;
+
+  // Encodes `value` as the `generation`-th write (0-based, < max_writes())
+  // into a symbol whose current wit state is `current`. Returns the new wit
+  // state. Writing the value the symbol already holds leaves it unchanged.
+  //
+  // Postcondition: the transition current -> result is monotone in the
+  // code's direction (only 0->1 for conventional, only 1->0 for inverted).
+  virtual BitVec encode(unsigned value, unsigned generation,
+                        const BitVec& current) const = 0;
+
+  // Recovers the stored value from a wit state. Decoding is generation
+  // oblivious: the same wit pattern always decodes to the same value.
+  virtual unsigned decode(const BitVec& wits) const = 0;
+};
+
+using WomCodePtr = std::shared_ptr<const WomCode>;
+
+}  // namespace wompcm

@@ -1,0 +1,79 @@
+#include "wom/wom_tracker.h"
+
+#include <cassert>
+
+namespace wompcm {
+
+WomStateTracker::WomStateTracker(unsigned max_writes, unsigned lines_per_row,
+                                 bool erased_start)
+    : t_(max_writes), lines_(lines_per_row), erased_start_(erased_start) {
+  assert(t_ >= 1);
+  assert(t_ < kUnknownGen);
+  assert(lines_ >= 1);
+}
+
+WomStateTracker::RowState& WomStateTracker::row_state(RowKey row) {
+  RowState& rs = rows_[row];
+  if (rs.gen.empty()) {
+    rs.gen.assign(lines_, static_cast<std::uint8_t>(
+                              erased_start_ ? 0 : kUnknownGen));
+  }
+  return rs;
+}
+
+unsigned WomStateTracker::generation(RowKey row, unsigned line) const {
+  assert(line < lines_);
+  const auto it = rows_.find(row);
+  if (it == rows_.end()) return erased_start_ ? 0 : kUnknownGen;
+  return it->second.gen[line];
+}
+
+WriteClass WomStateTracker::peek_write(RowKey row, unsigned line) const {
+  const unsigned g = generation(row, line);
+  return (g == kUnknownGen || g == t_) ? WriteClass::kAlpha
+                                       : WriteClass::kResetOnly;
+}
+
+WomStateTracker::WriteRecord WomStateTracker::record_write(RowKey row,
+                                                           unsigned line) {
+  assert(line < lines_);
+  ++writes_;
+  RowState& rs = row_state(row);
+  std::uint8_t& g = rs.gen[line];
+  if (g == kUnknownGen || g == t_) {
+    // Alpha-write: re-initialize the codeword (SET) and store the data as a
+    // fresh first write. Unknown lines are alpha too: an arbitrary array
+    // state cannot be programmed with RESET pulses alone.
+    ++alpha_writes_;
+    const bool cold = g == kUnknownGen;
+    if (cold) {
+      ++cold_alpha_writes_;
+    } else {
+      --rs.at_limit;
+    }
+    g = 1;
+    if (t_ == 1) ++rs.at_limit;  // with t=1, a fresh write is already at limit
+    return {WriteClass::kAlpha, cold};
+  }
+  ++g;
+  if (g == t_) ++rs.at_limit;
+  return {WriteClass::kResetOnly, false};
+}
+
+bool WomStateTracker::row_has_limit_lines(RowKey row) const {
+  const auto it = rows_.find(row);
+  return it != rows_.end() && it->second.at_limit > 0;
+}
+
+bool WomStateTracker::refresh(RowKey row) {
+  const auto it = rows_.find(row);
+  if (it == rows_.end()) return false;
+  RowState& rs = it->second;
+  const bool useful = rs.at_limit > 0;
+  rs.gen.assign(lines_, 0);
+  rs.at_limit = 0;
+  ++refreshes_;
+  return useful;
+}
+
+}  // namespace wompcm

@@ -1,0 +1,91 @@
+// WOM write-generation tracking for the timing simulator.
+//
+// Encoding is per column (Section 3.1: "memory data is encoded in the unit
+// of a column"), so each burst-sized line of a row carries its own n-wit
+// codeword and its own rewrite budget; PCM-refresh re-initializes a whole
+// row at once (Section 3.2). The controller only needs each line's
+// *generation* to classify a write as RESET-only (fast) or alpha (slow):
+// the inverted code makes the classification data independent.
+//
+// Line generation semantics (t = code rewrite limit):
+//   unknown      : never written since power-on. The array state is
+//                  arbitrary, so the first write needs SET pulses -> alpha.
+//   gen 0        : erased by PCM-refresh; next write is RESET-only.
+//   0 < gen < t  : in budget; next write is RESET-only.
+//   gen == t     : at the rewrite limit; the next write is the alpha-write,
+//                  which re-initializes the codeword and leaves it at gen 1.
+//
+// Rows are tracked lazily in a hash map keyed by a flat row id.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace wompcm {
+
+class WomStateTracker {
+ public:
+  // erased_start: lines of untouched rows count as erased (generation 0)
+  // rather than unknown. Used for the WOM-cache, whose small array is
+  // formatted at boot and cycles through refresh continuously; main-memory
+  // trackers keep the conservative unknown-start semantics.
+  WomStateTracker(unsigned max_writes, unsigned lines_per_row,
+                  bool erased_start = false);
+
+  unsigned max_writes() const { return t_; }
+  unsigned lines_per_row() const { return lines_; }
+
+  struct WriteRecord {
+    WriteClass cls = WriteClass::kResetOnly;
+    bool cold = false;  // alpha on a never-touched line (not refreshable)
+  };
+
+  // Records a demand write to line `line` of `row` and returns its class.
+  WriteRecord record_write(RowKey row, unsigned line);
+
+  // Classifies what the next write to (row, line) would be, without
+  // recording it.
+  WriteClass peek_write(RowKey row, unsigned line) const;
+
+  // Generation of one line; kUnknownGen if never written nor refreshed.
+  static constexpr unsigned kUnknownGen = 0xFF;
+  unsigned generation(RowKey row, unsigned line) const;
+
+  // True if any line of `row` is at the rewrite limit (the row belongs in
+  // the refresh row-address table).
+  bool row_has_limit_lines(RowKey row) const;
+
+  // PCM-refresh: pre-erases every codeword of the row so subsequent writes
+  // take the RESET-only path. Returns true if the row still had lines at
+  // the rewrite limit (i.e. the refresh was useful).
+  bool refresh(RowKey row);
+
+  // Statistics.
+  std::uint64_t writes() const { return writes_; }
+  std::uint64_t alpha_writes() const { return alpha_writes_; }
+  std::uint64_t cold_alpha_writes() const { return cold_alpha_writes_; }
+  std::uint64_t refreshes() const { return refreshes_; }
+  std::size_t tracked_rows() const { return rows_.size(); }
+
+ private:
+  struct RowState {
+    std::vector<std::uint8_t> gen;  // kUnknownGen until first touch
+    unsigned at_limit = 0;          // lines currently at generation t
+  };
+
+  RowState& row_state(RowKey row);
+
+  unsigned t_;
+  unsigned lines_;
+  bool erased_start_;
+  std::unordered_map<RowKey, RowState> rows_;
+  std::uint64_t writes_ = 0;
+  std::uint64_t alpha_writes_ = 0;
+  std::uint64_t cold_alpha_writes_ = 0;
+  std::uint64_t refreshes_ = 0;
+};
+
+}  // namespace wompcm

@@ -1,0 +1,142 @@
+// Tests of the architecture interface basics and the conventional-PCM and
+// Flip-N-Write policies.
+#include <gtest/gtest.h>
+
+#include "arch/arch.h"
+#include "arch/baseline.h"
+#include "arch/flip_n_write.h"
+
+namespace wompcm {
+namespace {
+
+MemoryGeometry small_geom() {
+  MemoryGeometry g;
+  g.channels = 1;
+  g.ranks = 2;
+  g.banks_per_rank = 4;
+  g.rows_per_bank = 32;
+  g.cols_per_row = 64;
+  return g;
+}
+
+TEST(BaselinePcm, EveryWriteIsSlowEveryTime) {
+  BaselinePcm arch(small_geom(), PcmTiming{});
+  DecodedAddr d{0, 1, 2, 3, 4};
+  for (int i = 0; i < 5; ++i) {
+    const IssuePlan p = arch.plan(d, AccessType::kWrite, false, 0);
+    EXPECT_EQ(p.write_class, WriteClass::kAlpha);
+    EXPECT_EQ(p.program_ns, 150u);
+    EXPECT_EQ(p.pre_ns, 0u);
+    EXPECT_EQ(p.post_ns, 0u);
+    EXPECT_TRUE(p.spawned.empty());
+  }
+  EXPECT_EQ(arch.counters().get("writes.slow"), 5u);
+}
+
+TEST(BaselinePcm, ReadsHaveNoProgramPhase) {
+  BaselinePcm arch(small_geom(), PcmTiming{});
+  DecodedAddr d{0, 0, 0, 7, 0};
+  const IssuePlan p = arch.plan(d, AccessType::kRead, false, 0);
+  EXPECT_EQ(p.program_ns, 0u);
+  EXPECT_EQ(p.row, 7u);
+  EXPECT_EQ(arch.counters().get("reads"), 1u);
+}
+
+TEST(BaselinePcm, RoutesToFlatBank) {
+  const MemoryGeometry g = small_geom();
+  BaselinePcm arch(g, PcmTiming{});
+  AddressMapper mapper(g);
+  DecodedAddr d{0, 1, 3, 0, 0};
+  EXPECT_EQ(arch.route(d, AccessType::kRead, false), mapper.flat_bank(d));
+  EXPECT_EQ(arch.num_resources(), mapper.num_flat_banks());
+}
+
+TEST(BaselinePcm, NoRefreshHooks) {
+  BaselinePcm arch(small_geom(), PcmTiming{});
+  EXPECT_FALSE(arch.refresh_enabled());
+  EXPECT_DOUBLE_EQ(arch.refresh_pending_fraction(0, 0), 0.0);
+  const auto work = arch.perform_refresh(0, 0, [](unsigned) { return true; });
+  EXPECT_EQ(work.rows, 0u);
+  EXPECT_DOUBLE_EQ(arch.capacity_overhead(), 0.0);
+}
+
+TEST(BaselinePcm, RefreshResourcesCoverRankBanks) {
+  const MemoryGeometry g = small_geom();
+  BaselinePcm arch(g, PcmTiming{});
+  const auto res = arch.refresh_resources(0, 1);
+  ASSERT_EQ(res.size(), g.banks_per_rank);
+  EXPECT_EQ(res.front(), g.banks_per_rank);  // rank 1 starts after rank 0
+}
+
+TEST(FlipNWrite, DefaultNeverFast) {
+  FlipNWritePcm arch(small_geom(), PcmTiming{}, 0.0, 1);
+  DecodedAddr d{0, 0, 0, 1, 0};
+  for (int i = 0; i < 20; ++i) {
+    const IssuePlan p = arch.plan(d, AccessType::kWrite, false, 0);
+    EXPECT_EQ(p.write_class, WriteClass::kAlpha);
+  }
+  EXPECT_EQ(arch.counters().get("writes.fast"), 0u);
+}
+
+TEST(FlipNWrite, FastFractionRoughlyHonored) {
+  FlipNWritePcm arch(small_geom(), PcmTiming{}, 0.5, 7);
+  DecodedAddr d{0, 0, 0, 1, 0};
+  for (int i = 0; i < 2000; ++i) {
+    arch.plan(d, AccessType::kWrite, false, 0);
+  }
+  const double fast = static_cast<double>(arch.counters().get("writes.fast"));
+  EXPECT_NEAR(fast / 2000.0, 0.5, 0.05);
+}
+
+TEST(FlipNWrite, HalvesWriteEnergyVersusBaseline) {
+  const MemoryGeometry g = small_geom();
+  BaselinePcm base(g, PcmTiming{});
+  FlipNWritePcm fnw(g, PcmTiming{}, 0.0, 1);
+  DecodedAddr d{0, 0, 0, 1, 0};
+  for (int i = 0; i < 10; ++i) {
+    base.plan(d, AccessType::kWrite, false, 0);
+    fnw.plan(d, AccessType::kWrite, false, 0);
+  }
+  EXPECT_NEAR(fnw.energy().write_pj(), base.energy().write_pj() / 2.0,
+              base.energy().write_pj() * 0.01);
+  EXPECT_GT(fnw.capacity_overhead(), 0.0);  // the flip bits
+}
+
+TEST(Factory, BuildsEveryKind) {
+  const MemoryGeometry g = small_geom();
+  const PcmTiming t;
+  for (const ArchKind kind :
+       {ArchKind::kBaseline, ArchKind::kWomPcm, ArchKind::kRefreshWomPcm,
+        ArchKind::kWcpcm, ArchKind::kFlipNWrite}) {
+    ArchConfig cfg;
+    cfg.kind = kind;
+    const auto arch = make_architecture(cfg, g, t);
+    ASSERT_NE(arch, nullptr);
+    EXPECT_FALSE(arch->name().empty());
+  }
+}
+
+TEST(Factory, RejectsNonInvertedCodeForWomArchitectures) {
+  ArchConfig cfg;
+  cfg.kind = ArchKind::kWomPcm;
+  cfg.code = "rs23";  // conventional direction: illegal for PCM
+  EXPECT_THROW(make_architecture(cfg, small_geom(), PcmTiming{}),
+               std::invalid_argument);
+  cfg.code = "no-such-code";
+  EXPECT_THROW(make_architecture(cfg, small_geom(), PcmTiming{}),
+               std::invalid_argument);
+}
+
+TEST(Factory, RejectsBadGeometryAndTiming) {
+  ArchConfig cfg;
+  MemoryGeometry g = small_geom();
+  g.ranks = 3;
+  EXPECT_THROW(make_architecture(cfg, g, PcmTiming{}), std::invalid_argument);
+  PcmTiming t;
+  t.reset_ns = 0;
+  EXPECT_THROW(make_architecture(cfg, small_geom(), t),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wompcm

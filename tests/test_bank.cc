@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "pcm/bank.h"
+#include "pcm/rank.h"
+
+namespace wompcm {
+namespace {
+
+TEST(Bank, StartsIdleWithClosedRow) {
+  Bank b;
+  EXPECT_TRUE(b.idle(0));
+  EXPECT_FALSE(b.open_row().has_value());
+  EXPECT_EQ(b.demand_ready_at(10, false), 10u);
+}
+
+TEST(Bank, DemandOccupiesUntilFinish) {
+  Bank b;
+  const Tick finish = b.begin_demand(100, 50, 7, false, 0);
+  EXPECT_EQ(finish, 150u);
+  EXPECT_TRUE(b.demand_busy(120));
+  EXPECT_FALSE(b.demand_busy(150));
+  EXPECT_EQ(b.demand_ready_at(120, false), 150u);
+  ASSERT_TRUE(b.open_row().has_value());
+  EXPECT_EQ(*b.open_row(), 7u);
+  EXPECT_EQ(b.busy_time(), 50u);
+  EXPECT_EQ(b.ops(), 1u);
+}
+
+TEST(Bank, RowHitTracking) {
+  Bank b;
+  b.begin_demand(0, 10, 3, false, 0);
+  EXPECT_EQ(b.row_hits(), 0u);
+  b.begin_demand(10, 10, 3, false, 0);
+  EXPECT_EQ(b.row_hits(), 1u);
+  b.begin_demand(20, 10, 4, false, 0);
+  EXPECT_EQ(b.row_hits(), 1u);
+  b.close_row();
+  b.begin_demand(30, 10, 4, false, 0);
+  EXPECT_EQ(b.row_hits(), 1u);  // row buffer was closed
+}
+
+TEST(Bank, RefreshOccupancy) {
+  Bank b;
+  b.begin_refresh(200);
+  EXPECT_TRUE(b.refreshing(100));
+  EXPECT_FALSE(b.refreshing(200));
+  EXPECT_FALSE(b.idle(100));
+  // Without pausing, demand must wait for the refresh.
+  EXPECT_EQ(b.demand_ready_at(100, false), 200u);
+  // With pausing, demand may start immediately.
+  EXPECT_EQ(b.demand_ready_at(100, true), 100u);
+}
+
+TEST(Bank, WritePausingExtendsRefresh) {
+  Bank b;
+  b.begin_refresh(200);
+  const Tick finish = b.begin_demand(100, 50, 1, true, 5);
+  EXPECT_EQ(finish, 150u);
+  // Refresh end pushed back by the demand service plus the resume penalty.
+  EXPECT_EQ(b.refresh_until(), 200u + 50u + 5u);
+  EXPECT_EQ(b.pauses(), 1u);
+}
+
+TEST(Bank, LongerRefreshWins) {
+  Bank b;
+  b.begin_refresh(300);
+  b.begin_refresh(250);  // shorter occupancy does not shrink the window
+  EXPECT_EQ(b.refresh_until(), 300u);
+}
+
+TEST(RankView, IdleRequiresAllBanks) {
+  std::vector<Bank> banks(4);
+  RankView rank(std::span<Bank>(banks.data(), banks.size()));
+  EXPECT_TRUE(rank.idle(0));
+  banks[2].begin_demand(0, 100, 0, false, 0);
+  EXPECT_FALSE(rank.idle(50));
+  EXPECT_TRUE(rank.idle(100));
+  banks[1].begin_refresh(180);
+  EXPECT_FALSE(rank.idle(150));
+  EXPECT_TRUE(rank.idle(200));
+}
+
+TEST(RankView, BeginRefreshHitsEveryBank) {
+  std::vector<Bank> banks(3);
+  RankView rank(std::span<Bank>(banks.data(), banks.size()));
+  rank.begin_refresh(500);
+  for (const Bank& b : banks) EXPECT_TRUE(b.refreshing(499));
+}
+
+}  // namespace
+}  // namespace wompcm

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "common/bitvec.h"
+
+namespace wompcm {
+namespace {
+
+TEST(BitVec, DefaultIsEmpty) {
+  BitVec v;
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.popcount(), 0u);
+}
+
+TEST(BitVec, ConstructZeroFilled) {
+  BitVec v(100);
+  EXPECT_EQ(v.size(), 100u);
+  EXPECT_EQ(v.popcount(), 0u);
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_FALSE(v.get(i));
+}
+
+TEST(BitVec, ConstructOneFilled) {
+  BitVec v(67, true);
+  EXPECT_EQ(v.popcount(), 67u);
+  for (std::size_t i = 0; i < 67; ++i) EXPECT_TRUE(v.get(i));
+}
+
+TEST(BitVec, SetAndGet) {
+  BitVec v(130);
+  v.set(0, true);
+  v.set(64, true);
+  v.set(129, true);
+  EXPECT_TRUE(v.get(0));
+  EXPECT_TRUE(v.get(64));
+  EXPECT_TRUE(v.get(129));
+  EXPECT_FALSE(v.get(1));
+  EXPECT_EQ(v.popcount(), 3u);
+  v.set(64, false);
+  EXPECT_FALSE(v.get(64));
+  EXPECT_EQ(v.popcount(), 2u);
+}
+
+TEST(BitVec, FromStringRoundTrip) {
+  const std::string s = "101100111000";
+  const BitVec v = BitVec::from_string(s);
+  EXPECT_EQ(v.size(), s.size());
+  EXPECT_EQ(v.to_string(), s);
+  EXPECT_EQ(v.popcount(), 6u);
+}
+
+TEST(BitVec, FromStringRejectsBadChars) {
+  EXPECT_THROW(BitVec::from_string("10x"), std::invalid_argument);
+}
+
+TEST(BitVec, BitwiseOperators) {
+  const BitVec a = BitVec::from_string("1100");
+  const BitVec b = BitVec::from_string("1010");
+  EXPECT_EQ((a & b).to_string(), "1000");
+  EXPECT_EQ((a | b).to_string(), "1110");
+  EXPECT_EQ((a ^ b).to_string(), "0110");
+  EXPECT_EQ((~a).to_string(), "0011");
+}
+
+TEST(BitVec, ComplementMasksTailBits) {
+  // ~ must not set bits beyond size(); popcount would expose them.
+  BitVec v(70);
+  const BitVec c = ~v;
+  EXPECT_EQ(c.popcount(), 70u);
+  EXPECT_EQ((~c).popcount(), 0u);
+}
+
+TEST(BitVec, SetAllRespectsSize) {
+  BitVec v(65);
+  v.set_all(true);
+  EXPECT_EQ(v.popcount(), 65u);
+  v.set_all(false);
+  EXPECT_EQ(v.popcount(), 0u);
+}
+
+TEST(BitVec, Equality) {
+  EXPECT_EQ(BitVec::from_string("101"), BitVec::from_string("101"));
+  EXPECT_FALSE(BitVec::from_string("101") == BitVec::from_string("100"));
+  EXPECT_FALSE(BitVec::from_string("101") == BitVec::from_string("1010"));
+}
+
+TEST(BitVec, AppendConcatenates) {
+  BitVec v = BitVec::from_string("101");
+  v.append(BitVec::from_string("0110"));
+  EXPECT_EQ(v.to_string(), "1010110");
+}
+
+TEST(BitVec, AppendAcrossWordBoundary) {
+  BitVec v(60, true);
+  v.append(BitVec::from_string("0101"));
+  EXPECT_EQ(v.size(), 64u);
+  EXPECT_EQ(v.popcount(), 62u);
+  EXPECT_FALSE(v.get(60));
+  EXPECT_TRUE(v.get(61));
+}
+
+TEST(BitVec, Slice) {
+  const BitVec v = BitVec::from_string("110010");
+  EXPECT_EQ(v.slice(0, 3).to_string(), "110");
+  EXPECT_EQ(v.slice(2, 4).to_string(), "0010");
+  EXPECT_EQ(v.slice(5, 1).to_string(), "0");
+}
+
+TEST(BitVec, TransitionCounts) {
+  const BitVec from = BitVec::from_string("1100");
+  const BitVec to = BitVec::from_string("1010");
+  EXPECT_EQ(from.set_transitions_to(to), 1u);    // bit 2: 0 -> 1
+  EXPECT_EQ(from.reset_transitions_to(to), 1u);  // bit 1: 1 -> 0
+}
+
+TEST(BitVec, MonotoneChecks) {
+  const BitVec a = BitVec::from_string("1100");
+  EXPECT_TRUE(a.monotone_increasing_to(BitVec::from_string("1110")));
+  EXPECT_FALSE(a.monotone_increasing_to(BitVec::from_string("1010")));
+  EXPECT_TRUE(a.monotone_decreasing_to(BitVec::from_string("0100")));
+  EXPECT_FALSE(a.monotone_decreasing_to(BitVec::from_string("0110")));
+  // Identity transition is monotone in both directions.
+  EXPECT_TRUE(a.monotone_increasing_to(a));
+  EXPECT_TRUE(a.monotone_decreasing_to(a));
+}
+
+class BitVecSizeTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BitVecSizeTest, ComplementIsInvolution) {
+  const std::size_t n = GetParam();
+  BitVec v(n);
+  for (std::size_t i = 0; i < n; i += 3) v.set(i, true);
+  EXPECT_EQ(~~v, v);
+  EXPECT_EQ(v.popcount() + (~v).popcount(), n);
+}
+
+TEST_P(BitVecSizeTest, TransitionsPartitionXor) {
+  const std::size_t n = GetParam();
+  BitVec a(n), b(n);
+  for (std::size_t i = 0; i < n; i += 2) a.set(i, true);
+  for (std::size_t i = 0; i < n; i += 3) b.set(i, true);
+  EXPECT_EQ(a.set_transitions_to(b) + a.reset_transitions_to(b),
+            (a ^ b).popcount());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BitVecSizeTest,
+                         ::testing::Values(1, 3, 63, 64, 65, 127, 128, 1000));
+
+}  // namespace
+}  // namespace wompcm

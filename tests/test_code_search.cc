@@ -1,0 +1,93 @@
+// Tests for the brute-force WOM-code search.
+#include <gtest/gtest.h>
+
+#include "wom/code_search.h"
+
+namespace wompcm {
+namespace {
+
+TEST(CodeSearch, FindsTheClassic2Bit2Write3WitCode) {
+  CodeSearchParams p;
+  p.data_bits = 2;
+  p.wits = 3;
+  p.writes = 2;
+  const auto result = search_wom_code(p);
+  ASSERT_TRUE(result.has_value());
+  const WomCode& code = *result->code;
+  EXPECT_EQ(code.data_bits(), 2u);
+  EXPECT_EQ(code.wits(), 3u);
+  EXPECT_EQ(code.max_writes(), 2u);
+  // The found tables satisfy the full validator by construction.
+  for (unsigned x = 0; x < 4; ++x) {
+    const BitVec w1 = code.encode(x, 0, code.initial_state());
+    EXPECT_EQ(code.decode(w1), x);
+    for (unsigned y = 0; y < 4; ++y) {
+      const BitVec w2 = code.encode(y, 1, w1);
+      EXPECT_EQ(code.decode(w2), y);
+      EXPECT_TRUE(w1.monotone_increasing_to(w2));
+    }
+  }
+}
+
+TEST(CodeSearch, FindsOneBitMultiWriteCodes) {
+  // 1 bit, t writes needs at most 2t-1 wits (the parity construction), and
+  // the search should find codes at that size.
+  for (unsigned t : {2u, 3u}) {
+    CodeSearchParams p;
+    p.data_bits = 1;
+    p.wits = 2 * t - 1;
+    p.writes = t;
+    const auto result = search_wom_code(p);
+    ASSERT_TRUE(result.has_value()) << "t=" << t;
+    EXPECT_EQ(result->code->max_writes(), t);
+  }
+}
+
+TEST(CodeSearch, ProvesNo2Bit2WriteCodeIn2Wits) {
+  // 2 wits cannot even represent 4 values injectively per generation twice.
+  CodeSearchParams p;
+  p.data_bits = 2;
+  p.wits = 2;
+  p.writes = 2;
+  EXPECT_FALSE(search_wom_code(p).has_value());
+}
+
+TEST(CodeSearch, SingleWriteIsAlwaysPossibleWithEnoughWits) {
+  CodeSearchParams p;
+  p.data_bits = 2;
+  p.wits = 2;
+  p.writes = 1;
+  const auto result = search_wom_code(p);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->code->max_writes(), 1u);
+}
+
+TEST(CodeSearch, RespectsNodeBudget) {
+  CodeSearchParams p;
+  p.data_bits = 2;
+  p.wits = 5;
+  p.writes = 3;
+  p.max_nodes = 1;  // immediately exhausted
+  EXPECT_FALSE(search_wom_code(p).has_value());
+}
+
+TEST(CodeSearch, RejectsUnsupportedParameters) {
+  CodeSearchParams p;
+  p.data_bits = 0;
+  EXPECT_FALSE(search_wom_code(p).has_value());
+  p.data_bits = 5;  // v = 32: out of supported range
+  EXPECT_FALSE(search_wom_code(p).has_value());
+}
+
+TEST(CodeSearch, ReportsNodeCount) {
+  CodeSearchParams p;
+  p.data_bits = 1;
+  p.wits = 1;
+  p.writes = 1;
+  const auto result = search_wom_code(p);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_GT(result->nodes, 0u);
+}
+
+}  // namespace
+}  // namespace wompcm

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "pcm/energy.h"
+
+namespace wompcm {
+namespace {
+
+TEST(EnergyCounters, StartsAtZero) {
+  EnergyCounters e;
+  EXPECT_DOUBLE_EQ(e.total_pj(), 0.0);
+  EXPECT_EQ(e.set_pulses(), 0u);
+  EXPECT_EQ(e.reset_pulses(), 0u);
+}
+
+TEST(EnergyCounters, ReadEnergy) {
+  EnergyParams p;
+  p.read_pj_per_bit = 2.0;
+  EnergyCounters e(p);
+  e.on_read(512);
+  EXPECT_DOUBLE_EQ(e.read_pj(), 1024.0);
+  EXPECT_DOUBLE_EQ(e.write_pj(), 0.0);
+}
+
+TEST(EnergyCounters, ResetOnlyWriteUsesOnlyResetPulses) {
+  EnergyParams p;
+  p.reset_pj_per_bit = 10.0;
+  p.set_pj_per_bit = 100.0;
+  EnergyCounters e(p);
+  e.on_write(WriteClass::kResetOnly, 100);
+  // Half the bits flip, all RESET.
+  EXPECT_DOUBLE_EQ(e.write_pj(), 10.0 * 50.0);
+  EXPECT_EQ(e.set_pulses(), 0u);
+  EXPECT_EQ(e.reset_pulses(), 50u);
+}
+
+TEST(EnergyCounters, AlphaWriteUsesBothPulseKinds) {
+  EnergyParams p;
+  p.reset_pj_per_bit = 10.0;
+  p.set_pj_per_bit = 20.0;
+  EnergyCounters e(p);
+  e.on_write(WriteClass::kAlpha, 100);
+  EXPECT_DOUBLE_EQ(e.write_pj(), (10.0 + 20.0) * 50.0);
+  EXPECT_EQ(e.set_pulses(), 50u);
+  EXPECT_EQ(e.reset_pulses(), 50u);
+}
+
+TEST(EnergyCounters, RefreshIsReadPlusSetHalf) {
+  EnergyParams p;
+  p.read_pj_per_bit = 2.0;
+  p.set_pj_per_bit = 20.0;
+  EnergyCounters e(p);
+  e.on_refresh(100);
+  EXPECT_DOUBLE_EQ(e.refresh_pj(), 2.0 * 100.0 + 20.0 * 50.0);
+}
+
+TEST(EnergyCounters, ExactPulseInterface) {
+  EnergyParams p;
+  p.set_pj_per_bit = 3.0;
+  p.reset_pj_per_bit = 2.0;
+  EnergyCounters e(p);
+  e.add_pulses(7, 11);
+  EXPECT_EQ(e.set_pulses(), 7u);
+  EXPECT_EQ(e.reset_pulses(), 11u);
+  EXPECT_DOUBLE_EQ(e.write_pj(), 7 * 3.0 + 11 * 2.0);
+}
+
+TEST(EnergyCounters, TotalsAccumulate) {
+  EnergyCounters e;
+  e.on_read(64);
+  e.on_write(WriteClass::kAlpha, 64);
+  e.on_refresh(64);
+  EXPECT_DOUBLE_EQ(e.total_pj(), e.read_pj() + e.write_pj() + e.refresh_pj());
+  EXPECT_GT(e.total_pj(), 0.0);
+}
+
+TEST(EnergyCounters, AlphaWriteCostsMoreThanResetOnly) {
+  EnergyCounters fast, slow;
+  fast.on_write(WriteClass::kResetOnly, 512);
+  slow.on_write(WriteClass::kAlpha, 512);
+  EXPECT_GT(slow.write_pj(), fast.write_pj());
+}
+
+}  // namespace
+}  // namespace wompcm

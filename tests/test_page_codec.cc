@@ -1,0 +1,150 @@
+// Tests for the functional page-level codec: bit-exact encode/rewrite/
+// decode of whole pages, write classification, and pulse accounting.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "wom/page_codec.h"
+#include "wom/registry.h"
+
+namespace wompcm {
+namespace {
+
+BitVec random_bits(Rng& rng, std::size_t n) {
+  BitVec v(n);
+  for (std::size_t i = 0; i < n; ++i) v.set(i, rng.next_bool(0.5));
+  return v;
+}
+
+TEST(PageCodec, RejectsBadConstruction) {
+  EXPECT_THROW(PageCodec(nullptr, 16), std::invalid_argument);
+  EXPECT_THROW(PageCodec(make_code("rs23-inv"), 0), std::invalid_argument);
+  EXPECT_THROW(PageCodec(make_code("rs23-inv"), 7), std::invalid_argument);
+}
+
+TEST(PageCodec, SizesFollowCode) {
+  PageCodec page(make_code("rs23-inv"), 64);
+  EXPECT_EQ(page.data_bits(), 64u);
+  EXPECT_EQ(page.wit_bits(), 96u);  // 1.5x for <2^2>^2/3
+  EXPECT_EQ(page.generation(), 0u);
+  EXPECT_FALSE(page.at_rewrite_limit());
+}
+
+TEST(PageCodec, ReadBeforeWriteThrows) {
+  PageCodec page(make_code("rs23-inv"), 16);
+  EXPECT_THROW(page.read(), std::logic_error);
+}
+
+TEST(PageCodec, InvertedWritesAreResetOnlyWithinBudget) {
+  PageCodec page(make_code("rs23-inv"), 128);
+  Rng rng(1);
+  const BitVec d1 = random_bits(rng, 128);
+  const auto r1 = page.write(d1);
+  EXPECT_EQ(r1.write_class, WriteClass::kResetOnly);
+  EXPECT_EQ(r1.set_pulses, 0u);
+  EXPECT_EQ(page.read(), d1);
+
+  const BitVec d2 = random_bits(rng, 128);
+  const auto r2 = page.write(d2);
+  EXPECT_EQ(r2.write_class, WriteClass::kResetOnly);
+  EXPECT_EQ(r2.set_pulses, 0u);
+  EXPECT_EQ(page.read(), d2);
+  EXPECT_TRUE(page.at_rewrite_limit());
+}
+
+TEST(PageCodec, ThirdWriteIsAlphaAndRestartsCycle) {
+  PageCodec page(make_code("rs23-inv"), 128);
+  Rng rng(2);
+  page.write(random_bits(rng, 128));
+  page.write(random_bits(rng, 128));
+  const BitVec d3 = random_bits(rng, 128);
+  const auto r3 = page.write(d3);
+  EXPECT_EQ(r3.write_class, WriteClass::kAlpha);
+  EXPECT_GT(r3.set_pulses, 0u);  // re-initialization raises bits
+  EXPECT_EQ(page.read(), d3);
+  EXPECT_EQ(page.generation(), 1u);
+  // And the following write is fast again.
+  const BitVec d4 = random_bits(rng, 128);
+  const auto r4 = page.write(d4);
+  EXPECT_EQ(r4.write_class, WriteClass::kResetOnly);
+  EXPECT_EQ(r4.set_pulses, 0u);
+  EXPECT_EQ(page.read(), d4);
+}
+
+TEST(PageCodec, RefreshPreErasesAndCountsSetPulses) {
+  PageCodec page(make_code("rs23-inv"), 64);
+  Rng rng(3);
+  page.write(random_bits(rng, 64));
+  page.write(random_bits(rng, 64));
+  ASSERT_TRUE(page.at_rewrite_limit());
+  const std::size_t sets = page.refresh();
+  EXPECT_GT(sets, 0u);
+  EXPECT_EQ(page.generation(), 0u);
+  // Post-refresh write is a fast first write.
+  const BitVec d = random_bits(rng, 64);
+  const auto r = page.write(d);
+  EXPECT_EQ(r.write_class, WriteClass::kResetOnly);
+  EXPECT_EQ(r.set_pulses, 0u);
+  EXPECT_EQ(page.read(), d);
+}
+
+TEST(PageCodec, ConventionalCodeUsesSetPulses) {
+  PageCodec page(make_code("rs23"), 64);
+  Rng rng(4);
+  BitVec d = random_bits(rng, 64);
+  // Guarantee at least one non-zero symbol so a SET pulse must occur.
+  d.set(0, true);
+  const auto r = page.write(d);
+  EXPECT_GT(r.set_pulses, 0u);
+  EXPECT_EQ(r.reset_pulses, 0u);  // conventional WOM never lowers bits
+  EXPECT_EQ(page.read(), d);
+}
+
+// Property sweep: many random write sequences across codes stay readable
+// and respect the code's pulse direction.
+class PageCodecCodes : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PageCodecCodes, LongRandomWriteSequences) {
+  const WomCodePtr code = make_code(GetParam());
+  ASSERT_NE(code, nullptr);
+  const std::size_t bits = code->data_bits() * 24;
+  PageCodec page(code, bits);
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    const BitVec d = random_bits(rng, bits);
+    const auto r = page.write(d);
+    EXPECT_EQ(page.read(), d) << GetParam() << " iteration " << i;
+    if (!code->raises_bits() && r.write_class == WriteClass::kResetOnly) {
+      EXPECT_EQ(r.set_pulses, 0u);
+    }
+    EXPECT_LE(page.generation(), code->max_writes());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Codes, PageCodecCodes,
+                         ::testing::Values("rs23", "rs23-inv", "identity-k4",
+                                           "marker-k2t3-inv", "parity-t4-inv",
+                                           "marker-k1t2"));
+
+TEST(PageCodec, WrongDataSizeThrows) {
+  PageCodec page(make_code("rs23-inv"), 16);
+  EXPECT_THROW(page.write(BitVec(8)), std::invalid_argument);
+}
+
+TEST(PageCodec, AlphaFrequencyMatchesRewriteLimit) {
+  // With t = 2, exactly every third write (after the two fast ones) is
+  // alpha in a long random sequence.
+  PageCodec page(make_code("rs23-inv"), 32);
+  Rng rng(6);
+  int alphas = 0;
+  constexpr int kWrites = 20;
+  for (int i = 0; i < kWrites; ++i) {
+    if (page.write(random_bits(rng, 32)).write_class == WriteClass::kAlpha) {
+      ++alphas;
+    }
+  }
+  // Pattern: F F A F A F A ... -> alphas = (kWrites - 2 + 1) / 2
+  EXPECT_EQ(alphas, (kWrites - 1) / 2);
+}
+
+}  // namespace
+}  // namespace wompcm

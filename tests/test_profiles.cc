@@ -1,0 +1,92 @@
+// Tests of the 20-benchmark profile catalogue.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "trace/profiles.h"
+
+namespace wompcm {
+namespace {
+
+TEST(Profiles, ExactlyTwentyBenchmarks) {
+  EXPECT_EQ(benchmark_profiles().size(), 20u);
+}
+
+TEST(Profiles, PaperSuiteComposition) {
+  // 5 SPEC integer, 5 SPEC floating point, 5 MiBench, 5 SPLASH-2.
+  EXPECT_EQ(suite_profiles("spec-int").size(), 5u);
+  EXPECT_EQ(suite_profiles("spec-fp").size(), 5u);
+  EXPECT_EQ(suite_profiles("mibench").size(), 5u);
+  EXPECT_EQ(suite_profiles("splash2").size(), 5u);
+  EXPECT_TRUE(suite_profiles("no-such-suite").empty());
+}
+
+TEST(Profiles, AllValidAndUniqueNames) {
+  std::set<std::string> names;
+  for (const WorkloadProfile& p : benchmark_profiles()) {
+    std::string why;
+    EXPECT_TRUE(p.valid(&why)) << p.name << ": " << why;
+    EXPECT_TRUE(names.insert(p.name).second) << "duplicate " << p.name;
+  }
+}
+
+TEST(Profiles, PaperBenchmarksPresent) {
+  for (const char* name :
+       {"400.perlbench", "401.bzip2", "456.hmmer", "462.libq", "464.h264ref",
+        "410.bwaves", "436.cactusADM", "465.tonto", "470.lbm", "482.sphinx3",
+        "qsort", "mad", "FFT.mi", "typeset", "stringsearch", "ocean",
+        "water-ns", "water-sp", "raytrace", "LU-ncb"}) {
+    EXPECT_TRUE(find_profile(name).has_value()) << name;
+  }
+  EXPECT_FALSE(find_profile("429.mcf").has_value());
+}
+
+TEST(Profiles, H264refIsTheMostWriteLocalBenchmark) {
+  // The paper reports 464.h264ref as the best WOM-code benchmark; its
+  // profile must have the highest rewrite locality.
+  const auto h264 = *find_profile("464.h264ref");
+  for (const WorkloadProfile& p : benchmark_profiles()) {
+    EXPECT_LE(p.rewrite_frac, h264.rewrite_frac) << p.name;
+  }
+}
+
+TEST(Profiles, MiBenchIsIdleHeavy) {
+  // Embedded workloads have the long idle gaps PCM-refresh exploits.
+  double min_mibench_idle = 1e18;
+  double max_other_idle = 0;
+  for (const WorkloadProfile& p : benchmark_profiles()) {
+    const double idle = static_cast<double>(p.idle_gap_mean_ns);
+    if (p.suite == "mibench") {
+      min_mibench_idle = std::min(min_mibench_idle, idle);
+    } else {
+      max_other_idle = std::max(max_other_idle, idle);
+    }
+  }
+  EXPECT_GT(min_mibench_idle, max_other_idle);
+}
+
+TEST(Profiles, Splash2IsTheMostIntenseSuite) {
+  double max_splash_idle = 0;
+  for (const WorkloadProfile& p : suite_profiles("splash2")) {
+    max_splash_idle =
+        std::max(max_splash_idle, static_cast<double>(p.idle_gap_mean_ns));
+  }
+  for (const WorkloadProfile& p : suite_profiles("mibench")) {
+    EXPECT_GT(static_cast<double>(p.idle_gap_mean_ns), max_splash_idle)
+        << p.name;
+  }
+}
+
+TEST(Profiles, StreamingBenchmarksHaveLowReuse) {
+  // libquantum and lbm are the classic streaming workloads.
+  const auto libq = *find_profile("462.libq");
+  const auto lbm = *find_profile("470.lbm");
+  const auto h264 = *find_profile("464.h264ref");
+  EXPECT_LT(libq.rewrite_frac, 0.5);
+  EXPECT_LT(lbm.rewrite_frac, 0.5);
+  EXPECT_GT(h264.rewrite_frac, 0.8);
+  EXPECT_GT(libq.footprint_pages, h264.footprint_pages);
+}
+
+}  // namespace
+}  // namespace wompcm

@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "controller/queues.h"
+
+namespace wompcm {
+namespace {
+
+Transaction make_tx(std::uint64_t id, Addr addr, AccessType type,
+                    Tick arrival) {
+  Transaction tx;
+  tx.id = id;
+  tx.addr = addr;
+  tx.type = type;
+  tx.arrival = arrival;
+  return tx;
+}
+
+TEST(TransactionQueue, FifoOrderPreserved) {
+  TransactionQueue q;
+  EXPECT_TRUE(q.empty());
+  q.push(make_tx(1, 0x100, AccessType::kRead, 10));
+  q.push(make_tx(2, 0x200, AccessType::kRead, 20));
+  q.push(make_tx(3, 0x300, AccessType::kRead, 30));
+  ASSERT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.at(0).id, 1u);
+  EXPECT_EQ(q.at(2).id, 3u);
+}
+
+TEST(TransactionQueue, TakeRemovesByIndex) {
+  TransactionQueue q;
+  q.push(make_tx(1, 0, AccessType::kRead, 0));
+  q.push(make_tx(2, 0, AccessType::kRead, 0));
+  q.push(make_tx(3, 0, AccessType::kRead, 0));
+  const Transaction t = q.take(1);
+  EXPECT_EQ(t.id, 2u);
+  ASSERT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.at(0).id, 1u);
+  EXPECT_EQ(q.at(1).id, 3u);
+}
+
+TEST(TransactionQueue, ContainsLineMatchesWholeLine) {
+  TransactionQueue q;
+  q.push(make_tx(1, 0x1000, AccessType::kWrite, 0));
+  EXPECT_TRUE(q.contains_line(0x1000, 64));
+  EXPECT_TRUE(q.contains_line(0x103F, 64));  // same 64B line
+  EXPECT_FALSE(q.contains_line(0x1040, 64));
+  EXPECT_FALSE(q.contains_line(0x0FC0, 64));
+}
+
+TEST(TransactionQueue, OldestArrival) {
+  TransactionQueue q;
+  EXPECT_EQ(q.oldest_arrival(), kNeverTick);
+  q.push(make_tx(1, 0, AccessType::kRead, 50));
+  q.push(make_tx(2, 0, AccessType::kRead, 20));
+  q.push(make_tx(3, 0, AccessType::kRead, 70));
+  EXPECT_EQ(q.oldest_arrival(), 20u);
+}
+
+TEST(TransactionQueue, EntriesIterationMatchesIndices) {
+  TransactionQueue q;
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    q.push(make_tx(i, i * 64, AccessType::kWrite, i));
+  }
+  std::uint64_t expect = 0;
+  for (const Transaction& tx : q.entries()) {
+    EXPECT_EQ(tx.id, expect++);
+  }
+}
+
+}  // namespace
+}  // namespace wompcm

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace wompcm {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.next_below(1), 0u);
+  }
+}
+
+TEST(Rng, NextBelowRoughlyUniform) {
+  Rng rng(123);
+  constexpr std::uint64_t kBound = 8;
+  std::vector<int> counts(kBound, 0);
+  constexpr int kSamples = 80000;
+  for (int i = 0; i < kSamples; ++i) ++counts[rng.next_below(kBound)];
+  const double expected = static_cast<double>(kSamples) / kBound;
+  for (const int c : counts) {
+    EXPECT_NEAR(c, expected, expected * 0.1);
+  }
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(5);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, NextBoolProbability) {
+  Rng rng(9);
+  int trues = 0;
+  for (int i = 0; i < 50000; ++i) trues += rng.next_bool(0.3) ? 1 : 0;
+  EXPECT_NEAR(trues / 50000.0, 0.3, 0.02);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(11);
+  double sum = 0;
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) {
+    sum += static_cast<double>(rng.next_exponential(500.0));
+  }
+  EXPECT_NEAR(sum / kSamples, 500.0, 25.0);
+}
+
+TEST(Rng, ExponentialZeroMean) {
+  Rng rng(13);
+  EXPECT_EQ(rng.next_exponential(0.0), 0u);
+  EXPECT_EQ(rng.next_exponential(-1.0), 0u);
+}
+
+class ZipfTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfTest, SamplesInRange) {
+  const double alpha = GetParam();
+  ZipfSampler zipf(1000, alpha);
+  Rng rng(17);
+  for (int i = 0; i < 20000; ++i) {
+    EXPECT_LT(zipf.sample(rng), 1000u);
+  }
+}
+
+TEST_P(ZipfTest, HeadProbabilityMatchesTheory) {
+  const double alpha = GetParam();
+  if (alpha == 0.0) return;  // uniform case checked separately
+  constexpr std::uint64_t kN = 100;
+  ZipfSampler zipf(kN, alpha);
+  Rng rng(23);
+  constexpr int kSamples = 200000;
+  int zeros = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    if (zipf.sample(rng) == 0) ++zeros;
+  }
+  double h = 0;
+  for (std::uint64_t k = 1; k <= kN; ++k) h += std::pow(k, -alpha);
+  const double expect = 1.0 / h;
+  EXPECT_NEAR(zeros / static_cast<double>(kSamples), expect, expect * 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, ZipfTest,
+                         ::testing::Values(0.0, 0.5, 0.8, 1.0, 1.3, 2.0));
+
+TEST(Zipf, AlphaZeroIsUniform) {
+  ZipfSampler zipf(10, 0.0);
+  Rng rng(29);
+  std::vector<int> counts(10, 0);
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) ++counts[zipf.sample(rng)];
+  for (const int c : counts) EXPECT_NEAR(c, kSamples / 10, kSamples / 100);
+}
+
+TEST(Zipf, SingleElement) {
+  ZipfSampler zipf(1, 1.2);
+  Rng rng(31);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.sample(rng), 0u);
+}
+
+}  // namespace
+}  // namespace wompcm

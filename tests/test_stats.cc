@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "stats/histogram.h"
+#include "stats/stats.h"
+#include "stats/table.h"
+
+namespace wompcm {
+namespace {
+
+TEST(LatencyStats, EmptyIsZero) {
+  LatencyStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.min(), 0u);
+  EXPECT_EQ(s.max(), 0u);
+}
+
+TEST(LatencyStats, Accumulates) {
+  LatencyStats s;
+  s.add(10);
+  s.add(20);
+  s.add(60);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.mean(), 30.0);
+  EXPECT_EQ(s.min(), 10u);
+  EXPECT_EQ(s.max(), 60u);
+}
+
+TEST(LatencyStats, Merge) {
+  LatencyStats a, b;
+  a.add(5);
+  b.add(15);
+  b.add(25);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.mean(), 15.0);
+  EXPECT_EQ(a.min(), 5u);
+  EXPECT_EQ(a.max(), 25u);
+  LatencyStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 3u);
+}
+
+TEST(CounterSet, IncrementAndLookup) {
+  CounterSet c;
+  EXPECT_EQ(c.get("x"), 0u);
+  c.inc("x");
+  c.inc("x", 4);
+  c.inc("y");
+  EXPECT_EQ(c.get("x"), 5u);
+  EXPECT_EQ(c.get("y"), 1u);
+  EXPECT_EQ(c.all().size(), 2u);
+}
+
+TEST(CounterSet, Merge) {
+  CounterSet a, b;
+  a.inc("x", 2);
+  b.inc("x", 3);
+  b.inc("z", 1);
+  a.merge(b);
+  EXPECT_EQ(a.get("x"), 5u);
+  EXPECT_EQ(a.get("z"), 1u);
+}
+
+TEST(SimStats, HitRateHelper) {
+  SimStats s;
+  EXPECT_DOUBLE_EQ(s.read_hit_rate("h", "m"), 0.0);
+  s.counters.inc("h", 3);
+  s.counters.inc("m", 1);
+  EXPECT_DOUBLE_EQ(s.read_hit_rate("h", "m"), 0.75);
+}
+
+TEST(Log2Histogram, BucketBoundaries) {
+  Log2Histogram h;
+  h.add(0);
+  h.add(1);
+  h.add(2);
+  h.add(3);
+  h.add(4);
+  h.add(1023);
+  h.add(1024);
+  EXPECT_EQ(h.total(), 7u);
+  EXPECT_EQ(h.bucket(0), 2u);   // 0 and 1
+  EXPECT_EQ(h.bucket(1), 2u);   // 2 and 3
+  EXPECT_EQ(h.bucket(2), 1u);   // 4
+  EXPECT_EQ(h.bucket(9), 1u);   // 1023
+  EXPECT_EQ(h.bucket(10), 1u);  // 1024
+  EXPECT_EQ(h.max_bucket(), 10u);
+}
+
+TEST(Log2Histogram, Percentile) {
+  Log2Histogram h;
+  for (int i = 0; i < 90; ++i) h.add(10);   // bucket 3, upper bound 16
+  for (int i = 0; i < 10; ++i) h.add(1000);  // bucket 9, upper bound 1024
+  EXPECT_EQ(h.percentile(0.5), 16u);
+  EXPECT_EQ(h.percentile(0.99), 1024u);
+  Log2Histogram empty;
+  EXPECT_EQ(empty.percentile(0.5), 0u);
+}
+
+TEST(Log2Histogram, ToStringShowsNonEmptyBuckets) {
+  Log2Histogram h;
+  h.add(5);
+  const std::string s = h.to_string();
+  EXPECT_NE(s.find("[4, 8) 1"), std::string::npos);
+}
+
+TEST(TextTable, AlignedRendering) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22222"});
+  const std::string s = t.to_text();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("-----"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.row(1)[1], "22222");
+}
+
+TEST(TextTable, CsvEscaping) {
+  TextTable t({"a", "b"});
+  t.add_row({"plain", "has,comma"});
+  t.add_row({"has\"quote", "x"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(TextTable, FmtPrecision) {
+  EXPECT_EQ(TextTable::fmt(0.5), "0.500");
+  EXPECT_EQ(TextTable::fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(TextTable::fmt(10.0, 0), "10");
+}
+
+}  // namespace
+}  // namespace wompcm

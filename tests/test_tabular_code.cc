@@ -1,0 +1,143 @@
+// Tests for the table-driven WOM-code, its validator, and the constructive
+// marker/parity families.
+#include <gtest/gtest.h>
+
+#include "wom/inverted_code.h"
+#include "wom/tabular_code.h"
+
+namespace wompcm {
+namespace {
+
+std::vector<std::vector<BitVec>> rs_tables() {
+  // The Rivest-Shamir tables expressed as a TabularCode.
+  std::vector<std::vector<BitVec>> t(2);
+  for (const char* p : {"000", "100", "010", "001"}) {
+    t[0].push_back(BitVec::from_string(p));
+  }
+  for (const char* p : {"111", "011", "101", "110"}) {
+    t[1].push_back(BitVec::from_string(p));
+  }
+  return t;
+}
+
+TEST(TabularCode, AcceptsRivestShamirTables) {
+  TabularCode code("rs-as-table", 2, rs_tables());
+  EXPECT_EQ(code.wits(), 3u);
+  EXPECT_EQ(code.max_writes(), 2u);
+  for (unsigned x = 0; x < 4; ++x) {
+    const BitVec w1 = code.encode(x, 0, code.initial_state());
+    EXPECT_EQ(code.decode(w1), x);
+    for (unsigned y = 0; y < 4; ++y) {
+      const BitVec w2 = code.encode(y, 1, w1);
+      EXPECT_EQ(code.decode(w2), y);
+      EXPECT_TRUE(w1.monotone_increasing_to(w2));
+    }
+  }
+}
+
+TEST(ValidateWomTable, RejectsNonMonotoneTransition) {
+  auto t = rs_tables();
+  t[1][0] = BitVec::from_string("000");  // second write cannot lower bits
+  std::string why;
+  EXPECT_FALSE(validate_wom_table(2, t, &why));
+  EXPECT_NE(why.find("non-monotone"), std::string::npos);
+}
+
+TEST(ValidateWomTable, RejectsAmbiguousDecode) {
+  auto t = rs_tables();
+  t[1][0] = BitVec::from_string("011");  // already means value 1
+  std::string why;
+  EXPECT_FALSE(validate_wom_table(2, t, &why));
+}
+
+TEST(ValidateWomTable, RejectsDuplicateInGeneration) {
+  auto t = rs_tables();
+  t[0][3] = t[0][2];
+  std::string why;
+  EXPECT_FALSE(validate_wom_table(2, t, &why));
+}
+
+TEST(ValidateWomTable, RejectsInconsistentWitCounts) {
+  auto t = rs_tables();
+  t[1][2] = BitVec::from_string("1010");
+  std::string why;
+  EXPECT_FALSE(validate_wom_table(2, t, &why));
+}
+
+TEST(ValidateWomTable, RejectsEmpty) {
+  std::string why;
+  EXPECT_FALSE(validate_wom_table(2, {}, &why));
+}
+
+TEST(TabularCode, ConstructorThrowsOnBadTables) {
+  auto t = rs_tables();
+  t[1][0] = BitVec::from_string("000");
+  EXPECT_THROW(TabularCode("bad", 2, t), std::invalid_argument);
+}
+
+// Exhaustive property over a code: every write sequence of length
+// max_writes decodes correctly and never lowers a bit.
+void check_code_exhaustive(const WomCode& code) {
+  const unsigned v = code.values();
+  const unsigned t = code.max_writes();
+  // Enumerate value sequences with a mixed-radix counter (cap the work).
+  std::uint64_t total = 1;
+  for (unsigned g = 0; g < t && total < 5000; ++g) total *= v;
+  for (std::uint64_t seq = 0; seq < total; ++seq) {
+    BitVec w = code.initial_state();
+    std::uint64_t rest = seq;
+    for (unsigned g = 0; g < t; ++g) {
+      const unsigned value = static_cast<unsigned>(rest % v);
+      rest /= v;
+      const BitVec next = code.encode(value, g, w);
+      ASSERT_TRUE(code.raises_bits() ? w.monotone_increasing_to(next)
+                                     : w.monotone_decreasing_to(next))
+          << code.name() << " seq " << seq << " gen " << g;
+      ASSERT_EQ(code.decode(next), value)
+          << code.name() << " seq " << seq << " gen " << g;
+      w = next;
+    }
+  }
+}
+
+class MarkerCodeTest
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>> {};
+
+TEST_P(MarkerCodeTest, ExhaustiveWriteSequences) {
+  const auto [k, t] = GetParam();
+  const WomCodePtr code = make_marker_code(k, t);
+  EXPECT_EQ(code->data_bits(), k);
+  EXPECT_EQ(code->max_writes(), t);
+  EXPECT_EQ(code->wits(), t * (k + 1));
+  check_code_exhaustive(*code);
+}
+
+INSTANTIATE_TEST_SUITE_P(Params, MarkerCodeTest,
+                         ::testing::Values(std::tuple{1u, 1u},
+                                           std::tuple{1u, 4u},
+                                           std::tuple{2u, 2u},
+                                           std::tuple{2u, 3u},
+                                           std::tuple{3u, 2u}));
+
+class ParityCodeTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ParityCodeTest, ExhaustiveWriteSequences) {
+  const unsigned t = GetParam();
+  const WomCodePtr code = make_parity_code(t);
+  EXPECT_EQ(code->data_bits(), 1u);
+  EXPECT_EQ(code->max_writes(), t);
+  EXPECT_EQ(code->wits(), 2 * t - 1);
+  check_code_exhaustive(*code);
+}
+
+INSTANTIATE_TEST_SUITE_P(Writes, ParityCodeTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u));
+
+TEST(InvertedTabular, MarkerCodeInvertsCleanly) {
+  const WomCodePtr inv = invert(make_marker_code(2, 3));
+  EXPECT_FALSE(inv->raises_bits());
+  check_code_exhaustive(*inv);
+}
+
+}  // namespace
+}  // namespace wompcm

@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "pcm/timing.h"
+
+namespace wompcm {
+namespace {
+
+TEST(PcmTiming, PaperDefaults) {
+  PcmTiming t;
+  EXPECT_EQ(t.row_read_ns, 27u);
+  EXPECT_EQ(t.row_write_ns, 150u);
+  EXPECT_EQ(t.reset_ns, 40u);
+  EXPECT_EQ(t.set_ns, 150u);
+  EXPECT_EQ(t.refresh_period_ns, 4000u);
+  EXPECT_EQ(t.burst_length, 8u);
+  EXPECT_TRUE(t.valid());
+}
+
+TEST(PcmTiming, BurstDurationIsHalfTheBeats) {
+  PcmTiming t;
+  EXPECT_EQ(t.burst_ns(), 4u);  // DDR: L_burst / 2
+  t.burst_length = 16;
+  EXPECT_EQ(t.burst_ns(), 8u);
+}
+
+TEST(PcmTiming, ProgramLatencyByWriteClass) {
+  PcmTiming t;
+  EXPECT_EQ(t.program_ns(WriteClass::kResetOnly), 40u);
+  EXPECT_EQ(t.program_ns(WriteClass::kAlpha), 150u);
+}
+
+TEST(PcmTiming, RefreshOpFormula) {
+  // t_WR + N_bank * L_burst/2 (Section 3.2).
+  PcmTiming t;
+  EXPECT_EQ(t.refresh_op_ns(32), 150u + 32u * 4u);
+  EXPECT_EQ(t.refresh_op_ns(4), 150u + 4u * 4u);
+}
+
+TEST(PcmTiming, ValidationRejectsBadValues) {
+  PcmTiming t;
+  t.reset_ns = 0;
+  EXPECT_FALSE(t.valid());
+
+  t = PcmTiming{};
+  t.reset_ns = 200;  // RESET slower than a full row write is nonsense
+  std::string why;
+  EXPECT_FALSE(t.valid(&why));
+  EXPECT_FALSE(why.empty());
+
+  t = PcmTiming{};
+  t.burst_length = 5;  // odd beat count
+  EXPECT_FALSE(t.valid());
+
+  t = PcmTiming{};
+  t.refresh_period_ns = 0;
+  EXPECT_FALSE(t.valid());
+}
+
+TEST(PcmTiming, SlowdownFactorMatchesPaperRange) {
+  // The paper quotes SET as 5-10x read latency; with these parameters the
+  // SET/RESET slowdown S used in the Section 3.2 bound is 3.75.
+  PcmTiming t;
+  const double S =
+      static_cast<double>(t.set_ns) / static_cast<double>(t.reset_ns);
+  EXPECT_DOUBLE_EQ(S, 3.75);
+  EXPECT_GE(static_cast<double>(t.row_write_ns) /
+                static_cast<double>(t.row_read_ns),
+            5.0);
+}
+
+}  // namespace
+}  // namespace wompcm

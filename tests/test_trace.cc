@@ -1,0 +1,140 @@
+// Tests of the trace record plumbing and the text/binary file formats.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "trace/file_source.h"
+
+namespace wompcm {
+namespace {
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() /
+          (std::string("womcode_pcm_test_") + name))
+      .string();
+}
+
+std::vector<TraceRecord> sample_records() {
+  return {
+      {0, AccessType::kRead, 0x1000},
+      {120, AccessType::kWrite, 0xdeadbeefc0ull},
+      {7, AccessType::kRead, 0},
+      {100000, AccessType::kWrite, ~Addr{0} ^ 0x3f},
+  };
+}
+
+void expect_same(const std::vector<TraceRecord>& expect,
+                 TraceSource& source) {
+  for (const TraceRecord& e : expect) {
+    const auto got = source.next();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->gap, e.gap);
+    EXPECT_EQ(got->type, e.type);
+    EXPECT_EQ(got->addr, e.addr);
+  }
+  EXPECT_FALSE(source.next().has_value());
+}
+
+TEST(VectorTraceSource, ReplaysInOrder) {
+  auto records = sample_records();
+  VectorTraceSource src(records);
+  expect_same(records, src);
+}
+
+TEST(FileTrace, TextRoundTrip) {
+  const std::string path = temp_path("text.trc");
+  {
+    TraceWriter w(path, TraceWriter::Format::kText);
+    for (const auto& r : sample_records()) w.write(r);
+  }
+  FileTraceSource src(path);
+  EXPECT_FALSE(src.binary());
+  auto records = sample_records();
+  expect_same(records, src);
+  std::filesystem::remove(path);
+}
+
+TEST(FileTrace, BinaryRoundTrip) {
+  const std::string path = temp_path("bin.trc");
+  {
+    TraceWriter w(path, TraceWriter::Format::kBinary);
+    for (const auto& r : sample_records()) w.write(r);
+  }
+  FileTraceSource src(path);
+  EXPECT_TRUE(src.binary());
+  auto records = sample_records();
+  expect_same(records, src);
+  std::filesystem::remove(path);
+}
+
+TEST(FileTrace, TextCommentsAndBlanksSkipped) {
+  const std::string path = temp_path("comments.trc");
+  {
+    std::ofstream f(path);
+    f << "# header comment\n\n"
+      << "  10 R 0x40\n"
+      << "# another\n"
+      << "20 w 80\n";  // lowercase + no 0x prefix are accepted
+  }
+  FileTraceSource src(path);
+  auto r1 = src.next();
+  ASSERT_TRUE(r1.has_value());
+  EXPECT_EQ(r1->gap, 10u);
+  EXPECT_EQ(r1->type, AccessType::kRead);
+  EXPECT_EQ(r1->addr, 0x40u);
+  auto r2 = src.next();
+  ASSERT_TRUE(r2.has_value());
+  EXPECT_EQ(r2->type, AccessType::kWrite);
+  EXPECT_EQ(r2->addr, 0x80u);
+  EXPECT_FALSE(src.next().has_value());
+  std::filesystem::remove(path);
+}
+
+TEST(FileTrace, MalformedLineThrows) {
+  const std::string path = temp_path("bad.trc");
+  {
+    std::ofstream f(path);
+    f << "10 X 0x40\n";
+  }
+  FileTraceSource src(path);
+  EXPECT_THROW(src.next(), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(FileTrace, TruncatedBinaryThrows) {
+  const std::string path = temp_path("trunc.trc");
+  {
+    std::ofstream f(path, std::ios::binary);
+    f.write(kTraceMagic, 8);
+    const char partial[5] = {1, 2, 3, 4, 5};
+    f.write(partial, sizeof(partial));
+  }
+  FileTraceSource src(path);
+  EXPECT_THROW(src.next(), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(FileTrace, MissingFileThrows) {
+  EXPECT_THROW(FileTraceSource("/no/such/file.trc"), std::runtime_error);
+}
+
+TEST(FileTrace, EmptyTextFileYieldsNothing) {
+  const std::string path = temp_path("empty.trc");
+  std::ofstream(path).close();
+  FileTraceSource src(path);
+  EXPECT_FALSE(src.next().has_value());
+  std::filesystem::remove(path);
+}
+
+TEST(TraceWriter, WriteAfterCloseThrows) {
+  const std::string path = temp_path("closed.trc");
+  TraceWriter w(path, TraceWriter::Format::kText);
+  w.close();
+  EXPECT_THROW(w.write(TraceRecord{}), std::logic_error);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace wompcm

@@ -1,0 +1,170 @@
+// Unit and property tests for the WOM-code implementations: the
+// Rivest-Shamir <2^2>^2/3 code (Table 1), the inverted adapter, the
+// identity code, and the name registry.
+#include <gtest/gtest.h>
+
+#include "wom/identity_code.h"
+#include "wom/inverted_code.h"
+#include "wom/registry.h"
+#include "wom/rs_code.h"
+
+namespace wompcm {
+namespace {
+
+TEST(RivestShamir, Parameters) {
+  RivestShamirCode code;
+  EXPECT_EQ(code.data_bits(), 2u);
+  EXPECT_EQ(code.wits(), 3u);
+  EXPECT_EQ(code.max_writes(), 2u);
+  EXPECT_EQ(code.values(), 4u);
+  EXPECT_DOUBLE_EQ(code.overhead(), 0.5);
+  EXPECT_TRUE(code.raises_bits());
+  EXPECT_EQ(code.initial_state().to_string(), "000");
+}
+
+TEST(RivestShamir, Table1FirstWritePatterns) {
+  EXPECT_EQ(RivestShamirCode::first_pattern(0).to_string(), "000");
+  EXPECT_EQ(RivestShamirCode::first_pattern(1).to_string(), "100");
+  EXPECT_EQ(RivestShamirCode::first_pattern(2).to_string(), "010");
+  EXPECT_EQ(RivestShamirCode::first_pattern(3).to_string(), "001");
+}
+
+TEST(RivestShamir, Table1SecondWritePatterns) {
+  EXPECT_EQ(RivestShamirCode::second_pattern(0).to_string(), "111");
+  EXPECT_EQ(RivestShamirCode::second_pattern(1).to_string(), "011");
+  EXPECT_EQ(RivestShamirCode::second_pattern(2).to_string(), "101");
+  EXPECT_EQ(RivestShamirCode::second_pattern(3).to_string(), "110");
+}
+
+TEST(RivestShamir, XorDecodeRule) {
+  // decode("abc") = (b^c, a^c) per the paper.
+  RivestShamirCode code;
+  for (unsigned a = 0; a < 2; ++a) {
+    for (unsigned b = 0; b < 2; ++b) {
+      for (unsigned c = 0; c < 2; ++c) {
+        BitVec w(3);
+        w.set(0, a);
+        w.set(1, b);
+        w.set(2, c);
+        EXPECT_EQ(code.decode(w), (((b ^ c) << 1) | (a ^ c)));
+      }
+    }
+  }
+}
+
+// Property: every write sequence x then y decodes correctly and only raises
+// bits, for all 16 (x, y) combinations.
+class RsWritePairs
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>> {};
+
+TEST_P(RsWritePairs, TwoWritesDecodeAndAreMonotone) {
+  const auto [x, y] = GetParam();
+  RivestShamirCode code;
+  const BitVec w1 = code.encode(x, 0, code.initial_state());
+  EXPECT_EQ(code.decode(w1), x);
+  EXPECT_TRUE(code.initial_state().monotone_increasing_to(w1));
+  const BitVec w2 = code.encode(y, 1, w1);
+  EXPECT_EQ(code.decode(w2), y);
+  EXPECT_TRUE(w1.monotone_increasing_to(w2));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPairs, RsWritePairs,
+    ::testing::Combine(::testing::Range(0u, 4u), ::testing::Range(0u, 4u)));
+
+TEST(RivestShamir, RewritingSameValueKeepsWits) {
+  RivestShamirCode code;
+  for (unsigned x = 0; x < 4; ++x) {
+    const BitVec w1 = code.encode(x, 0, code.initial_state());
+    EXPECT_EQ(code.encode(x, 1, w1), w1);
+  }
+}
+
+TEST(RivestShamir, RejectsOutOfRange) {
+  RivestShamirCode code;
+  EXPECT_THROW(code.encode(4, 0, code.initial_state()),
+               std::invalid_argument);
+  EXPECT_THROW(code.encode(0, 2, code.initial_state()),
+               std::invalid_argument);
+  EXPECT_THROW(code.decode(BitVec(4)), std::invalid_argument);
+}
+
+TEST(InvertedCode, FlipsDirectionAndPreservesDecode) {
+  InvertedCode inv(std::make_shared<RivestShamirCode>());
+  EXPECT_FALSE(inv.raises_bits());
+  EXPECT_EQ(inv.initial_state().to_string(), "111");
+  EXPECT_EQ(inv.name(), "rs23-inv");
+  EXPECT_EQ(inv.max_writes(), 2u);
+  for (unsigned x = 0; x < 4; ++x) {
+    const BitVec w1 = inv.encode(x, 0, inv.initial_state());
+    EXPECT_EQ(inv.decode(w1), x);
+    EXPECT_TRUE(inv.initial_state().monotone_decreasing_to(w1));
+    for (unsigned y = 0; y < 4; ++y) {
+      const BitVec w2 = inv.encode(y, 1, w1);
+      EXPECT_EQ(inv.decode(w2), y);
+      // The PCM-friendly property: rewrites only lower bits (RESET-only).
+      EXPECT_TRUE(w1.monotone_decreasing_to(w2));
+    }
+  }
+}
+
+TEST(InvertedCode, RejectsDoubleInversion) {
+  auto inv = std::make_shared<InvertedCode>(std::make_shared<RivestShamirCode>());
+  EXPECT_THROW(InvertedCode{inv}, std::invalid_argument);
+  // invert() helper is idempotent instead of throwing.
+  EXPECT_EQ(invert(inv), inv);
+}
+
+TEST(IdentityCode, RoundTrip) {
+  IdentityCode code(4);
+  EXPECT_EQ(code.max_writes(), 1u);
+  EXPECT_DOUBLE_EQ(code.overhead(), 0.0);
+  for (unsigned x = 0; x < 16; ++x) {
+    const BitVec w = code.encode(x, 0, code.initial_state());
+    EXPECT_EQ(code.decode(w), x);
+  }
+  EXPECT_THROW(code.encode(0, 1, code.initial_state()),
+               std::invalid_argument);
+}
+
+TEST(Registry, KnownNamesResolve) {
+  for (const std::string& name : known_code_names()) {
+    const WomCodePtr code = make_code(name);
+    ASSERT_NE(code, nullptr) << name;
+    EXPECT_EQ(code->name(), name);
+  }
+}
+
+TEST(Registry, InvertedSuffix) {
+  const WomCodePtr code = make_code("rs23-inv");
+  ASSERT_NE(code, nullptr);
+  EXPECT_FALSE(code->raises_bits());
+  const WomCodePtr plain = make_code("rs23");
+  ASSERT_NE(plain, nullptr);
+  EXPECT_TRUE(plain->raises_bits());
+}
+
+TEST(Registry, ParameterizedFamilies) {
+  const WomCodePtr marker = make_code("marker-k3t5");
+  ASSERT_NE(marker, nullptr);
+  EXPECT_EQ(marker->data_bits(), 3u);
+  EXPECT_EQ(marker->max_writes(), 5u);
+  EXPECT_EQ(marker->wits(), 5u * 4u);
+  const WomCodePtr parity = make_code("parity-t6-inv");
+  ASSERT_NE(parity, nullptr);
+  EXPECT_EQ(parity->data_bits(), 1u);
+  EXPECT_EQ(parity->max_writes(), 6u);
+  EXPECT_FALSE(parity->raises_bits());
+}
+
+TEST(Registry, UnknownNamesReturnNull) {
+  EXPECT_EQ(make_code(""), nullptr);
+  EXPECT_EQ(make_code("rs24"), nullptr);
+  EXPECT_EQ(make_code("marker-k0t2"), nullptr);
+  EXPECT_EQ(make_code("marker-k2"), nullptr);
+  EXPECT_EQ(make_code("parity-tx"), nullptr);
+  EXPECT_EQ(make_code("identity-k99"), nullptr);
+}
+
+}  // namespace
+}  // namespace wompcm
