@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_flip_n_write"
+  "../bench/ablation_flip_n_write.pdb"
+  "CMakeFiles/ablation_flip_n_write.dir/ablation_flip_n_write.cc.o"
+  "CMakeFiles/ablation_flip_n_write.dir/ablation_flip_n_write.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_flip_n_write.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

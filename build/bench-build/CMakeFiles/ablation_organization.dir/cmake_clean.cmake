@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_organization"
+  "../bench/ablation_organization.pdb"
+  "CMakeFiles/ablation_organization.dir/ablation_organization.cc.o"
+  "CMakeFiles/ablation_organization.dir/ablation_organization.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_organization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

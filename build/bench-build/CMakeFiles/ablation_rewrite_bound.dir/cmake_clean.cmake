@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_rewrite_bound"
+  "../bench/ablation_rewrite_bound.pdb"
+  "CMakeFiles/ablation_rewrite_bound.dir/ablation_rewrite_bound.cc.o"
+  "CMakeFiles/ablation_rewrite_bound.dir/ablation_rewrite_bound.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rewrite_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

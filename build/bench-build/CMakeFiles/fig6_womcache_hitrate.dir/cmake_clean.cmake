@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_womcache_hitrate"
+  "../bench/fig6_womcache_hitrate.pdb"
+  "CMakeFiles/fig6_womcache_hitrate.dir/fig6_womcache_hitrate.cc.o"
+  "CMakeFiles/fig6_womcache_hitrate.dir/fig6_womcache_hitrate.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_womcache_hitrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

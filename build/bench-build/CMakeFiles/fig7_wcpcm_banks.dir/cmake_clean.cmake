@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_wcpcm_banks"
+  "../bench/fig7_wcpcm_banks.pdb"
+  "CMakeFiles/fig7_wcpcm_banks.dir/fig7_wcpcm_banks.cc.o"
+  "CMakeFiles/fig7_wcpcm_banks.dir/fig7_wcpcm_banks.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_wcpcm_banks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_womcode"
+  "../bench/micro_womcode.pdb"
+  "CMakeFiles/micro_womcode.dir/micro_womcode.cc.o"
+  "CMakeFiles/micro_womcode.dir/micro_womcode.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_womcode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_womcode"
+  "../bench/table1_womcode.pdb"
+  "CMakeFiles/table1_womcode.dir/table1_womcode.cc.o"
+  "CMakeFiles/table1_womcode.dir/table1_womcode.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_womcode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

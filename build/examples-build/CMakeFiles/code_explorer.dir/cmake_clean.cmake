@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/code_explorer"
+  "../examples/code_explorer.pdb"
+  "CMakeFiles/code_explorer.dir/code_explorer.cc.o"
+  "CMakeFiles/code_explorer.dir/code_explorer.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/code_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/mix_study"
+  "../examples/mix_study.pdb"
+  "CMakeFiles/mix_study.dir/mix_study.cc.o"
+  "CMakeFiles/mix_study.dir/mix_study.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mix_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/refresh_tuning"
+  "../examples/refresh_tuning.pdb"
+  "CMakeFiles/refresh_tuning.dir/refresh_tuning.cc.o"
+  "CMakeFiles/refresh_tuning.dir/refresh_tuning.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/refresh_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/spec_study"
+  "../examples/spec_study.pdb"
+  "CMakeFiles/spec_study.dir/spec_study.cc.o"
+  "CMakeFiles/spec_study.dir/spec_study.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spec_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

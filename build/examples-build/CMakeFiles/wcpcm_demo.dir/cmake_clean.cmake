@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/wcpcm_demo"
+  "../examples/wcpcm_demo.pdb"
+  "CMakeFiles/wcpcm_demo.dir/wcpcm_demo.cc.o"
+  "CMakeFiles/wcpcm_demo.dir/wcpcm_demo.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wcpcm_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/arch.cc" "src/CMakeFiles/womcode_pcm.dir/arch/arch.cc.o" "gcc" "src/CMakeFiles/womcode_pcm.dir/arch/arch.cc.o.d"
+  "/root/repo/src/arch/baseline.cc" "src/CMakeFiles/womcode_pcm.dir/arch/baseline.cc.o" "gcc" "src/CMakeFiles/womcode_pcm.dir/arch/baseline.cc.o.d"
+  "/root/repo/src/arch/flip_n_write.cc" "src/CMakeFiles/womcode_pcm.dir/arch/flip_n_write.cc.o" "gcc" "src/CMakeFiles/womcode_pcm.dir/arch/flip_n_write.cc.o.d"
+  "/root/repo/src/arch/refresh_wom_pcm.cc" "src/CMakeFiles/womcode_pcm.dir/arch/refresh_wom_pcm.cc.o" "gcc" "src/CMakeFiles/womcode_pcm.dir/arch/refresh_wom_pcm.cc.o.d"
+  "/root/repo/src/arch/wcpcm.cc" "src/CMakeFiles/womcode_pcm.dir/arch/wcpcm.cc.o" "gcc" "src/CMakeFiles/womcode_pcm.dir/arch/wcpcm.cc.o.d"
+  "/root/repo/src/arch/wom_pcm.cc" "src/CMakeFiles/womcode_pcm.dir/arch/wom_pcm.cc.o" "gcc" "src/CMakeFiles/womcode_pcm.dir/arch/wom_pcm.cc.o.d"
+  "/root/repo/src/common/address.cc" "src/CMakeFiles/womcode_pcm.dir/common/address.cc.o" "gcc" "src/CMakeFiles/womcode_pcm.dir/common/address.cc.o.d"
+  "/root/repo/src/common/bitvec.cc" "src/CMakeFiles/womcode_pcm.dir/common/bitvec.cc.o" "gcc" "src/CMakeFiles/womcode_pcm.dir/common/bitvec.cc.o.d"
+  "/root/repo/src/common/config.cc" "src/CMakeFiles/womcode_pcm.dir/common/config.cc.o" "gcc" "src/CMakeFiles/womcode_pcm.dir/common/config.cc.o.d"
+  "/root/repo/src/controller/controller.cc" "src/CMakeFiles/womcode_pcm.dir/controller/controller.cc.o" "gcc" "src/CMakeFiles/womcode_pcm.dir/controller/controller.cc.o.d"
+  "/root/repo/src/controller/queues.cc" "src/CMakeFiles/womcode_pcm.dir/controller/queues.cc.o" "gcc" "src/CMakeFiles/womcode_pcm.dir/controller/queues.cc.o.d"
+  "/root/repo/src/controller/refresh_engine.cc" "src/CMakeFiles/womcode_pcm.dir/controller/refresh_engine.cc.o" "gcc" "src/CMakeFiles/womcode_pcm.dir/controller/refresh_engine.cc.o.d"
+  "/root/repo/src/controller/scheduler.cc" "src/CMakeFiles/womcode_pcm.dir/controller/scheduler.cc.o" "gcc" "src/CMakeFiles/womcode_pcm.dir/controller/scheduler.cc.o.d"
+  "/root/repo/src/controller/wear_leveling.cc" "src/CMakeFiles/womcode_pcm.dir/controller/wear_leveling.cc.o" "gcc" "src/CMakeFiles/womcode_pcm.dir/controller/wear_leveling.cc.o.d"
+  "/root/repo/src/pcm/bank.cc" "src/CMakeFiles/womcode_pcm.dir/pcm/bank.cc.o" "gcc" "src/CMakeFiles/womcode_pcm.dir/pcm/bank.cc.o.d"
+  "/root/repo/src/pcm/endurance.cc" "src/CMakeFiles/womcode_pcm.dir/pcm/endurance.cc.o" "gcc" "src/CMakeFiles/womcode_pcm.dir/pcm/endurance.cc.o.d"
+  "/root/repo/src/pcm/energy.cc" "src/CMakeFiles/womcode_pcm.dir/pcm/energy.cc.o" "gcc" "src/CMakeFiles/womcode_pcm.dir/pcm/energy.cc.o.d"
+  "/root/repo/src/pcm/rank.cc" "src/CMakeFiles/womcode_pcm.dir/pcm/rank.cc.o" "gcc" "src/CMakeFiles/womcode_pcm.dir/pcm/rank.cc.o.d"
+  "/root/repo/src/pcm/timing.cc" "src/CMakeFiles/womcode_pcm.dir/pcm/timing.cc.o" "gcc" "src/CMakeFiles/womcode_pcm.dir/pcm/timing.cc.o.d"
+  "/root/repo/src/sim/config_io.cc" "src/CMakeFiles/womcode_pcm.dir/sim/config_io.cc.o" "gcc" "src/CMakeFiles/womcode_pcm.dir/sim/config_io.cc.o.d"
+  "/root/repo/src/sim/experiment.cc" "src/CMakeFiles/womcode_pcm.dir/sim/experiment.cc.o" "gcc" "src/CMakeFiles/womcode_pcm.dir/sim/experiment.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/CMakeFiles/womcode_pcm.dir/sim/simulator.cc.o" "gcc" "src/CMakeFiles/womcode_pcm.dir/sim/simulator.cc.o.d"
+  "/root/repo/src/stats/histogram.cc" "src/CMakeFiles/womcode_pcm.dir/stats/histogram.cc.o" "gcc" "src/CMakeFiles/womcode_pcm.dir/stats/histogram.cc.o.d"
+  "/root/repo/src/stats/stats.cc" "src/CMakeFiles/womcode_pcm.dir/stats/stats.cc.o" "gcc" "src/CMakeFiles/womcode_pcm.dir/stats/stats.cc.o.d"
+  "/root/repo/src/stats/table.cc" "src/CMakeFiles/womcode_pcm.dir/stats/table.cc.o" "gcc" "src/CMakeFiles/womcode_pcm.dir/stats/table.cc.o.d"
+  "/root/repo/src/trace/file_source.cc" "src/CMakeFiles/womcode_pcm.dir/trace/file_source.cc.o" "gcc" "src/CMakeFiles/womcode_pcm.dir/trace/file_source.cc.o.d"
+  "/root/repo/src/trace/mix.cc" "src/CMakeFiles/womcode_pcm.dir/trace/mix.cc.o" "gcc" "src/CMakeFiles/womcode_pcm.dir/trace/mix.cc.o.d"
+  "/root/repo/src/trace/profiles.cc" "src/CMakeFiles/womcode_pcm.dir/trace/profiles.cc.o" "gcc" "src/CMakeFiles/womcode_pcm.dir/trace/profiles.cc.o.d"
+  "/root/repo/src/trace/synthetic.cc" "src/CMakeFiles/womcode_pcm.dir/trace/synthetic.cc.o" "gcc" "src/CMakeFiles/womcode_pcm.dir/trace/synthetic.cc.o.d"
+  "/root/repo/src/trace/trace.cc" "src/CMakeFiles/womcode_pcm.dir/trace/trace.cc.o" "gcc" "src/CMakeFiles/womcode_pcm.dir/trace/trace.cc.o.d"
+  "/root/repo/src/wom/code_search.cc" "src/CMakeFiles/womcode_pcm.dir/wom/code_search.cc.o" "gcc" "src/CMakeFiles/womcode_pcm.dir/wom/code_search.cc.o.d"
+  "/root/repo/src/wom/identity_code.cc" "src/CMakeFiles/womcode_pcm.dir/wom/identity_code.cc.o" "gcc" "src/CMakeFiles/womcode_pcm.dir/wom/identity_code.cc.o.d"
+  "/root/repo/src/wom/inverted_code.cc" "src/CMakeFiles/womcode_pcm.dir/wom/inverted_code.cc.o" "gcc" "src/CMakeFiles/womcode_pcm.dir/wom/inverted_code.cc.o.d"
+  "/root/repo/src/wom/page_codec.cc" "src/CMakeFiles/womcode_pcm.dir/wom/page_codec.cc.o" "gcc" "src/CMakeFiles/womcode_pcm.dir/wom/page_codec.cc.o.d"
+  "/root/repo/src/wom/registry.cc" "src/CMakeFiles/womcode_pcm.dir/wom/registry.cc.o" "gcc" "src/CMakeFiles/womcode_pcm.dir/wom/registry.cc.o.d"
+  "/root/repo/src/wom/rs_code.cc" "src/CMakeFiles/womcode_pcm.dir/wom/rs_code.cc.o" "gcc" "src/CMakeFiles/womcode_pcm.dir/wom/rs_code.cc.o.d"
+  "/root/repo/src/wom/tabular_code.cc" "src/CMakeFiles/womcode_pcm.dir/wom/tabular_code.cc.o" "gcc" "src/CMakeFiles/womcode_pcm.dir/wom/tabular_code.cc.o.d"
+  "/root/repo/src/wom/wom_tracker.cc" "src/CMakeFiles/womcode_pcm.dir/wom/wom_tracker.cc.o" "gcc" "src/CMakeFiles/womcode_pcm.dir/wom/wom_tracker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwomcode_pcm.a"
+)

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for womcode_pcm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_address.cc" "tests/CMakeFiles/womcode_pcm_tests.dir/test_address.cc.o" "gcc" "tests/CMakeFiles/womcode_pcm_tests.dir/test_address.cc.o.d"
+  "/root/repo/tests/test_arch_baseline.cc" "tests/CMakeFiles/womcode_pcm_tests.dir/test_arch_baseline.cc.o" "gcc" "tests/CMakeFiles/womcode_pcm_tests.dir/test_arch_baseline.cc.o.d"
+  "/root/repo/tests/test_arch_wcpcm.cc" "tests/CMakeFiles/womcode_pcm_tests.dir/test_arch_wcpcm.cc.o" "gcc" "tests/CMakeFiles/womcode_pcm_tests.dir/test_arch_wcpcm.cc.o.d"
+  "/root/repo/tests/test_arch_wom.cc" "tests/CMakeFiles/womcode_pcm_tests.dir/test_arch_wom.cc.o" "gcc" "tests/CMakeFiles/womcode_pcm_tests.dir/test_arch_wom.cc.o.d"
+  "/root/repo/tests/test_bank.cc" "tests/CMakeFiles/womcode_pcm_tests.dir/test_bank.cc.o" "gcc" "tests/CMakeFiles/womcode_pcm_tests.dir/test_bank.cc.o.d"
+  "/root/repo/tests/test_bitvec.cc" "tests/CMakeFiles/womcode_pcm_tests.dir/test_bitvec.cc.o" "gcc" "tests/CMakeFiles/womcode_pcm_tests.dir/test_bitvec.cc.o.d"
+  "/root/repo/tests/test_code_search.cc" "tests/CMakeFiles/womcode_pcm_tests.dir/test_code_search.cc.o" "gcc" "tests/CMakeFiles/womcode_pcm_tests.dir/test_code_search.cc.o.d"
+  "/root/repo/tests/test_config.cc" "tests/CMakeFiles/womcode_pcm_tests.dir/test_config.cc.o" "gcc" "tests/CMakeFiles/womcode_pcm_tests.dir/test_config.cc.o.d"
+  "/root/repo/tests/test_config_io.cc" "tests/CMakeFiles/womcode_pcm_tests.dir/test_config_io.cc.o" "gcc" "tests/CMakeFiles/womcode_pcm_tests.dir/test_config_io.cc.o.d"
+  "/root/repo/tests/test_controller.cc" "tests/CMakeFiles/womcode_pcm_tests.dir/test_controller.cc.o" "gcc" "tests/CMakeFiles/womcode_pcm_tests.dir/test_controller.cc.o.d"
+  "/root/repo/tests/test_cross_layer.cc" "tests/CMakeFiles/womcode_pcm_tests.dir/test_cross_layer.cc.o" "gcc" "tests/CMakeFiles/womcode_pcm_tests.dir/test_cross_layer.cc.o.d"
+  "/root/repo/tests/test_endurance.cc" "tests/CMakeFiles/womcode_pcm_tests.dir/test_endurance.cc.o" "gcc" "tests/CMakeFiles/womcode_pcm_tests.dir/test_endurance.cc.o.d"
+  "/root/repo/tests/test_energy.cc" "tests/CMakeFiles/womcode_pcm_tests.dir/test_energy.cc.o" "gcc" "tests/CMakeFiles/womcode_pcm_tests.dir/test_energy.cc.o.d"
+  "/root/repo/tests/test_experiment.cc" "tests/CMakeFiles/womcode_pcm_tests.dir/test_experiment.cc.o" "gcc" "tests/CMakeFiles/womcode_pcm_tests.dir/test_experiment.cc.o.d"
+  "/root/repo/tests/test_mix.cc" "tests/CMakeFiles/womcode_pcm_tests.dir/test_mix.cc.o" "gcc" "tests/CMakeFiles/womcode_pcm_tests.dir/test_mix.cc.o.d"
+  "/root/repo/tests/test_multichannel.cc" "tests/CMakeFiles/womcode_pcm_tests.dir/test_multichannel.cc.o" "gcc" "tests/CMakeFiles/womcode_pcm_tests.dir/test_multichannel.cc.o.d"
+  "/root/repo/tests/test_page_codec.cc" "tests/CMakeFiles/womcode_pcm_tests.dir/test_page_codec.cc.o" "gcc" "tests/CMakeFiles/womcode_pcm_tests.dir/test_page_codec.cc.o.d"
+  "/root/repo/tests/test_profiles.cc" "tests/CMakeFiles/womcode_pcm_tests.dir/test_profiles.cc.o" "gcc" "tests/CMakeFiles/womcode_pcm_tests.dir/test_profiles.cc.o.d"
+  "/root/repo/tests/test_queues.cc" "tests/CMakeFiles/womcode_pcm_tests.dir/test_queues.cc.o" "gcc" "tests/CMakeFiles/womcode_pcm_tests.dir/test_queues.cc.o.d"
+  "/root/repo/tests/test_refresh.cc" "tests/CMakeFiles/womcode_pcm_tests.dir/test_refresh.cc.o" "gcc" "tests/CMakeFiles/womcode_pcm_tests.dir/test_refresh.cc.o.d"
+  "/root/repo/tests/test_reproduction.cc" "tests/CMakeFiles/womcode_pcm_tests.dir/test_reproduction.cc.o" "gcc" "tests/CMakeFiles/womcode_pcm_tests.dir/test_reproduction.cc.o.d"
+  "/root/repo/tests/test_rng.cc" "tests/CMakeFiles/womcode_pcm_tests.dir/test_rng.cc.o" "gcc" "tests/CMakeFiles/womcode_pcm_tests.dir/test_rng.cc.o.d"
+  "/root/repo/tests/test_row_policy.cc" "tests/CMakeFiles/womcode_pcm_tests.dir/test_row_policy.cc.o" "gcc" "tests/CMakeFiles/womcode_pcm_tests.dir/test_row_policy.cc.o.d"
+  "/root/repo/tests/test_scheduler.cc" "tests/CMakeFiles/womcode_pcm_tests.dir/test_scheduler.cc.o" "gcc" "tests/CMakeFiles/womcode_pcm_tests.dir/test_scheduler.cc.o.d"
+  "/root/repo/tests/test_simulator.cc" "tests/CMakeFiles/womcode_pcm_tests.dir/test_simulator.cc.o" "gcc" "tests/CMakeFiles/womcode_pcm_tests.dir/test_simulator.cc.o.d"
+  "/root/repo/tests/test_stats.cc" "tests/CMakeFiles/womcode_pcm_tests.dir/test_stats.cc.o" "gcc" "tests/CMakeFiles/womcode_pcm_tests.dir/test_stats.cc.o.d"
+  "/root/repo/tests/test_sweep_smoke.cc" "tests/CMakeFiles/womcode_pcm_tests.dir/test_sweep_smoke.cc.o" "gcc" "tests/CMakeFiles/womcode_pcm_tests.dir/test_sweep_smoke.cc.o.d"
+  "/root/repo/tests/test_synthetic.cc" "tests/CMakeFiles/womcode_pcm_tests.dir/test_synthetic.cc.o" "gcc" "tests/CMakeFiles/womcode_pcm_tests.dir/test_synthetic.cc.o.d"
+  "/root/repo/tests/test_tabular_code.cc" "tests/CMakeFiles/womcode_pcm_tests.dir/test_tabular_code.cc.o" "gcc" "tests/CMakeFiles/womcode_pcm_tests.dir/test_tabular_code.cc.o.d"
+  "/root/repo/tests/test_timing.cc" "tests/CMakeFiles/womcode_pcm_tests.dir/test_timing.cc.o" "gcc" "tests/CMakeFiles/womcode_pcm_tests.dir/test_timing.cc.o.d"
+  "/root/repo/tests/test_trace.cc" "tests/CMakeFiles/womcode_pcm_tests.dir/test_trace.cc.o" "gcc" "tests/CMakeFiles/womcode_pcm_tests.dir/test_trace.cc.o.d"
+  "/root/repo/tests/test_wear_leveling.cc" "tests/CMakeFiles/womcode_pcm_tests.dir/test_wear_leveling.cc.o" "gcc" "tests/CMakeFiles/womcode_pcm_tests.dir/test_wear_leveling.cc.o.d"
+  "/root/repo/tests/test_wom_codes.cc" "tests/CMakeFiles/womcode_pcm_tests.dir/test_wom_codes.cc.o" "gcc" "tests/CMakeFiles/womcode_pcm_tests.dir/test_wom_codes.cc.o.d"
+  "/root/repo/tests/test_wom_tracker.cc" "tests/CMakeFiles/womcode_pcm_tests.dir/test_wom_tracker.cc.o" "gcc" "tests/CMakeFiles/womcode_pcm_tests.dir/test_wom_tracker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/womcode_pcm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for womcode_pcm_tests.
+# This may be replaced when dependencies are built.
