@@ -20,6 +20,9 @@ inline int run_fig5(int argc, char** argv, const char* title,
   const auto accesses =
       static_cast<std::uint64_t>(args.get_int_or("accesses", 100000));
   const auto seed = static_cast<std::uint64_t>(args.get_int_or("seed", 42));
+  // jobs=J: sweep workers (0 = all hardware threads, 1 = serial). The cell
+  // results are bit-identical regardless of J.
+  const auto jobs = static_cast<unsigned>(args.get_int_or("jobs", 0));
 
   std::printf("%s\n(normalized %s; lower is better; %llu accesses/benchmark, "
               "seed %llu)\n\n",
@@ -27,7 +30,8 @@ inline int run_fig5(int argc, char** argv, const char* title,
               static_cast<unsigned long long>(seed));
 
   const auto rows = run_arch_sweep(paper_config(), paper_architectures(),
-                                   benchmark_profiles(), accesses, seed);
+                                   benchmark_profiles(), accesses, seed,
+                                   ParallelPolicy::with_jobs(jobs));
   const auto norm = normalize(rows, metric);
 
   TextTable t({"benchmark", "pcm", "wom-pcm", "pcm-refresh", "wcpcm"});

@@ -1,0 +1,146 @@
+// Perf harness for the sweep engine: times the serial and parallel
+// arch-sweep on the same cells, verifies the results are bit-identical,
+// and reports cells/sec, wall-clock speedup, and the per-phase breakdown
+// (trace-gen / controller / codec) summed over all cells.
+//
+// Arguments: accesses=N (default 5000), seed=S (42), jobs=J (0 = all
+// hardware threads), profiles=P (8, capped at 20).
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "common/perf.h"
+#include "common/thread_pool.h"
+#include "sim/experiment.h"
+
+namespace {
+
+using namespace wompcm;
+
+// Compares the deterministic portion of two results; phase counters are
+// wall-clock and excluded by design.
+bool same_result(const SimResult& a, const SimResult& b, std::string* why) {
+  auto fail = [&](const char* what) {
+    *why = what;
+    return false;
+  };
+  if (a.arch_name != b.arch_name) return fail("arch_name");
+  if (a.end_time != b.end_time) return fail("end_time");
+  if (a.injected_reads != b.injected_reads) return fail("injected_reads");
+  if (a.injected_writes != b.injected_writes) return fail("injected_writes");
+  if (a.deferred_injections != b.deferred_injections) {
+    return fail("deferred_injections");
+  }
+  if (a.refresh_commands != b.refresh_commands) return fail("refresh");
+  if (a.refresh_rows != b.refresh_rows) return fail("refresh_rows");
+  const auto& ra = a.stats.demand_read_latency;
+  const auto& rb = b.stats.demand_read_latency;
+  const auto& wa = a.stats.demand_write_latency;
+  const auto& wb = b.stats.demand_write_latency;
+  if (ra.count() != rb.count() || ra.sum() != rb.sum() ||
+      ra.min() != rb.min() || ra.max() != rb.max()) {
+    return fail("read latency stats");
+  }
+  if (wa.count() != wb.count() || wa.sum() != wb.sum() ||
+      wa.min() != wb.min() || wa.max() != wb.max()) {
+    return fail("write latency stats");
+  }
+  if (a.stats.counters.all() != b.stats.counters.all()) {
+    return fail("counters");
+  }
+  if (a.energy_read_pj != b.energy_read_pj ||
+      a.energy_write_pj != b.energy_write_pj ||
+      a.energy_refresh_pj != b.energy_refresh_pj) {
+    return fail("energy");
+  }
+  if (a.max_line_wear != b.max_line_wear ||
+      a.mean_line_wear != b.mean_line_wear ||
+      a.lifetime_years != b.lifetime_years) {
+    return fail("wear");
+  }
+  return true;
+}
+
+SimResult::PhaseCounters sum_phases(const std::vector<SweepRow>& rows) {
+  SimResult::PhaseCounters total;
+  for (const SweepRow& row : rows) {
+    for (const SimResult& r : row.results) {
+      total.trace_gen_ns += r.phases.trace_gen_ns;
+      total.controller_ns += r.phases.controller_ns;
+      total.codec_ns += r.phases.codec_ns;
+      total.total_ns += r.phases.total_ns;
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const KeyValueConfig args = KeyValueConfig::from_args(argc, argv);
+  const auto accesses =
+      static_cast<std::uint64_t>(args.get_int_or("accesses", 5000));
+  const auto seed = static_cast<std::uint64_t>(args.get_int_or("seed", 42));
+  const auto jobs = static_cast<unsigned>(args.get_int_or("jobs", 0));
+  const auto nprofiles =
+      static_cast<std::size_t>(args.get_int_or("profiles", 8));
+
+  const auto archs = paper_architectures();
+  std::vector<WorkloadProfile> profiles = benchmark_profiles();
+  if (profiles.size() > nprofiles) profiles.resize(nprofiles);
+  const std::size_t cells = archs.size() * profiles.size();
+
+  const ParallelPolicy par = ParallelPolicy::with_jobs(jobs);
+  std::printf("perf_sweep: %zu archs x %zu profiles = %zu cells, "
+              "%llu accesses/cell, seed %llu, %u worker(s), "
+              "%u hardware thread(s)\n\n",
+              archs.size(), profiles.size(), cells,
+              static_cast<unsigned long long>(accesses),
+              static_cast<unsigned long long>(seed), par.resolved_jobs(),
+              ThreadPool::hardware_workers());
+
+  const std::uint64_t t0 = perf::now_ns();
+  const auto serial = run_arch_sweep(paper_config(), archs, profiles,
+                                     accesses, seed, ParallelPolicy::serial());
+  const std::uint64_t t1 = perf::now_ns();
+  const auto parallel =
+      run_arch_sweep(paper_config(), archs, profiles, accesses, seed, par);
+  const std::uint64_t t2 = perf::now_ns();
+
+  // Bit-identical check: every cell, every deterministic field.
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    for (std::size_t j = 0; j < serial[i].results.size(); ++j) {
+      std::string why;
+      if (!same_result(serial[i].results[j], parallel[i].results[j], &why)) {
+        std::printf("MISMATCH at (%s, %s): %s differs\n",
+                    serial[i].benchmark.c_str(),
+                    serial[i].results[j].arch_name.c_str(), why.c_str());
+        return 1;
+      }
+    }
+  }
+
+  const double serial_s = static_cast<double>(t1 - t0) * 1e-9;
+  const double parallel_s = static_cast<double>(t2 - t1) * 1e-9;
+  std::printf("serial:   %8.3f s  (%6.2f cells/s)\n", serial_s,
+              static_cast<double>(cells) / serial_s);
+  std::printf("parallel: %8.3f s  (%6.2f cells/s)\n", parallel_s,
+              static_cast<double>(cells) / parallel_s);
+  std::printf("speedup:  %8.2fx  (results bit-identical)\n\n",
+              serial_s / parallel_s);
+
+  const auto ph = sum_phases(serial);
+  const double tot = static_cast<double>(ph.total_ns);
+  if (tot > 0.0) {
+    std::printf("serial phase breakdown (CPU time over all cells):\n");
+    std::printf("  trace-gen:  %6.1f%%\n",
+                100.0 * static_cast<double>(ph.trace_gen_ns) / tot);
+    std::printf("  controller: %6.1f%%\n",
+                100.0 * static_cast<double>(ph.controller_ns) / tot);
+    std::printf("  codec:      %6.1f%%\n",
+                100.0 * static_cast<double>(ph.codec_ns) / tot);
+  }
+  return 0;
+}

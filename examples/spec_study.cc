@@ -3,8 +3,10 @@
 // write/read latencies plus WOM diagnostics.
 //
 // Usage: spec_study [accesses=N] [seed=S] [config=FILE] [key=value...]
-//        [suite=spec-int|spec-fp|mibench|splash2]
+//        [suite=spec-int|spec-fp|mibench|splash2] [jobs=J]
 // Any SimConfig key (see sim/config_io.h) overrides the paper platform.
+// jobs: sweep worker threads (0 = all hardware threads, 1 = serial); the
+// results are identical either way.
 
 #include <cstdio>
 
@@ -42,7 +44,9 @@ int main(int argc, char** argv) {
     a = base.arch;
     a.kind = kind;
   }
-  const auto rows = run_arch_sweep(base, archs, profiles, accesses, seed);
+  const auto jobs = static_cast<unsigned>(args.get_int_or("jobs", 0));
+  const auto rows = run_arch_sweep(base, archs, profiles, accesses, seed,
+                                   ParallelPolicy::with_jobs(jobs));
 
   const auto wnorm =
       normalize(rows, [](const SimResult& r) { return r.avg_write_ns(); });

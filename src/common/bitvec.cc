@@ -1,5 +1,6 @@
 #include "common/bitvec.h"
 
+#include <algorithm>
 #include <bit>
 #include <cassert>
 #include <stdexcept>
@@ -95,10 +96,57 @@ void BitVec::append(const BitVec& o) {
 }
 
 BitVec BitVec::slice(std::size_t begin, std::size_t len) const {
-  assert(begin + len <= nbits_);
-  BitVec r(len);
-  for (std::size_t i = 0; i < len; ++i) r.set(i, get(begin + i));
+  BitVec r;
+  slice_into(begin, len, r);
   return r;
+}
+
+void BitVec::slice_into(std::size_t begin, std::size_t len, BitVec& out) const {
+  assert(begin + len <= nbits_);
+  out.nbits_ = len;
+  out.words_.resize((len + kWordBits - 1) / kWordBits);
+  for (std::size_t i = 0; i < out.words_.size(); ++i) {
+    const std::size_t off = i * kWordBits;
+    out.words_[i] = extract_word(begin + off, std::min(kWordBits, len - off));
+  }
+}
+
+void BitVec::assign_from(const BitVec& o) {
+  nbits_ = o.nbits_;
+  words_.resize(o.words_.size());
+  std::copy(o.words_.begin(), o.words_.end(), words_.begin());
+}
+
+std::uint64_t BitVec::extract_word(std::size_t begin, std::size_t len) const {
+  assert(len <= kWordBits && begin + len <= nbits_);
+  if (len == 0) return 0;
+  const std::size_t w = begin / kWordBits;
+  const std::size_t off = begin % kWordBits;
+  std::uint64_t v = words_[w] >> off;
+  if (off != 0 && w + 1 < words_.size()) {
+    v |= words_[w + 1] << (kWordBits - off);
+  }
+  if (len < kWordBits) v &= (std::uint64_t{1} << len) - 1;
+  return v;
+}
+
+void BitVec::deposit_word(std::size_t begin, std::size_t len,
+                          std::uint64_t bits) {
+  assert(len <= kWordBits && begin + len <= nbits_);
+  if (len == 0) return;
+  if (len < kWordBits) bits &= (std::uint64_t{1} << len) - 1;
+  const std::size_t w = begin / kWordBits;
+  const std::size_t off = begin % kWordBits;
+  const std::size_t low = std::min(len, kWordBits - off);
+  const std::uint64_t low_mask =
+      (low == kWordBits) ? ~std::uint64_t{0}
+                         : ((std::uint64_t{1} << low) - 1) << off;
+  words_[w] = (words_[w] & ~low_mask) | ((bits << off) & low_mask);
+  if (low < len) {
+    const std::size_t high = len - low;
+    const std::uint64_t high_mask = (std::uint64_t{1} << high) - 1;
+    words_[w + 1] = (words_[w + 1] & ~high_mask) | ((bits >> low) & high_mask);
+  }
 }
 
 std::size_t BitVec::set_transitions_to(const BitVec& next) const {

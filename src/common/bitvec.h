@@ -42,6 +42,21 @@ class BitVec {
   // Returns bits [begin, begin+len).
   BitVec slice(std::size_t begin, std::size_t len) const;
 
+  // In-place variants for hot paths: once `out` (or *this) has seen the
+  // target size, repeated calls perform no heap allocation.
+  //
+  // Copies bits [begin, begin+len) into `out`, resizing it to `len`.
+  void slice_into(std::size_t begin, std::size_t len, BitVec& out) const;
+  // Makes *this a copy of `o`, reusing existing word storage when possible.
+  void assign_from(const BitVec& o);
+
+  // Word-level views for codeword groups of up to 64 bits: bit j of the
+  // returned word is bit begin+j of the vector (the same index mapping as
+  // get/set, so from_string("110") extracts as 0b011).
+  std::uint64_t extract_word(std::size_t begin, std::size_t len) const;
+  // Overwrites bits [begin, begin+len) with the low `len` bits of `bits`.
+  void deposit_word(std::size_t begin, std::size_t len, std::uint64_t bits);
+
   // Transition counts for programming this vector into `next` state.
   // set_transitions: bits going 0 -> 1 (PCM SET, slow).
   // reset_transitions: bits going 1 -> 0 (PCM RESET, fast).

@@ -1,0 +1,22 @@
+#include "common/perf.h"
+
+#include <chrono>
+
+namespace wompcm::perf {
+
+namespace {
+thread_local std::uint64_t t_codec_ns = 0;
+}  // namespace
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::uint64_t codec_ns() { return t_codec_ns; }
+
+void add_codec_ns(std::uint64_t ns) { t_codec_ns += ns; }
+
+}  // namespace wompcm::perf

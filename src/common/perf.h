@@ -1,0 +1,34 @@
+// Lightweight wall-clock phase accounting for the simulation hot path.
+//
+// The simulator attributes run time to three phases — trace generation,
+// controller ticking, and the WOM codec — and surfaces the totals in
+// SimResult::phases. Codec time is accumulated in a thread-local counter
+// because the codec is called from deep inside the architecture layer;
+// each sweep cell runs entirely on one thread (the serial caller or one
+// pool worker), so the per-run delta is race-free by construction.
+#pragma once
+
+#include <cstdint>
+
+namespace wompcm::perf {
+
+// Monotonic nanosecond timestamp (steady clock).
+std::uint64_t now_ns();
+
+// Current thread's accumulated codec time.
+std::uint64_t codec_ns();
+void add_codec_ns(std::uint64_t ns);
+
+// RAII accumulator: adds its lifetime to the calling thread's codec total.
+class ScopedCodecTimer {
+ public:
+  ScopedCodecTimer() : start_(now_ns()) {}
+  ~ScopedCodecTimer() { add_codec_ns(now_ns() - start_); }
+  ScopedCodecTimer(const ScopedCodecTimer&) = delete;
+  ScopedCodecTimer& operator=(const ScopedCodecTimer&) = delete;
+
+ private:
+  std::uint64_t start_;
+};
+
+}  // namespace wompcm::perf

@@ -1,0 +1,64 @@
+// A fixed-size worker pool with future-returning task submission.
+//
+// Backbone of the parallel sweep engine: each (architecture, benchmark)
+// cell of an experiment sweep is submitted as one task. The pool is
+// deliberately minimal — a locked deque and a condition variable — because
+// sweep cells are seconds-long; queue overhead is irrelevant.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace wompcm {
+
+class ThreadPool {
+ public:
+  // Spawns `workers` threads (at least 1).
+  explicit ThreadPool(unsigned workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  // One worker per hardware thread; 1 if the runtime cannot tell.
+  static unsigned hardware_workers();
+
+  // Schedules `f` and returns a future for its result. Exceptions thrown by
+  // the task are captured and rethrown from future::get().
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) {
+        throw std::runtime_error("ThreadPool: submit after shutdown");
+      }
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace wompcm

@@ -1,6 +1,10 @@
 #include "sim/experiment.h"
 
 #include <functional>
+#include <stdexcept>
+
+#include "common/thread_pool.h"
+#include "sim/parallel_sweep.h"
 
 namespace wompcm {
 
@@ -37,28 +41,31 @@ SimResult run_benchmark(const SimConfig& cfg, const WorkloadProfile& profile,
   if (!resolved.warmup_accesses.has_value()) {
     resolved.warmup_accesses = accesses / 5;
   }
+  // The warmup budget is drawn down by reads and writes jointly (the
+  // simulator skips recording for the first `warmup` transactions of either
+  // kind), so a budget >= accesses would leave every latency stat empty.
+  if (*resolved.warmup_accesses >= accesses) {
+    throw std::invalid_argument(
+        "run_benchmark: warmup_accesses (" +
+        std::to_string(*resolved.warmup_accesses) +
+        ") must be smaller than the trace length (" +
+        std::to_string(accesses) + ")");
+  }
   SyntheticTraceSource trace(profile, resolved.geom, s, accesses);
   Simulator sim(resolved);
   return sim.run(trace);
 }
 
+unsigned ParallelPolicy::resolved_jobs() const {
+  return jobs == 0 ? ThreadPool::hardware_workers() : jobs;
+}
+
 std::vector<SweepRow> run_arch_sweep(
     const SimConfig& base, const std::vector<ArchConfig>& archs,
     const std::vector<WorkloadProfile>& profiles, std::uint64_t accesses,
-    std::uint64_t seed) {
-  std::vector<SweepRow> rows;
-  rows.reserve(profiles.size());
-  for (const WorkloadProfile& p : profiles) {
-    SweepRow row;
-    row.benchmark = p.name;
-    for (const ArchConfig& a : archs) {
-      SimConfig cfg = base;
-      cfg.arch = a;
-      row.results.push_back(run_benchmark(cfg, p, accesses, seed));
-    }
-    rows.push_back(std::move(row));
-  }
-  return rows;
+    std::uint64_t seed, ParallelPolicy policy) {
+  return ParallelSweepRunner(policy).run(base, archs, profiles, accesses,
+                                         seed);
 }
 
 double column_mean(const std::vector<std::vector<double>>& m, std::size_t c) {

@@ -1,0 +1,54 @@
+#include "sim/parallel_sweep.h"
+
+#include <future>
+
+#include "common/thread_pool.h"
+
+namespace wompcm {
+
+ParallelSweepRunner::ParallelSweepRunner(ParallelPolicy policy)
+    : jobs_(policy.resolved_jobs()) {}
+
+std::vector<SweepRow> ParallelSweepRunner::run(
+    const SimConfig& base, const std::vector<ArchConfig>& archs,
+    const std::vector<WorkloadProfile>& profiles, std::uint64_t accesses,
+    std::uint64_t seed) const {
+  std::vector<SweepRow> rows(profiles.size());
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    rows[i].benchmark = profiles[i].name;
+    rows[i].results.resize(archs.size());
+  }
+
+  if (jobs_ <= 1) {
+    for (std::size_t i = 0; i < profiles.size(); ++i) {
+      for (std::size_t j = 0; j < archs.size(); ++j) {
+        SimConfig cfg = base;
+        cfg.arch = archs[j];
+        rows[i].results[j] = run_benchmark(cfg, profiles[i], accesses, seed);
+      }
+    }
+    return rows;
+  }
+
+  ThreadPool pool(jobs_);
+  std::vector<std::future<SimResult>> cells;
+  cells.reserve(profiles.size() * archs.size());
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    for (std::size_t j = 0; j < archs.size(); ++j) {
+      cells.push_back(pool.submit([&base, &archs, &profiles, accesses, seed, i,
+                                   j] {
+        SimConfig cfg = base;
+        cfg.arch = archs[j];
+        return run_benchmark(cfg, profiles[i], accesses, seed);
+      }));
+    }
+  }
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    for (std::size_t j = 0; j < archs.size(); ++j) {
+      rows[i].results[j] = cells[i * archs.size() + j].get();
+    }
+  }
+  return rows;
+}
+
+}  // namespace wompcm

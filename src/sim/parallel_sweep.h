@@ -1,0 +1,36 @@
+// Parallel experiment engine.
+//
+// Every figure in the paper is an architecture x benchmark sweep, and each
+// (architecture, benchmark) cell is an independent simulation: it owns its
+// own Simulator, trace source, and seed (the seed is derived from the base
+// seed and the benchmark name, never from scheduling order). The runner
+// therefore schedules cells as tasks on a fixed thread pool and produces
+// results that are bit-identical to the serial sweep, in the same order.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/experiment.h"
+
+namespace wompcm {
+
+class ParallelSweepRunner {
+ public:
+  explicit ParallelSweepRunner(ParallelPolicy policy = {});
+
+  // Worker threads the runner will use (>= 1; 1 means serial).
+  unsigned jobs() const { return jobs_; }
+
+  // Runs every profile against every architecture. Row/column order matches
+  // the serial sweep regardless of task completion order.
+  std::vector<SweepRow> run(const SimConfig& base,
+                            const std::vector<ArchConfig>& archs,
+                            const std::vector<WorkloadProfile>& profiles,
+                            std::uint64_t accesses, std::uint64_t seed) const;
+
+ private:
+  unsigned jobs_;
+};
+
+}  // namespace wompcm

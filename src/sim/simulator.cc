@@ -4,6 +4,8 @@
 #include <memory>
 #include <optional>
 
+#include "common/perf.h"
+
 namespace wompcm {
 
 Simulator::Simulator(const SimConfig& cfg) : cfg_(cfg) {}
@@ -34,9 +36,17 @@ SimResult Simulator::run(TraceSource& trace) {
   const std::uint64_t warmup = cfg_.warmup_accesses.value_or(0);
   std::optional<Transaction> pending;
 
+  std::uint64_t trace_gen_ns = 0;
+  const std::uint64_t codec_ns_start = perf::codec_ns();
+  const std::uint64_t loop_start_ns = perf::now_ns();
+
   auto fetch = [&]() -> std::optional<Transaction> {
+    const std::uint64_t t0 = perf::now_ns();
     const auto rec = trace.next();
-    if (!rec) return std::nullopt;
+    if (!rec) {
+      trace_gen_ns += perf::now_ns() - t0;
+      return std::nullopt;
+    }
     trace_clock += rec->gap;
     Transaction tx;
     tx.id = next_id++;
@@ -44,7 +54,12 @@ SimResult Simulator::run(TraceSource& trace) {
     tx.dec = mapper.decode(rec->addr);
     tx.type = rec->type;
     tx.arrival = trace_clock;
+    // Warmup semantics: the budget counts *transactions*, reads and writes
+    // jointly, in trace order — the first `warmup` accesses of either kind
+    // run unrecorded to reach steady state. run_benchmark() rejects budgets
+    // >= the trace length, which would record nothing.
     tx.record = tx.id > warmup;
+    trace_gen_ns += perf::now_ns() - t0;
     return tx;
   };
 
@@ -82,6 +97,17 @@ SimResult Simulator::run(TraceSource& trace) {
 
     ctrl.tick(now);
   }
+
+  // Attribute the event loop: trace generation is timed directly, codec
+  // time accumulates in a thread-local counter (this run stays on one
+  // thread), and the controller gets the rest.
+  result.phases.total_ns = perf::now_ns() - loop_start_ns;
+  result.phases.trace_gen_ns = trace_gen_ns;
+  result.phases.codec_ns = perf::codec_ns() - codec_ns_start;
+  const std::uint64_t accounted = trace_gen_ns + result.phases.codec_ns;
+  result.phases.controller_ns =
+      result.phases.total_ns > accounted ? result.phases.total_ns - accounted
+                                         : 0;
 
   result.end_time = ctrl.last_completion();
   result.refresh_commands = ctrl.refresh_engine().commands();

@@ -51,6 +51,18 @@ struct SimResult {
   double mean_line_wear = 0.0;
   double lifetime_years = 0.0;
 
+  // Host-side wall-clock breakdown of the run (nanoseconds). Not part of
+  // the simulated state: two runs with identical stats will report
+  // different phase times. codec_ns is nested inside controller work and
+  // already subtracted from controller_ns.
+  struct PhaseCounters {
+    std::uint64_t trace_gen_ns = 0;   // fetching/decoding trace records
+    std::uint64_t controller_ns = 0;  // controller ticks minus codec time
+    std::uint64_t codec_ns = 0;       // WOM codec + generation tracking
+    std::uint64_t total_ns = 0;       // whole event loop
+  };
+  PhaseCounters phases;
+
   // Per bank-like resource (main banks first, then any cache arrays).
   struct BankUtilization {
     Tick busy_time = 0;

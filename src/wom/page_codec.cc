@@ -3,6 +3,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "common/perf.h"
+
 namespace wompcm {
 
 namespace {
@@ -24,68 +26,102 @@ PageCodec::PageCodec(WomCodePtr code, std::size_t data_bits)
         "PageCodec: data_bits must be a positive multiple of the symbol size");
   }
   symbols_ = data_bits_ / code_->data_bits();
-  image_ = initial_image(*code_, symbols_);
+  fresh_ = initial_image(*code_, symbols_);
+  image_ = fresh_;
+  next_ = fresh_;
+  lut_ = EncodeLut::for_code(code_);
+  // Data packs symbols MSB-first while word views are LSB-first; a k-bit
+  // reversal table converts between the two in O(1) per symbol.
+  const unsigned k = code_->data_bits();
+  bitrev_.resize(std::size_t{1} << k);
+  for (std::uint32_t v = 0; v < bitrev_.size(); ++v) {
+    std::uint16_t r = 0;
+    for (unsigned b = 0; b < k; ++b) {
+      r = static_cast<std::uint16_t>(r | (((v >> b) & 1u) << (k - 1 - b)));
+    }
+    bitrev_[v] = r;
+  }
+}
+
+void PageCodec::encode_symbols(const BitVec& data) {
+  const unsigned k = code_->data_bits();
+  const unsigned n = code_->wits();
+  if (lut_ != nullptr) {
+    for (std::size_t s = 0; s < symbols_; ++s) {
+      const unsigned value = bitrev_[data.extract_word(s * k, k)];
+      const auto cur =
+          static_cast<std::uint32_t>(image_.extract_word(s * n, n));
+      next_.deposit_word(s * n, n, lut_->encode(value, generation_, cur));
+    }
+    return;
+  }
+  // Wide-code fallback: the virtual encode still allocates its result, but
+  // the current-symbol view reuses the scratch buffer.
+  for (std::size_t s = 0; s < symbols_; ++s) {
+    const unsigned value = bitrev_[data.extract_word(s * k, k)];
+    image_.slice_into(s * n, n, sym_);
+    const BitVec enc = code_->encode(value, generation_, sym_);
+    for (unsigned b = 0; b < n; ++b) next_.set(s * n + b, enc.get(b));
+  }
 }
 
 PageWriteResult PageCodec::write(const BitVec& data) {
+  perf::ScopedCodecTimer codec_timer;
   if (data.size() != data_bits_) {
     throw std::invalid_argument("PageCodec::write: wrong data size");
   }
   PageWriteResult r;
-  const unsigned k = code_->data_bits();
-  const unsigned n = code_->wits();
-
   if (at_rewrite_limit()) {
     // Alpha-write: re-initialize, then program as a fresh first write.
     r.write_class = WriteClass::kAlpha;
-    const BitVec fresh = initial_image(*code_, symbols_);
-    r.set_pulses += image_.set_transitions_to(fresh);
-    r.reset_pulses += image_.reset_transitions_to(fresh);
-    image_ = fresh;
+    r.set_pulses += image_.set_transitions_to(fresh_);
+    r.reset_pulses += image_.reset_transitions_to(fresh_);
+    image_.assign_from(fresh_);
     generation_ = 0;
   }
-
-  BitVec next(image_.size());
-  for (std::size_t s = 0; s < symbols_; ++s) {
-    unsigned value = 0;
-    for (unsigned b = 0; b < k; ++b) {
-      value = (value << 1) | static_cast<unsigned>(data.get(s * k + b));
-    }
-    const BitVec cur = image_.slice(s * n, n);
-    const BitVec enc = code_->encode(value, generation_, cur);
-    for (unsigned b = 0; b < n; ++b) next.set(s * n + b, enc.get(b));
-  }
-  r.set_pulses += image_.set_transitions_to(next);
-  r.reset_pulses += image_.reset_transitions_to(next);
+  encode_symbols(data);
+  r.set_pulses += image_.set_transitions_to(next_);
+  r.reset_pulses += image_.reset_transitions_to(next_);
   // In-budget writes under an inverted code must be RESET-only.
   assert(code_->raises_bits() || r.write_class == WriteClass::kAlpha ||
-         image_.set_transitions_to(next) == 0);
-  image_ = next;
+         image_.set_transitions_to(next_) == 0);
+  image_.assign_from(next_);
   ++generation_;
   r.generation_after = generation_;
   return r;
 }
 
-BitVec PageCodec::read() const {
+void PageCodec::read_into(BitVec& out) const {
+  perf::ScopedCodecTimer codec_timer;
   if (generation_ == 0) {
     throw std::logic_error("PageCodec::read: page has no written data");
   }
   const unsigned k = code_->data_bits();
   const unsigned n = code_->wits();
-  BitVec data(data_bits_);
+  if (out.size() != data_bits_) out = BitVec(data_bits_);
   for (std::size_t s = 0; s < symbols_; ++s) {
-    const unsigned value = code_->decode(image_.slice(s * n, n));
-    for (unsigned b = 0; b < k; ++b) {
-      data.set(s * k + b, (value >> (k - 1 - b)) & 1);
+    unsigned value;
+    if (lut_ != nullptr) {
+      value = lut_->decode(
+          static_cast<std::uint32_t>(image_.extract_word(s * n, n)));
+    } else {
+      image_.slice_into(s * n, n, sym_);
+      value = code_->decode(sym_);
     }
+    out.deposit_word(s * k, k, bitrev_[value]);
   }
-  return data;
+}
+
+BitVec PageCodec::read() const {
+  BitVec out;
+  read_into(out);
+  return out;
 }
 
 std::size_t PageCodec::refresh() {
-  const BitVec fresh = initial_image(*code_, symbols_);
-  const std::size_t sets = image_.set_transitions_to(fresh);
-  image_ = fresh;
+  perf::ScopedCodecTimer codec_timer;
+  const std::size_t sets = image_.set_transitions_to(fresh_);
+  image_.assign_from(fresh_);
   generation_ = 0;
   return sets;
 }

@@ -9,12 +9,20 @@
 // The timing simulator does not carry data payloads (the inverted code makes
 // write latency data-independent); this codec is the bit-exact reference
 // used by the examples, tests, and the energy ablations.
+//
+// The symbol loop is allocation-free in steady state: symbols are encoded
+// through the code's shared EncodeLut (two array lookups per symbol) when
+// the code is narrow enough, the next image and the pre-erased image live in
+// reusable member buffers, and data bits move through word-level BitVec
+// views. Codes too wide for a table fall back to the virtual encode path.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "common/types.h"
+#include "wom/encode_lut.h"
 #include "wom/wom_code.h"
 
 namespace wompcm {
@@ -50,6 +58,9 @@ class PageCodec {
   // Decodes the current image back into data bits. Must not be called on a
   // page that has never been written since the last (re-)initialization.
   BitVec read() const;
+  // In-place variant: resizes `out` to data_bits() on first use, then
+  // decodes without allocating.
+  void read_into(BitVec& out) const;
 
   // Pre-erases the page to the code's initial state (the PCM-refresh
   // operation). Returns the number of SET pulses spent re-initializing.
@@ -58,11 +69,18 @@ class PageCodec {
   const BitVec& image() const { return image_; }
 
  private:
+  void encode_symbols(const BitVec& data);
+
   WomCodePtr code_;
+  std::shared_ptr<const EncodeLut> lut_;  // nullptr for wide codes
   std::size_t data_bits_;
   std::size_t symbols_;
   unsigned generation_ = 0;
   BitVec image_;
+  BitVec fresh_;        // the pre-erased image, built once
+  BitVec next_;         // scratch: image after the write in progress
+  mutable BitVec sym_;  // scratch: one symbol's wits (virtual path only)
+  std::vector<std::uint16_t> bitrev_;  // k-bit MSB-first <-> word reversal
 };
 
 }  // namespace wompcm

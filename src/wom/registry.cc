@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "wom/code_search.h"
+#include "wom/encode_lut.h"
 #include "wom/identity_code.h"
 #include "wom/inverted_code.h"
 #include "wom/rs_code.h"
@@ -82,7 +83,11 @@ WomCodePtr make_code(const std::string& name) {
       inverted ? name.substr(0, name.size() - 4) : name;
   WomCodePtr base = make_base_code(base_name);
   if (base == nullptr) return nullptr;
-  return inverted ? invert(std::move(base)) : base;
+  WomCodePtr code = inverted ? invert(std::move(base)) : base;
+  // Build (or fetch) the shared encode table now, so every PageCodec for
+  // this code starts with the memoized hot path already warm.
+  EncodeLut::for_code(code);
+  return code;
 }
 
 std::vector<std::string> known_code_names() {

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "common/perf.h"
+
 namespace wompcm {
 
 WomStateTracker::WomStateTracker(unsigned max_writes, unsigned lines_per_row,
@@ -36,6 +38,9 @@ WriteClass WomStateTracker::peek_write(RowKey row, unsigned line) const {
 
 WomStateTracker::WriteRecord WomStateTracker::record_write(RowKey row,
                                                            unsigned line) {
+  // Counted as codec time: this is the timing simulator's stand-in for the
+  // per-line encode step (SimResult::phases.codec_ns).
+  perf::ScopedCodecTimer codec_timer;
   assert(line < lines_);
   ++writes_;
   RowState& rs = row_state(row);

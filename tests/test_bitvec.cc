@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <utility>
+#include <vector>
+
 #include "common/bitvec.h"
 
 namespace wompcm {
@@ -103,6 +106,69 @@ TEST(BitVec, Slice) {
   EXPECT_EQ(v.slice(0, 3).to_string(), "110");
   EXPECT_EQ(v.slice(2, 4).to_string(), "0010");
   EXPECT_EQ(v.slice(5, 1).to_string(), "0");
+}
+
+TEST(BitVec, SliceIntoMatchesSlice) {
+  BitVec v(300);
+  for (std::size_t i = 0; i < 300; i += 7) v.set(i, true);
+  BitVec out;  // reused across calls, as in the codec hot path
+  const std::vector<std::pair<std::size_t, std::size_t>> cases = {
+      {0, 3}, {5, 64}, {60, 10}, {63, 130}, {128, 172}, {299, 1}, {100, 0}};
+  for (const auto& [begin, len] : cases) {
+    v.slice_into(begin, len, out);
+    EXPECT_EQ(out, v.slice(begin, len)) << begin << "+" << len;
+  }
+}
+
+TEST(BitVec, AssignFromMatchesCopy) {
+  const BitVec src = BitVec::from_string("1100101110");
+  BitVec dst(257, true);  // different size: assign_from must retarget
+  dst.assign_from(src);
+  EXPECT_EQ(dst, src);
+  BitVec empty;
+  dst.assign_from(empty);
+  EXPECT_TRUE(dst.empty());
+}
+
+TEST(BitVec, ExtractWordUsesGetIndexOrder) {
+  const BitVec v = BitVec::from_string("110");
+  // Bit j of the word is bit j of the vector: "110" -> 0b011.
+  EXPECT_EQ(v.extract_word(0, 3), 0b011u);
+  EXPECT_EQ(v.extract_word(1, 2), 0b01u);
+}
+
+TEST(BitVec, ExtractWordAcrossWordBoundary) {
+  BitVec v(130);
+  v.set(62, true);
+  v.set(64, true);
+  v.set(127, true);
+  EXPECT_EQ(v.extract_word(62, 3), 0b101u);
+  EXPECT_EQ(v.extract_word(64, 64), (std::uint64_t{1} << 63) | 1u);
+  EXPECT_EQ(v.extract_word(120, 10), std::uint64_t{1} << 7);
+}
+
+TEST(BitVec, DepositWordRoundTripsWithExtract) {
+  BitVec v(200, true);
+  v.deposit_word(60, 10, 0b0110010110u);
+  EXPECT_EQ(v.extract_word(60, 10), 0b0110010110u);
+  // Neighbours untouched.
+  EXPECT_TRUE(v.get(59));
+  EXPECT_TRUE(v.get(70));
+  // Full-word deposit at a word boundary.
+  v.deposit_word(64, 64, 0xdeadbeefcafef00dull);
+  EXPECT_EQ(v.extract_word(64, 64), 0xdeadbeefcafef00dull);
+  // High garbage bits beyond `len` are masked off; bits 4..7 keep their
+  // all-ones initial value.
+  v.deposit_word(0, 4, ~std::uint64_t{0} << 4);
+  EXPECT_EQ(v.extract_word(0, 8), 0xf0u);
+}
+
+TEST(BitVec, DepositThenSetGetAgree) {
+  BitVec a(96), b(96);
+  const std::uint64_t bits = 0x5a5a5a5a5ull;
+  a.deposit_word(30, 40, bits);
+  for (std::size_t j = 0; j < 40; ++j) b.set(30 + j, (bits >> j) & 1);
+  EXPECT_EQ(a, b);
 }
 
 TEST(BitVec, TransitionCounts) {
