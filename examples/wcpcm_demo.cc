@@ -28,7 +28,8 @@ int main(int argc, char** argv) {
   std::printf("WCPCM on %s, banks/rank sweep (paper Figs. 6 and 7 axes)\n\n",
               bench.c_str());
   TextTable t({"banks/rank", "write hit%", "read hit%", "victims",
-               "avg write ns", "avg read ns", "refresh cmds", "overhead%"});
+               "avg write ns", "avg read ns", "row hit% main", "row hit% $",
+               "util main", "util $", "overhead%"});
   for (const unsigned banks : {4u, 8u, 16u, 32u}) {
     SimConfig cfg = paper_config();
     // Fixed total capacity: fewer banks per rank means larger banks, and
@@ -51,7 +52,16 @@ int main(int argc, char** argv) {
                std::to_string(r.stats.counters.get("wcpcm.victims")),
                TextTable::fmt(r.avg_write_ns(), 1),
                TextTable::fmt(r.avg_read_ns(), 1),
-               std::to_string(r.refresh_commands),
+               // Main banks and WOM-cache arrays behave differently enough
+               // that the pooled figures hide both: report them per class.
+               TextTable::fmt(
+                   100.0 * r.row_hit_rate(SimResult::BankClass::kMain), 1),
+               TextTable::fmt(
+                   100.0 * r.row_hit_rate(SimResult::BankClass::kCache), 1),
+               TextTable::fmt(
+                   r.max_bank_utilization(SimResult::BankClass::kMain), 3),
+               TextTable::fmt(
+                   r.max_bank_utilization(SimResult::BankClass::kCache), 3),
                TextTable::fmt(r.capacity_overhead * 100.0, 1)});
   }
   std::printf("%s", t.to_text().c_str());

@@ -65,6 +65,22 @@ unsigned Architecture::route(const DecodedAddr& dec, AccessType type,
   return mapper_.flat_bank(dec);
 }
 
+unsigned Architecture::resource_channel(unsigned resource) const {
+  // Main banks are flat-indexed channel-major (see AddressMapper::flat_bank);
+  // architectures that append extra resources override this.
+  return resource / (geom_.ranks * geom_.banks_per_rank);
+}
+
+void Architecture::publish_metrics(MetricsRegistry& reg, Tick end_time) const {
+  reg.set_gauge("arch.capacity_overhead", capacity_overhead());
+  reg.set_gauge("energy.read_pj", energy_.read_pj());
+  reg.set_gauge("energy.write_pj", energy_.write_pj());
+  reg.set_gauge("energy.refresh_pj", energy_.refresh_pj());
+  reg.set_gauge("wear.max_line", wear_.max_line_wear());
+  reg.set_gauge("wear.mean_line", wear_.mean_line_wear());
+  reg.set_gauge("wear.lifetime_years", wear_.lifetime_years(end_time));
+}
+
 double Architecture::refresh_pending_fraction(unsigned, unsigned) const {
   return 0.0;
 }

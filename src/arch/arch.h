@@ -21,6 +21,7 @@
 #include "pcm/endurance.h"
 #include "pcm/energy.h"
 #include "pcm/timing.h"
+#include "stats/metrics.h"
 #include "stats/stats.h"
 
 namespace wompcm {
@@ -85,6 +86,17 @@ class Architecture {
   virtual unsigned route(const DecodedAddr& dec, AccessType type,
                          bool internal) const;
 
+  // Channel that owns a bank-like resource. Resources never span channels;
+  // per-channel controllers use this to claim exactly their own banks.
+  virtual unsigned resource_channel(unsigned resource) const;
+
+  // True for auxiliary cache arrays (e.g. the per-rank WOM-cache), false
+  // for main-memory banks. Drives the per-class utilization/row-hit split.
+  virtual bool is_cache_resource(unsigned resource) const {
+    (void)resource;
+    return false;
+  }
+
   // Commits the access at issue time (updates WOM generations, cache tags,
   // energy) and returns its plan. Called exactly once per issued access.
   virtual IssuePlan plan(const DecodedAddr& dec, AccessType type,
@@ -122,6 +134,11 @@ class Architecture {
   const EnergyCounters& energy() const { return energy_; }
   const WearTracker& wear() const { return wear_; }
   const MemoryGeometry& geometry() const { return geom_; }
+
+  // Publishes the architecture's end-of-run scalars (energy, wear,
+  // capacity overhead) into the unified registry. `end_time` is the last
+  // completion instant, needed for the lifetime projection.
+  void publish_metrics(MetricsRegistry& reg, Tick end_time) const;
 
   // Enables Start-Gap wear leveling on the main-memory banks. Must be
   // called before the first plan().

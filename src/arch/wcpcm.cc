@@ -49,6 +49,12 @@ bool Wcpcm::probe_read_hit(const DecodedAddr& dec) const {
   return e.valid && e.bank == dec.bank && get_line(e, dec.col);
 }
 
+unsigned Wcpcm::resource_channel(unsigned resource) const {
+  if (resource < main_banks()) return Architecture::resource_channel(resource);
+  // Cache arrays are appended channel-major by rank (see cache_index).
+  return (resource - main_banks()) / geom_.ranks;
+}
+
 unsigned Wcpcm::route(const DecodedAddr& dec, AccessType type,
                       bool internal) const {
   if (internal) return flat_bank(dec);  // victim write-back to main memory

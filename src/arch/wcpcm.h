@@ -37,6 +37,11 @@ class Wcpcm final : public Architecture {
   unsigned num_resources() const override;
   unsigned route(const DecodedAddr& dec, AccessType type,
                  bool internal) const override;
+  unsigned resource_channel(unsigned resource) const override;
+  // The per-rank WOM-cache arrays appended after the main banks.
+  bool is_cache_resource(unsigned resource) const override {
+    return resource >= main_banks();
+  }
   IssuePlan plan(const DecodedAddr& dec, AccessType type, bool internal,
                  Tick now) override;
 

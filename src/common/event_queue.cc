@@ -1,0 +1,22 @@
+#include "common/event_queue.h"
+
+namespace wompcm {
+
+void EventQueue::schedule(Tick t) {
+  if (t != kNeverTick) q_.push(t);
+}
+
+Tick EventQueue::next_after(Tick now) {
+  while (!q_.empty() && q_.top() <= now) q_.pop();
+  return q_.empty() ? kNeverTick : q_.top();
+}
+
+bool Clock::advance(std::initializer_list<Tick> candidates) {
+  Tick t = kNeverTick;
+  for (const Tick c : candidates) t = earliest(t, c);
+  if (t == kNeverTick) return false;
+  if (t > now_) now_ = t;
+  return true;
+}
+
+}  // namespace wompcm

@@ -1,0 +1,60 @@
+// The shared event kernel of the simulator.
+//
+// Every layer of the memory system is event-stepped: work happens at
+// discrete instants, and between instants each component only needs to
+// answer "when could anything next happen?". Two small types capture that
+// protocol in one place:
+//
+//  - EventQueue: a min-heap of future instants. Components push completion
+//    and wakeup times as they schedule work; next_after(now) discards
+//    everything already reached and reports the earliest pending instant
+//    (kNeverTick when quiescent).
+//  - Clock: the monotone simulation clock of a driving loop. advance()
+//    jumps to the earliest of the candidate instants offered by the layers
+//    below (arrivals, controller events, ...) and refuses to move when all
+//    of them are kNeverTick — the loop's quiescence condition.
+#pragma once
+
+#include <initializer_list>
+#include <queue>
+#include <vector>
+
+#include "common/types.h"
+
+namespace wompcm {
+
+class EventQueue {
+ public:
+  // Schedules an instant. kNeverTick is accepted and ignored, so callers
+  // can forward "maybe a time" values without branching.
+  void schedule(Tick t);
+
+  // Earliest scheduled instant strictly in the future of `now`; instants
+  // at or before `now` are dropped (they were handled by the tick that
+  // advanced the clock there). Returns kNeverTick when nothing is pending.
+  Tick next_after(Tick now);
+
+  bool empty() const { return q_.empty(); }
+  std::size_t size() const { return q_.size(); }
+
+ private:
+  std::priority_queue<Tick, std::vector<Tick>, std::greater<Tick>> q_;
+};
+
+// Earliest of two instants (kNeverTick is the identity).
+inline Tick earliest(Tick a, Tick b) { return a < b ? a : b; }
+
+class Clock {
+ public:
+  Tick now() const { return now_; }
+
+  // Advances to the earliest candidate instant (clamped to never move
+  // backwards). Returns false and stays put when every candidate is
+  // kNeverTick: nothing can ever happen again.
+  bool advance(std::initializer_list<Tick> candidates);
+
+ private:
+  Tick now_ = 0;
+};
+
+}  // namespace wompcm

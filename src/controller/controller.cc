@@ -14,19 +14,32 @@ MemoryController::MemoryController(const ControllerConfig& cfg,
     : cfg_(cfg),
       arch_(arch),
       stats_(stats),
-      banks_(arch.num_resources()),
-      bus_free_(cfg.geom.channels, 0),
       drain_(cfg.sched),
-      refresh_(cfg.refresh, cfg.timing, cfg.geom) {
+      refresh_(cfg.refresh, cfg.timing, cfg.geom, cfg.channel),
+      next_internal_id_((std::uint64_t{1} << 62) |
+                        (static_cast<std::uint64_t>(cfg.channel) << 48)) {
   std::string why;
   if (!cfg_.geom.valid(&why)) {
     throw std::invalid_argument("controller: bad geometry: " + why);
+  }
+  if (cfg_.channel >= cfg_.geom.channels) {
+    throw std::invalid_argument("controller: channel out of range");
   }
   if (!cfg_.timing.valid(&why)) {
     throw std::invalid_argument("controller: bad timing: " + why);
   }
   if (!cfg_.sched.valid(&why)) {
     throw std::invalid_argument("controller: bad scheduler config: " + why);
+  }
+  // Claim exactly this channel's bank-like resources, preserving their
+  // global-resource order.
+  const unsigned total = arch.num_resources();
+  global_to_local_.assign(total, ~0u);
+  for (unsigned r = 0; r < total; ++r) {
+    if (arch.resource_channel(r) == cfg_.channel) {
+      global_to_local_[r] = static_cast<unsigned>(banks_.size());
+      banks_.emplace_back();
+    }
   }
   if (refresh_.active(arch_)) push_event(refresh_.next_check());
 }
@@ -35,10 +48,18 @@ bool MemoryController::can_accept() const {
   return read_q_.size() + write_q_.size() < cfg_.queue_capacity;
 }
 
+void MemoryController::note_queue_depth() {
+  const std::size_t depth =
+      read_q_.size() + write_q_.size() + internal_q_.size();
+  if (depth > max_queue_depth_) max_queue_depth_ = depth;
+}
+
 void MemoryController::enqueue(Transaction tx) {
   assert(tx.arrival >= last_tick_);
+  assert(tx.dec.channel == cfg_.channel);
   if (tx.internal) {
     internal_q_.push(tx);
+    note_queue_depth();
     push_event(tx.arrival);
     return;
   }
@@ -62,20 +83,21 @@ void MemoryController::enqueue(Transaction tx) {
   } else {
     write_q_.push(tx);
   }
+  note_queue_depth();
   push_event(tx.arrival);
 }
 
 bool MemoryController::is_row_hit(const Transaction& tx) const {
   const unsigned r = arch_.route(tx.dec, tx.type, tx.internal);
-  const auto open = banks_[r].open_row();
+  const auto open = bank(r).open_row();
   return open.has_value() && *open == tx.dec.row;
 }
 
 bool MemoryController::can_issue(const Transaction& tx, Tick now) const {
   if (tx.arrival > now) return false;  // not yet visible to the controller
-  if (bus_free_[tx.dec.channel] > now) return false;
+  if (bus_free_ > now) return false;   // the channel's one data bus
   const unsigned r = arch_.route(tx.dec, tx.type, tx.internal);
-  return banks_[r].demand_ready_at(now, refresh_.write_pausing()) <= now;
+  return bank(r).demand_ready_at(now, refresh_.write_pausing()) <= now;
 }
 
 bool MemoryController::issue_from(TransactionQueue& q, Tick now) {
@@ -126,7 +148,7 @@ bool MemoryController::issue_fcfs(Tick now) {
 
 void MemoryController::issue(Transaction tx, Tick now) {
   IssuePlan plan = arch_.plan(tx.dec, tx.type, tx.internal, now);
-  Bank& bank = banks_[plan.resource];
+  Bank& bank = bank_mut(plan.resource);
 
   Tick pre = plan.pre_ns;
   if (bank.refreshing(now)) {
@@ -151,9 +173,10 @@ void MemoryController::issue(Transaction tx, Tick now) {
                                         refresh_.write_pausing(),
                                         cfg_.timing.pause_resume_ns);
   if (cfg_.row_policy == RowPolicy::kClosed) bank.close_row();
-  bus_free_[tx.dec.channel] = now + cfg_.timing.burst_ns();
+  bus_free_ = now + cfg_.timing.burst_ns();
+  bus_busy_time_ += cfg_.timing.burst_ns();
   push_event(finish);
-  push_event(bus_free_[tx.dec.channel]);
+  push_event(bus_free_);
   if (finish > last_completion_) last_completion_ = finish;
 
   const Tick latency = finish - tx.arrival;
@@ -179,12 +202,13 @@ void MemoryController::issue(Transaction tx, Tick now) {
     victim.internal = true;
     victim.record = tx.record;
     internal_q_.push(victim);
+    note_queue_depth();
     if (tx.record) stats_.counters.inc("ctrl.internal_writes");
   }
 }
 
 bool MemoryController::refresh_unit_ready(unsigned resource, Tick now) const {
-  if (!banks_[resource].idle(now)) return false;
+  if (!bank(resource).idle(now)) return false;
   if (!cfg_.refresh.require_empty_queues) return true;
   auto targets = [&](const Transaction& tx) {
     return arch_.route(tx.dec, tx.type, tx.internal) == resource;
@@ -206,7 +230,8 @@ void MemoryController::tick(Tick now) {
   // pending demand work always wins.
   if (refresh_.active(arch_)) {
     const Tick f = refresh_.run(
-        now, arch_, banks_,
+        now, arch_,
+        [&](unsigned resource) -> Bank& { return bank_mut(resource); },
         [&](unsigned resource) { return refresh_unit_ready(resource, now); });
     if (f != 0) {
       push_event(f);
@@ -238,9 +263,21 @@ void MemoryController::tick(Tick now) {
 }
 
 Tick MemoryController::next_event_after(Tick now) {
-  while (!events_.empty() && events_.top() <= now) events_.pop();
-  if (events_.empty()) return kNeverTick;
-  return events_.top();
+  return events_.next_after(now);
+}
+
+void MemoryController::publish_metrics(MetricsRegistry& reg) const {
+  reg.set_counter(channel_metric(cfg_.channel, "bus_busy_ns"),
+                  bus_busy_time_);
+  reg.set_counter(channel_metric(cfg_.channel, "max_queue_depth"),
+                  max_queue_depth_);
+  reg.set_counter(channel_metric(cfg_.channel, "refresh.commands"),
+                  refresh_.commands());
+  reg.set_counter(channel_metric(cfg_.channel, "refresh.rows"),
+                  refresh_.rows_refreshed());
+  reg.add_counter("refresh.commands", refresh_.commands());
+  reg.add_counter("refresh.rows", refresh_.rows_refreshed());
+  reg.add_counter("bus.busy_ns", bus_busy_time_);
 }
 
 }  // namespace wompcm

@@ -1,11 +1,18 @@
-// The PCM memory controller: queues, bank/bus timing, write drain, write
-// pausing, PCM-refresh — the DRAMSim2-equivalent substrate of the paper.
+// The per-channel PCM memory controller: queues, bank/bus timing, write
+// drain, write pausing, PCM-refresh — the DRAMSim2-equivalent substrate of
+// the paper, scoped to exactly one channel.
+//
+// A controller owns the demand queues, back-pressure bound, scheduler
+// scan, refresh engine, data bus, and bank state of its channel only; it
+// holds no cross-channel state. MemorySystem (sim/memory_system.h)
+// instantiates one controller per channel and routes transactions by their
+// decoded channel coordinate.
 //
 // The controller is event-stepped: tick(now) performs all work available at
 // `now` (issue demand accesses, run due refresh checks), and
 // next_event_after(now) reports the earliest future instant at which new
-// work may become possible. The driving loop (sim/Simulator) interleaves
-// trace arrivals with these events.
+// work may become possible. The driving loop (sim/Simulator via
+// MemorySystem) interleaves trace arrivals with these events.
 //
 // Service-time model for an access issued at time s on bank B:
 //   activate = row_read_ns if B's open row differs from the target row
@@ -17,14 +24,15 @@
 #pragma once
 
 #include <memory>
-#include <queue>
 #include <vector>
 
 #include "arch/arch.h"
+#include "common/event_queue.h"
 #include "controller/queues.h"
 #include "controller/refresh_engine.h"
 #include "controller/scheduler.h"
 #include "pcm/bank.h"
+#include "stats/metrics.h"
 #include "stats/stats.h"
 
 namespace wompcm {
@@ -43,7 +51,11 @@ struct ControllerConfig {
   SchedulerConfig sched;
   RefreshConfig refresh;
   RowPolicy row_policy = RowPolicy::kOpen;
-  // Back-pressure bound on total queued demand transactions.
+  // Channel this controller serves; every enqueued transaction must decode
+  // to it.
+  unsigned channel = 0;
+  // Back-pressure bound on this channel's queued demand transactions
+  // (per-channel: a saturated channel never stalls its siblings).
   unsigned queue_capacity = 256;
   // Forward reads that hit a queued write (write-to-read forwarding).
   bool read_forwarding = true;
@@ -58,7 +70,8 @@ class MemoryController {
   bool can_accept() const;
 
   // Hands a demand transaction to the controller. tx.arrival is the
-  // enqueue time and must not precede the latest tick.
+  // enqueue time and must not precede the latest tick; tx.dec.channel must
+  // be this controller's channel.
   void enqueue(Transaction tx);
 
   // Performs all work possible at time `now` (monotone across calls).
@@ -72,12 +85,27 @@ class MemoryController {
     return read_q_.empty() && write_q_.empty() && internal_q_.empty();
   }
   Tick last_completion() const { return last_completion_; }
+  unsigned channel() const { return cfg_.channel; }
 
   std::size_t read_queue_size() const { return read_q_.size(); }
   std::size_t write_queue_size() const { return write_q_.size(); }
   std::size_t internal_queue_size() const { return internal_q_.size(); }
+  std::size_t max_queue_depth() const { return max_queue_depth_; }
+  // Cumulative time the channel's data bus was held by bursts.
+  Tick bus_busy_time() const { return bus_busy_time_; }
+
+  // This channel's bank-like resources, in ascending global-resource
+  // order (main banks first, then any cache arrays).
   const std::vector<Bank>& banks() const { return banks_; }
+  // Bank state for a global resource index owned by this channel.
+  const Bank& bank(unsigned global_resource) const {
+    return banks_[local_resource(global_resource)];
+  }
   const RefreshEngine& refresh_engine() const { return refresh_; }
+
+  // Publishes this channel's counters ("ch<N>." prefix) plus its share of
+  // the system-wide refresh totals into the registry.
+  void publish_metrics(MetricsRegistry& reg) const;
 
  private:
   struct Pick {
@@ -86,6 +114,12 @@ class MemoryController {
     Tick arrival = kNeverTick;
   };
 
+  unsigned local_resource(unsigned global_resource) const {
+    return global_to_local_[global_resource];
+  }
+  Bank& bank_mut(unsigned global_resource) {
+    return banks_[local_resource(global_resource)];
+  }
   bool can_issue(const Transaction& tx, Tick now) const;
   bool is_row_hit(const Transaction& tx) const;
   Pick find_pick(const TransactionQueue& q, Tick now) const;
@@ -93,7 +127,8 @@ class MemoryController {
   bool issue_from(TransactionQueue& q, Tick now);
   void issue(Transaction tx, Tick now);
   bool refresh_unit_ready(unsigned resource, Tick now) const;
-  void push_event(Tick t) { events_.push(t); }
+  void push_event(Tick t) { events_.schedule(t); }
+  void note_queue_depth();
 
   ControllerConfig cfg_;
   Architecture& arch_;
@@ -104,15 +139,19 @@ class MemoryController {
   // Architecture-generated write-backs (WCPCM victims): drained in the
   // background, only when no demand transaction can issue.
   TransactionQueue internal_q_;
+  // This channel's banks; global resource index -> local slot.
   std::vector<Bank> banks_;
-  std::vector<Tick> bus_free_;  // per channel
+  std::vector<unsigned> global_to_local_;
+  Tick bus_free_ = 0;  // the channel's one data bus
+  Tick bus_busy_time_ = 0;
+  std::size_t max_queue_depth_ = 0;
   WriteDrainPolicy drain_;
   RefreshEngine refresh_;
 
-  std::priority_queue<Tick, std::vector<Tick>, std::greater<Tick>> events_;
+  EventQueue events_;
   Tick last_tick_ = 0;
   Tick last_completion_ = 0;
-  std::uint64_t next_internal_id_ = 1ull << 62;
+  std::uint64_t next_internal_id_;
 };
 
 }  // namespace wompcm

@@ -3,48 +3,49 @@
 namespace wompcm {
 
 RefreshEngine::RefreshEngine(const RefreshConfig& cfg, const PcmTiming& timing,
-                             const MemoryGeometry& geom)
+                             const MemoryGeometry& geom, unsigned channel)
     : cfg_(cfg),
       timing_(timing),
       geom_(geom),
+      channel_(channel),
       next_check_(cfg.enabled ? timing.refresh_period_ns : kNeverTick) {}
 
-Tick RefreshEngine::run(Tick now, Architecture& arch, std::vector<Bank>& banks,
+Tick RefreshEngine::run(Tick now, Architecture& arch,
+                        const BankResolver& bank_of,
                         const std::function<bool(unsigned)>& unit_ready) {
   if (!active(arch)) return 0;
   Tick finish = 0;
   while (next_check_ <= now) {
     next_check_ += timing_.refresh_period_ns;
-    const Tick f = scan(now, arch, banks, unit_ready);
+    const Tick f = scan(now, arch, bank_of, unit_ready);
     if (f != 0) finish = f;
   }
   return finish;
 }
 
 Tick RefreshEngine::scan(Tick now, Architecture& arch,
-                         std::vector<Bank>& banks,
+                         const BankResolver& bank_of,
                          const std::function<bool(unsigned)>& unit_ready) {
-  const unsigned nranks = geom_.channels * geom_.ranks;
+  const unsigned nranks = geom_.ranks;
   for (unsigned i = 0; i < nranks; ++i) {
-    const unsigned rr = (cursor_ + i) % nranks;
-    const unsigned channel = rr / geom_.ranks;
-    const unsigned rank = rr % geom_.ranks;
-    const double pending = arch.refresh_pending_fraction(channel, rank);
+    const unsigned rank = (cursor_ + i) % nranks;
+    const double pending = arch.refresh_pending_fraction(channel_, rank);
     if (pending <= 0.0 || pending < cfg_.threshold) continue;
     const Architecture::RefreshWork work =
-        arch.perform_refresh(channel, rank, unit_ready);
+        arch.perform_refresh(channel_, rank, unit_ready);
     if (work.rows == 0) continue;
     // Burst-mode command: t_WR plus one data burst per row streamed.
     const Tick until =
         now + timing_.row_write_ns + work.rows * timing_.burst_ns();
     for (const unsigned r : work.resources) {
-      banks[r].begin_refresh(until);
+      Bank& bank = bank_of(r);
+      bank.begin_refresh(until);
       // The refresh streams rows through the row buffer.
-      banks[r].close_row();
+      bank.close_row();
     }
     rows_ += work.rows;
     ++commands_;
-    cursor_ = (rr + 1) % nranks;
+    cursor_ = (rank + 1) % nranks;
     return until;
   }
   cursor_ = (cursor_ + 1) % nranks;

@@ -39,7 +39,24 @@ SimConfig apply_overrides(SimConfig cfg, const KeyValueConfig& kv) {
   cfg.geom.cols_per_row = get_unsigned(kv, "cols", cfg.geom.cols_per_row);
   cfg.geom.devices_per_rank =
       get_unsigned(kv, "devices", cfg.geom.devices_per_rank);
+  cfg.geom.bits_per_col =
+      get_unsigned(kv, "bits_per_col", cfg.geom.bits_per_col);
+  // One burst-length knob: the geometry's line size and the bus-occupancy
+  // model describe the same DDR3 burst, so "burst" sets both.
   cfg.geom.burst_length = get_unsigned(kv, "burst", cfg.geom.burst_length);
+  cfg.timing.burst_length = get_unsigned(kv, "burst", cfg.timing.burst_length);
+  if (kv.has("mapping")) {
+    const std::string m = kv.get_string_or("mapping", "");
+    if (m == "row:rank:bank:col") {
+      cfg.geom.mapping = AddressMapping::kRowRankBankCol;
+    } else if (m == "row:bank:rank:col") {
+      cfg.geom.mapping = AddressMapping::kRowBankRankCol;
+    } else if (m == "rank:bank:row:col") {
+      cfg.geom.mapping = AddressMapping::kRankBankRowCol;
+    } else {
+      bad("mapping", m);
+    }
+  }
 
   // Timing.
   cfg.timing.row_read_ns = get_tick(kv, "row_read", cfg.timing.row_read_ns);
@@ -49,6 +66,9 @@ SimConfig apply_overrides(SimConfig cfg, const KeyValueConfig& kv) {
   cfg.timing.col_read_ns = get_tick(kv, "col_read", cfg.timing.col_read_ns);
   cfg.timing.refresh_period_ns =
       get_tick(kv, "refresh_period", cfg.timing.refresh_period_ns);
+  cfg.timing.tag_check_ns = get_tick(kv, "tag_check", cfg.timing.tag_check_ns);
+  cfg.timing.pause_resume_ns =
+      get_tick(kv, "pause_resume", cfg.timing.pause_resume_ns);
 
   // Architecture.
   if (kv.has("arch")) {
@@ -81,6 +101,19 @@ SimConfig apply_overrides(SimConfig cfg, const KeyValueConfig& kv) {
     }
   }
   cfg.arch.rat_entries = get_unsigned(kv, "rat", cfg.arch.rat_entries);
+  if (kv.has("refresh_enabled")) {
+    const auto v = kv.get_bool("refresh_enabled");
+    if (!v) bad("refresh_enabled", kv.get_string_or("refresh_enabled", ""));
+    cfg.refresh.enabled = *v;
+  }
+  if (kv.has("require_empty_queues")) {
+    const auto v = kv.get_bool("require_empty_queues");
+    if (!v) {
+      bad("require_empty_queues",
+          kv.get_string_or("require_empty_queues", ""));
+    }
+    cfg.refresh.require_empty_queues = *v;
+  }
   if (kv.has("rth")) {
     const auto v = kv.get_double("rth");
     if (!v || *v < 0.0 || *v > 1.0) bad("rth", kv.get_string_or("rth", ""));
@@ -122,6 +155,16 @@ SimConfig apply_overrides(SimConfig cfg, const KeyValueConfig& kv) {
       bad("policy", p);
     }
   }
+  cfg.sched.write_q_high =
+      get_unsigned(kv, "write_q_high", cfg.sched.write_q_high);
+  cfg.sched.write_q_low =
+      get_unsigned(kv, "write_q_low", cfg.sched.write_q_low);
+  if (kv.has("row_hit_first")) {
+    const auto v = kv.get_bool("row_hit_first");
+    if (!v) bad("row_hit_first", kv.get_string_or("row_hit_first", ""));
+    cfg.sched.row_hit_first = *v;
+  }
+  cfg.sched.scan_limit = get_unsigned(kv, "scan_limit", cfg.sched.scan_limit);
   if (kv.has("row_policy")) {
     const std::string p = kv.get_string_or("row_policy", "");
     if (p == "open") {
@@ -170,13 +213,17 @@ std::string describe(const SimConfig& cfg) {
      << "rows=" << cfg.geom.rows_per_bank << "\n"
      << "cols=" << cfg.geom.cols_per_row << "\n"
      << "devices=" << cfg.geom.devices_per_rank << "\n"
+     << "bits_per_col=" << cfg.geom.bits_per_col << "\n"
      << "burst=" << cfg.geom.burst_length << "\n"
+     << "mapping=" << to_string(cfg.geom.mapping) << "\n"
      << "row_read=" << cfg.timing.row_read_ns << "\n"
      << "row_write=" << cfg.timing.row_write_ns << "\n"
      << "reset=" << cfg.timing.reset_ns << "\n"
      << "set=" << cfg.timing.set_ns << "\n"
      << "col_read=" << cfg.timing.col_read_ns << "\n"
-     << "refresh_period=" << cfg.timing.refresh_period_ns << "\n";
+     << "refresh_period=" << cfg.timing.refresh_period_ns << "\n"
+     << "tag_check=" << cfg.timing.tag_check_ns << "\n"
+     << "pause_resume=" << cfg.timing.pause_resume_ns << "\n";
   const char* arch = "pcm";
   switch (cfg.arch.kind) {
     case ArchKind::kBaseline:
@@ -205,19 +252,30 @@ std::string describe(const SimConfig& cfg) {
                                                                : "hidden")
      << "\n"
      << "rat=" << cfg.arch.rat_entries << "\n"
+     << "refresh_enabled=" << (cfg.refresh.enabled ? "true" : "false")
+     << "\n"
      << "rth=" << cfg.refresh.threshold << "\n"
      << "pausing=" << (cfg.refresh.write_pausing ? "true" : "false") << "\n"
+     << "require_empty_queues="
+     << (cfg.refresh.require_empty_queues ? "true" : "false") << "\n"
      << "policy="
      << (cfg.sched.policy == SchedulingPolicy::kFcfs ? "fcfs"
                                                      : "read-priority")
      << "\n"
+     << "write_q_high=" << cfg.sched.write_q_high << "\n"
+     << "write_q_low=" << cfg.sched.write_q_low << "\n"
+     << "row_hit_first=" << (cfg.sched.row_hit_first ? "true" : "false")
+     << "\n"
+     << "scan_limit=" << cfg.sched.scan_limit << "\n"
      << "row_policy="
      << (cfg.row_policy == RowPolicy::kOpen ? "open" : "closed") << "\n"
      << "queue_capacity=" << cfg.queue_capacity << "\n"
      << "read_forwarding=" << (cfg.read_forwarding ? "true" : "false")
      << "\n"
+     << "fnw_fast=" << cfg.arch.fnw_fast_fraction << "\n"
      << "start_gap=" << (cfg.arch.start_gap ? "true" : "false") << "\n"
-     << "start_gap_interval=" << cfg.arch.start_gap_interval << "\n";
+     << "start_gap_interval=" << cfg.arch.start_gap_interval << "\n"
+     << "seed=" << cfg.arch.seed << "\n";
   if (cfg.warmup_accesses.has_value()) {
     os << "warmup=" << *cfg.warmup_accesses << "\n";
   }

@@ -1,0 +1,75 @@
+#include "sim/memory_system.h"
+
+#include "common/event_queue.h"
+
+namespace wompcm {
+
+MemorySystem::MemorySystem(const MemorySystemConfig& cfg, Architecture& arch,
+                           SimStats& stats)
+    : arch_(arch) {
+  channels_.reserve(cfg.geom.channels);
+  for (unsigned c = 0; c < cfg.geom.channels; ++c) {
+    ControllerConfig ccfg;
+    ccfg.geom = cfg.geom;
+    ccfg.timing = cfg.timing;
+    ccfg.sched = cfg.sched;
+    ccfg.refresh = cfg.refresh;
+    ccfg.row_policy = cfg.row_policy;
+    ccfg.channel = c;
+    ccfg.queue_capacity = cfg.queue_capacity;
+    ccfg.read_forwarding = cfg.read_forwarding;
+    channels_.push_back(
+        std::make_unique<MemoryController>(ccfg, arch, stats));
+  }
+}
+
+bool MemorySystem::can_accept(const DecodedAddr& dec) const {
+  return channels_[dec.channel]->can_accept();
+}
+
+void MemorySystem::enqueue(const Transaction& tx) {
+  channels_[tx.dec.channel]->enqueue(tx);
+}
+
+Tick MemorySystem::next_event_after(Tick now) {
+  Tick t = kNeverTick;
+  for (const auto& c : channels_) t = earliest(t, c->next_event_after(now));
+  return t;
+}
+
+void MemorySystem::tick(Tick now) {
+  for (const auto& c : channels_) c->tick(now);
+}
+
+bool MemorySystem::drained() const {
+  for (const auto& c : channels_) {
+    if (!c->drained()) return false;
+  }
+  return true;
+}
+
+Tick MemorySystem::last_completion() const {
+  Tick t = 0;
+  for (const auto& c : channels_) {
+    if (c->last_completion() > t) t = c->last_completion();
+  }
+  return t;
+}
+
+std::vector<MemorySystem::BankSnapshot> MemorySystem::banks() const {
+  std::vector<BankSnapshot> out;
+  const unsigned total = arch_.num_resources();
+  out.reserve(total);
+  for (unsigned r = 0; r < total; ++r) {
+    const MemoryController& c = *channels_[arch_.resource_channel(r)];
+    out.push_back(BankSnapshot{&c.bank(r), arch_.is_cache_resource(r)});
+  }
+  return out;
+}
+
+void MemorySystem::publish_metrics(MetricsRegistry& reg) const {
+  reg.set_counter("sim.end_time", last_completion());
+  for (const auto& c : channels_) c->publish_metrics(reg);
+}
+
+}  // namespace wompcm

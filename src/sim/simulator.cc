@@ -4,6 +4,7 @@
 #include <memory>
 #include <optional>
 
+#include "common/event_queue.h"
 #include "common/perf.h"
 
 namespace wompcm {
@@ -16,25 +17,28 @@ SimResult Simulator::run(TraceSource& trace) {
 
   SimResult result;
   result.arch_name = arch->name();
-  result.capacity_overhead = arch->capacity_overhead();
 
-  ControllerConfig ccfg;
-  ccfg.geom = cfg_.geom;
-  ccfg.timing = cfg_.timing;
-  ccfg.sched = cfg_.sched;
-  ccfg.refresh = cfg_.refresh;
-  ccfg.row_policy = cfg_.row_policy;
-  ccfg.queue_capacity = cfg_.queue_capacity;
-  ccfg.read_forwarding = cfg_.read_forwarding;
+  MemorySystemConfig mcfg;
+  mcfg.geom = cfg_.geom;
+  mcfg.timing = cfg_.timing;
+  mcfg.sched = cfg_.sched;
+  mcfg.refresh = cfg_.refresh;
+  mcfg.row_policy = cfg_.row_policy;
+  mcfg.queue_capacity = cfg_.queue_capacity;
+  mcfg.read_forwarding = cfg_.read_forwarding;
 
-  MemoryController ctrl(ccfg, *arch, result.stats);
+  MemorySystem mem(mcfg, *arch, result.stats);
   AddressMapper mapper(cfg_.geom);
 
-  Tick now = 0;
+  Clock clock;
   Tick trace_clock = 0;
   std::uint64_t next_id = 1;
   const std::uint64_t warmup = cfg_.warmup_accesses.value_or(0);
   std::optional<Transaction> pending;
+
+  std::uint64_t injected_reads = 0;
+  std::uint64_t injected_writes = 0;
+  std::vector<std::uint64_t> deferred(mem.num_channels(), 0);
 
   std::uint64_t trace_gen_ns = 0;
   const std::uint64_t codec_ns_start = perf::codec_ns();
@@ -65,37 +69,37 @@ SimResult Simulator::run(TraceSource& trace) {
 
   pending = fetch();
 
-  while (pending.has_value() || !ctrl.drained()) {
+  while (pending.has_value() || !mem.drained()) {
     Tick t_arrival = kNeverTick;
-    if (pending.has_value() && ctrl.can_accept()) {
-      t_arrival = std::max(pending->arrival, now);
+    if (pending.has_value() && mem.can_accept(pending->dec)) {
+      t_arrival = std::max(pending->arrival, clock.now());
     }
-    const Tick t_ctrl = ctrl.next_event_after(now);
-    const Tick t = std::min(t_arrival, t_ctrl);
-    if (t == kNeverTick) break;  // quiescent: nothing can ever happen
-    now = t;
+    if (!clock.advance({t_arrival, mem.next_event_after(clock.now())})) {
+      break;  // quiescent: nothing can ever happen
+    }
+    const Tick now = clock.now();
 
-    // Deliver all arrivals due at or before `now` while the queue accepts
-    // them. An arrival held back by back-pressure is timestamped with its
-    // actual acceptance time (the CPU stalled; memory latency starts when
-    // the controller sees the request).
-    while (pending.has_value() && ctrl.can_accept() &&
+    // Deliver all arrivals due at or before `now` while the target
+    // channel's queue accepts them. An arrival held back by back-pressure
+    // is timestamped with its actual acceptance time (the CPU stalled;
+    // memory latency starts when the controller sees the request).
+    while (pending.has_value() && mem.can_accept(pending->dec) &&
            pending->arrival <= now) {
       Transaction tx = *pending;
       if (tx.arrival < now) {
-        ++result.deferred_injections;
+        ++deferred[tx.dec.channel];
         tx.arrival = now;
       }
       if (tx.type == AccessType::kRead) {
-        ++result.injected_reads;
+        ++injected_reads;
       } else {
-        ++result.injected_writes;
+        ++injected_writes;
       }
-      ctrl.enqueue(tx);
+      mem.enqueue(tx);
       pending = fetch();
     }
 
-    ctrl.tick(now);
+    mem.tick(now);
   }
 
   // Attribute the event loop: trace generation is timed directly, codec
@@ -109,36 +113,79 @@ SimResult Simulator::run(TraceSource& trace) {
       result.phases.total_ns > accounted ? result.phases.total_ns - accounted
                                          : 0;
 
-  result.end_time = ctrl.last_completion();
-  result.refresh_commands = ctrl.refresh_engine().commands();
-  result.refresh_rows = ctrl.refresh_engine().rows_refreshed();
+  // Every layer publishes its end-of-run scalars into one registry; the
+  // result is then collected in a single pass instead of copied field by
+  // field from each component.
+  MetricsRegistry reg;
+  reg.set_counter("sim.injected_reads", injected_reads);
+  reg.set_counter("sim.injected_writes", injected_writes);
+  std::uint64_t deferred_total = 0;
+  for (unsigned c = 0; c < mem.num_channels(); ++c) {
+    reg.set_counter(channel_metric(c, "deferred_injections"), deferred[c]);
+    deferred_total += deferred[c];
+  }
+  reg.set_counter("sim.deferred_injections", deferred_total);
+  mem.publish_metrics(reg);
+  arch->publish_metrics(reg, mem.last_completion());
+  result.collect(reg);
+
   result.stats.counters.merge(arch->counters());
-  result.energy_read_pj = arch->energy().read_pj();
-  result.energy_write_pj = arch->energy().write_pj();
-  result.energy_refresh_pj = arch->energy().refresh_pj();
-  result.max_line_wear = arch->wear().max_line_wear();
-  result.mean_line_wear = arch->wear().mean_line_wear();
-  result.lifetime_years = arch->wear().lifetime_years(result.end_time);
-  result.banks.reserve(ctrl.banks().size());
-  for (const Bank& b : ctrl.banks()) {
+  result.banks.reserve(arch->num_resources());
+  for (const MemorySystem::BankSnapshot& s : mem.banks()) {
     result.banks.push_back(SimResult::BankUtilization{
-        b.busy_time(), b.ops(), b.row_hits(), b.pauses()});
+        s.bank->busy_time(), s.bank->ops(), s.bank->row_hits(),
+        s.bank->pauses(), s.is_cache});
   }
   return result;
 }
 
-double SimResult::max_bank_utilization() const {
+void SimResult::collect(const MetricsRegistry& reg) {
+  metrics = reg;
+  end_time = reg.counter("sim.end_time");
+  injected_reads = reg.counter("sim.injected_reads");
+  injected_writes = reg.counter("sim.injected_writes");
+  deferred_injections = reg.counter("sim.deferred_injections");
+  refresh_commands = reg.counter("refresh.commands");
+  refresh_rows = reg.counter("refresh.rows");
+  capacity_overhead = reg.gauge("arch.capacity_overhead");
+  energy_read_pj = reg.gauge("energy.read_pj");
+  energy_write_pj = reg.gauge("energy.write_pj");
+  energy_refresh_pj = reg.gauge("energy.refresh_pj");
+  max_line_wear = reg.gauge("wear.max_line");
+  mean_line_wear = reg.gauge("wear.mean_line");
+  lifetime_years = reg.gauge("wear.lifetime_years");
+}
+
+namespace {
+
+bool in_class(const SimResult::BankUtilization& b,
+              SimResult::BankClass cls) {
+  switch (cls) {
+    case SimResult::BankClass::kAll:
+      return true;
+    case SimResult::BankClass::kMain:
+      return !b.cache;
+    case SimResult::BankClass::kCache:
+      return b.cache;
+  }
+  return true;
+}
+
+}  // namespace
+
+double SimResult::max_bank_utilization(BankClass cls) const {
   if (end_time == 0) return 0.0;
   Tick busiest = 0;
   for (const BankUtilization& b : banks) {
-    if (b.busy_time > busiest) busiest = b.busy_time;
+    if (in_class(b, cls) && b.busy_time > busiest) busiest = b.busy_time;
   }
   return static_cast<double>(busiest) / static_cast<double>(end_time);
 }
 
-double SimResult::row_hit_rate() const {
+double SimResult::row_hit_rate(BankClass cls) const {
   std::uint64_t ops = 0, hits = 0;
   for (const BankUtilization& b : banks) {
+    if (!in_class(b, cls)) continue;
     ops += b.ops;
     hits += b.row_hits;
   }

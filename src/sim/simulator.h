@@ -1,8 +1,16 @@
 // Trace-driven simulation driver.
 //
-// Wires a trace source, an architecture, and the memory controller into one
-// run, handling frontend back-pressure (a full controller queue defers
-// injection, like a stalled CPU would) and end-of-trace draining.
+// Wires a trace source and the layered memory system into one run:
+//
+//   trace -> Simulator -> MemorySystem -> per-channel MemoryController
+//                                           -> banks / bus / refresh / arch
+//
+// The Simulator handles frontend back-pressure (a full channel queue defers
+// injection, like a stalled CPU would; trace order is preserved, so a
+// stalled head-of-trace access blocks later ones just as a core's load
+// queue would) and end-of-trace draining. End-of-run scalars flow through
+// the unified metrics registry: every layer publishes into it and
+// SimResult::collect() reads it back in one place.
 #pragma once
 
 #include <cstdint>
@@ -11,7 +19,8 @@
 #include <vector>
 
 #include "arch/arch.h"
-#include "controller/controller.h"
+#include "sim/memory_system.h"
+#include "stats/metrics.h"
 #include "trace/trace.h"
 
 namespace wompcm {
@@ -23,6 +32,12 @@ struct SimConfig {
   RefreshConfig refresh;
   ArchConfig arch;
   RowPolicy row_policy = RowPolicy::kOpen;
+  // Back-pressure bound on queued demand transactions, per channel: each
+  // channel controller gets its own queue pair with this capacity, so a
+  // saturated channel never stalls its siblings. (Before the MemorySystem
+  // split this was one global bound; the paper configuration has a single
+  // channel, so its behaviour is unchanged. Multi-channel configs now hold
+  // channels * queue_capacity transactions at full load.)
   unsigned queue_capacity = 256;
   bool read_forwarding = true;
   // Number of leading trace accesses to simulate without recording latency
@@ -35,6 +50,10 @@ struct SimConfig {
 struct SimResult {
   std::string arch_name;
   SimStats stats;
+  // Every named scalar published by the run: system totals plus per-channel
+  // breakdowns ("ch<N>.bus_busy_ns", "ch<N>.max_queue_depth", ...). The
+  // scalar fields below are collected from this registry.
+  MetricsRegistry metrics;
   Tick end_time = 0;
   std::uint64_t injected_reads = 0;
   std::uint64_t injected_writes = 0;
@@ -63,22 +82,34 @@ struct SimResult {
   };
   PhaseCounters phases;
 
-  // Per bank-like resource (main banks first, then any cache arrays).
+  // Per bank-like resource (main banks first, then any cache arrays), in
+  // global-resource order.
   struct BankUtilization {
     Tick busy_time = 0;
     std::uint64_t ops = 0;
     std::uint64_t row_hits = 0;
     std::uint64_t pauses = 0;
+    bool cache = false;  // true for WOM-cache arrays, false for main banks
   };
   std::vector<BankUtilization> banks;
+
+  // Resource class selector for the utilization / row-hit accessors:
+  // kAll pools every bank-like resource (the original combined figure),
+  // kMain covers only main-memory banks, kCache only WOM-cache arrays.
+  enum class BankClass : std::uint8_t { kAll, kMain, kCache };
 
   double avg_read_ns() const { return stats.demand_read_latency.mean(); }
   double avg_write_ns() const { return stats.demand_write_latency.mean(); }
 
   // Demand-busy fraction of the most loaded resource over the whole run.
-  double max_bank_utilization() const;
+  double max_bank_utilization(BankClass cls = BankClass::kAll) const;
   // Fraction of array accesses that hit an open row.
-  double row_hit_rate() const;
+  double row_hit_rate(BankClass cls = BankClass::kAll) const;
+
+  // Fills every scalar field above from the registry (and stores the
+  // registry itself in `metrics`). The single aggregation point: layers
+  // publish, collect() reads — no field-by-field copying in the driver.
+  void collect(const MetricsRegistry& reg);
 };
 
 class Simulator {
@@ -87,7 +118,7 @@ class Simulator {
 
   // Runs the trace to completion (injection + drain) and returns the
   // aggregated result. The simulator may be reused for further runs; each
-  // run builds a fresh architecture and controller.
+  // run builds a fresh architecture and memory system.
   SimResult run(TraceSource& trace);
 
  private:

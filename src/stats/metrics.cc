@@ -1,0 +1,41 @@
+#include "stats/metrics.h"
+
+namespace wompcm {
+
+void MetricsRegistry::set_counter(const std::string& name, std::uint64_t v) {
+  Metric& m = map_[name];
+  m.kind = Kind::kCounter;
+  m.count = v;
+}
+
+void MetricsRegistry::add_counter(const std::string& name, std::uint64_t v) {
+  Metric& m = map_[name];
+  m.kind = Kind::kCounter;
+  m.count += v;
+}
+
+void MetricsRegistry::set_gauge(const std::string& name, double v) {
+  Metric& m = map_[name];
+  m.kind = Kind::kGauge;
+  m.value = v;
+}
+
+bool MetricsRegistry::has(const std::string& name) const {
+  return map_.find(name) != map_.end();
+}
+
+std::uint64_t MetricsRegistry::counter(const std::string& name) const {
+  const auto it = map_.find(name);
+  return it == map_.end() ? 0 : it->second.count;
+}
+
+double MetricsRegistry::gauge(const std::string& name) const {
+  const auto it = map_.find(name);
+  return it == map_.end() ? 0.0 : it->second.value;
+}
+
+std::string channel_metric(unsigned channel, const std::string& name) {
+  return "ch" + std::to_string(channel) + "." + name;
+}
+
+}  // namespace wompcm

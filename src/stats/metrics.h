@@ -1,0 +1,57 @@
+// Unified metrics registry.
+//
+// Every layer of the memory system (architecture, per-channel controllers,
+// refresh engines, the simulation driver itself) publishes its end-of-run
+// scalars into one named registry instead of being hand-copied field by
+// field into SimResult. Two metric kinds:
+//
+//  - counter: an exact integer event count (refresh commands, injections)
+//  - gauge:   a double-valued measurement (energy in pJ, wear, fractions)
+//
+// Names are dotted paths. Per-channel metrics use a "ch<N>." prefix
+// (see channel_metric()), so per-channel breakdowns — queue depth, bus
+// occupancy, deferred injections — are available to sweep tables without
+// any extra plumbing.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace wompcm {
+
+class MetricsRegistry {
+ public:
+  enum class Kind : std::uint8_t { kCounter, kGauge };
+
+  struct Metric {
+    Kind kind = Kind::kCounter;
+    std::uint64_t count = 0;  // kCounter
+    double value = 0.0;       // kGauge
+  };
+
+  // Publishing. set_* overwrites; add_counter accumulates (used when several
+  // per-channel components publish into one system-wide name).
+  void set_counter(const std::string& name, std::uint64_t v);
+  void add_counter(const std::string& name, std::uint64_t v);
+  void set_gauge(const std::string& name, double v);
+
+  // Reading. Missing names read as zero, so collectors need no existence
+  // checks; has() distinguishes "absent" from "zero" where it matters.
+  bool has(const std::string& name) const;
+  std::uint64_t counter(const std::string& name) const;
+  double gauge(const std::string& name) const;
+
+  // Deterministically ordered (name-sorted) view for tables and dumps.
+  const std::map<std::string, Metric>& all() const { return map_; }
+
+  std::size_t size() const { return map_.size(); }
+
+ private:
+  std::map<std::string, Metric> map_;
+};
+
+// "ch<channel>.<name>" — the canonical per-channel metric name.
+std::string channel_metric(unsigned channel, const std::string& name);
+
+}  // namespace wompcm

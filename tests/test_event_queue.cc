@@ -1,0 +1,89 @@
+// Tests of the shared event kernel (common/event_queue.h): the EventQueue
+// min-heap protocol and the monotone driving Clock.
+#include <gtest/gtest.h>
+
+#include "common/event_queue.h"
+
+namespace wompcm {
+namespace {
+
+TEST(EventQueue, StartsEmptyAndQuiescent) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.next_after(0), kNeverTick);
+}
+
+TEST(EventQueue, ReturnsEarliestFutureInstant) {
+  EventQueue q;
+  q.schedule(30);
+  q.schedule(10);
+  q.schedule(20);
+  EXPECT_EQ(q.next_after(0), 10u);
+  // Non-destructive for future instants: asking again gives the same answer.
+  EXPECT_EQ(q.next_after(0), 10u);
+}
+
+TEST(EventQueue, DropsInstantsAtOrBeforeNow) {
+  EventQueue q;
+  q.schedule(10);
+  q.schedule(20);
+  q.schedule(30);
+  EXPECT_EQ(q.next_after(10), 20u);  // 10 handled by the tick at 10
+  EXPECT_EQ(q.next_after(25), 30u);
+  EXPECT_EQ(q.next_after(30), kNeverTick);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, IgnoresNeverTick) {
+  EventQueue q;
+  q.schedule(kNeverTick);
+  EXPECT_TRUE(q.empty());
+  q.schedule(5);
+  q.schedule(kNeverTick);
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.next_after(0), 5u);
+}
+
+TEST(EventQueue, DuplicateInstantsCollapseToOneAnswer) {
+  EventQueue q;
+  q.schedule(7);
+  q.schedule(7);
+  q.schedule(7);
+  EXPECT_EQ(q.next_after(0), 7u);
+  EXPECT_EQ(q.next_after(7), kNeverTick);
+}
+
+TEST(Earliest, NeverTickIsTheIdentity) {
+  EXPECT_EQ(earliest(kNeverTick, 5), 5u);
+  EXPECT_EQ(earliest(5, kNeverTick), 5u);
+  EXPECT_EQ(earliest(kNeverTick, kNeverTick), kNeverTick);
+  EXPECT_EQ(earliest(3, 5), 3u);
+}
+
+TEST(Clock, AdvancesToEarliestCandidate) {
+  Clock c;
+  EXPECT_EQ(c.now(), 0u);
+  EXPECT_TRUE(c.advance({30, 10, kNeverTick}));
+  EXPECT_EQ(c.now(), 10u);
+  EXPECT_TRUE(c.advance({30, kNeverTick}));
+  EXPECT_EQ(c.now(), 30u);
+}
+
+TEST(Clock, RefusesToAdvanceWhenQuiescent) {
+  Clock c;
+  EXPECT_TRUE(c.advance({42}));
+  EXPECT_FALSE(c.advance({kNeverTick, kNeverTick}));
+  EXPECT_EQ(c.now(), 42u);  // stays put
+}
+
+TEST(Clock, NeverMovesBackwards) {
+  Clock c;
+  EXPECT_TRUE(c.advance({100}));
+  // A stale candidate earlier than now clamps to now.
+  EXPECT_TRUE(c.advance({50}));
+  EXPECT_EQ(c.now(), 100u);
+}
+
+}  // namespace
+}  // namespace wompcm

@@ -1,0 +1,71 @@
+// Tests of the unified metrics registry (stats/metrics.h).
+#include <gtest/gtest.h>
+
+#include "stats/metrics.h"
+
+namespace wompcm {
+namespace {
+
+TEST(Metrics, MissingNamesReadAsZero) {
+  MetricsRegistry reg;
+  EXPECT_FALSE(reg.has("nope"));
+  EXPECT_EQ(reg.counter("nope"), 0u);
+  EXPECT_DOUBLE_EQ(reg.gauge("nope"), 0.0);
+  EXPECT_EQ(reg.size(), 0u);
+}
+
+TEST(Metrics, SetCounterOverwrites) {
+  MetricsRegistry reg;
+  reg.set_counter("refresh.commands", 10);
+  reg.set_counter("refresh.commands", 3);
+  EXPECT_EQ(reg.counter("refresh.commands"), 3u);
+  EXPECT_TRUE(reg.has("refresh.commands"));
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(Metrics, AddCounterAccumulates) {
+  MetricsRegistry reg;
+  reg.add_counter("bus.busy_ns", 4);
+  reg.add_counter("bus.busy_ns", 8);
+  EXPECT_EQ(reg.counter("bus.busy_ns"), 12u);
+}
+
+TEST(Metrics, GaugesHoldDoubles) {
+  MetricsRegistry reg;
+  reg.set_gauge("energy.write_pj", 1.5);
+  reg.set_gauge("energy.write_pj", 2.25);
+  EXPECT_DOUBLE_EQ(reg.gauge("energy.write_pj"), 2.25);
+}
+
+TEST(Metrics, ZeroValuedMetricIsStillPresent) {
+  MetricsRegistry reg;
+  reg.set_counter("sim.deferred_injections", 0);
+  EXPECT_TRUE(reg.has("sim.deferred_injections"));
+  EXPECT_EQ(reg.counter("sim.deferred_injections"), 0u);
+}
+
+TEST(Metrics, AllIsNameSorted) {
+  MetricsRegistry reg;
+  reg.set_counter("zeta", 1);
+  reg.set_gauge("alpha", 2.0);
+  reg.set_counter("mid", 3);
+  std::vector<std::string> names;
+  for (const auto& [name, m] : reg.all()) names.push_back(name);
+  EXPECT_EQ(names, (std::vector<std::string>{"alpha", "mid", "zeta"}));
+}
+
+TEST(Metrics, KindIsRecorded) {
+  MetricsRegistry reg;
+  reg.set_counter("c", 7);
+  reg.set_gauge("g", 7.0);
+  EXPECT_EQ(reg.all().at("c").kind, MetricsRegistry::Kind::kCounter);
+  EXPECT_EQ(reg.all().at("g").kind, MetricsRegistry::Kind::kGauge);
+}
+
+TEST(Metrics, ChannelMetricNaming) {
+  EXPECT_EQ(channel_metric(0, "bus_busy_ns"), "ch0.bus_busy_ns");
+  EXPECT_EQ(channel_metric(12, "max_queue_depth"), "ch12.max_queue_depth");
+}
+
+}  // namespace
+}  // namespace wompcm

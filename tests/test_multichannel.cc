@@ -1,12 +1,13 @@
-// Multi-channel coverage: independent data buses, per-channel refresh
-// scheduling, and end-to-end runs on a 2-channel geometry.
+// Multi-channel coverage through the MemorySystem facade: independent data
+// buses, per-channel back-pressure and refresh scheduling, cross-channel
+// independence, and end-to-end runs on a 2-channel geometry.
 #include <gtest/gtest.h>
 
 #include <memory>
 
 #include "arch/arch.h"
-#include "controller/controller.h"
 #include "sim/experiment.h"
+#include "sim/memory_system.h"
 
 namespace wompcm {
 namespace {
@@ -23,10 +24,16 @@ MemoryGeometry two_channel_geom() {
 
 class MultiChannelTest : public ::testing::Test {
  protected:
-  void SetUp() override {
+  void SetUp() override { build(); }
+
+  void build(ArchKind kind = ArchKind::kBaseline) {
+    cfg_ = MemorySystemConfig{};
     cfg_.geom = two_channel_geom();
-    arch_ = make_architecture(ArchConfig{}, cfg_.geom, cfg_.timing);
-    ctrl_ = std::make_unique<MemoryController>(cfg_, *arch_, stats_);
+    stats_ = SimStats{};
+    ArchConfig ac;
+    ac.kind = kind;
+    arch_ = make_architecture(ac, cfg_.geom, cfg_.timing);
+    mem_ = std::make_unique<MemorySystem>(cfg_, *arch_, stats_);
   }
 
   Transaction tx(std::uint64_t id, unsigned channel, unsigned rank,
@@ -39,28 +46,28 @@ class MultiChannelTest : public ::testing::Test {
     return t;
   }
 
-  void run_to_drain() {
+  void run_to_drain(Tick limit = kNeverTick) {
     Tick now = 0;
-    ctrl_->tick(now);
+    mem_->tick(now);
     for (;;) {
-      const Tick t = ctrl_->next_event_after(now);
-      if (t == kNeverTick) break;
+      const Tick t = mem_->next_event_after(now);
+      if (t == kNeverTick || t > limit) break;
       now = t;
-      ctrl_->tick(now);
+      mem_->tick(now);
     }
   }
 
-  ControllerConfig cfg_;
+  MemorySystemConfig cfg_;
   SimStats stats_;
   std::unique_ptr<Architecture> arch_;
-  std::unique_ptr<MemoryController> ctrl_;
+  std::unique_ptr<MemorySystem> mem_;
 };
 
 TEST_F(MultiChannelTest, BusesAreIndependent) {
   // Two same-instant reads on different channels both issue at t = 0;
   // on one channel the second would wait for the 4 ns burst slot.
-  ctrl_->enqueue(tx(1, 0, 0, 0, 1, AccessType::kRead, 0));
-  ctrl_->enqueue(tx(2, 1, 0, 0, 1, AccessType::kRead, 0));
+  mem_->enqueue(tx(1, 0, 0, 0, 1, AccessType::kRead, 0));
+  mem_->enqueue(tx(2, 1, 0, 0, 1, AccessType::kRead, 0));
   run_to_drain();
   ASSERT_EQ(stats_.demand_read_latency.count(), 2u);
   EXPECT_EQ(stats_.demand_read_latency.min(), 44u);
@@ -68,8 +75,8 @@ TEST_F(MultiChannelTest, BusesAreIndependent) {
 }
 
 TEST_F(MultiChannelTest, SameChannelStillSerializesOnTheBus) {
-  ctrl_->enqueue(tx(1, 0, 0, 0, 1, AccessType::kRead, 0));
-  ctrl_->enqueue(tx(2, 0, 1, 1, 1, AccessType::kRead, 0));
+  mem_->enqueue(tx(1, 0, 0, 0, 1, AccessType::kRead, 0));
+  mem_->enqueue(tx(2, 0, 1, 1, 1, AccessType::kRead, 0));
   run_to_drain();
   EXPECT_EQ(stats_.demand_read_latency.min(), 44u);
   EXPECT_EQ(stats_.demand_read_latency.max(), 48u);  // +4 ns bus slot
@@ -84,30 +91,85 @@ TEST_F(MultiChannelTest, ChannelsAreDistinctResources) {
   EXPECT_EQ(mapper.decode(mapper.encode(b)).channel, 1u);
 }
 
+TEST_F(MultiChannelTest, ControllersOwnOnlyTheirChannelsBanks) {
+  // 2 channels x 2 ranks x 2 banks = 8 main banks, 4 per controller.
+  EXPECT_EQ(mem_->num_channels(), 2u);
+  EXPECT_EQ(mem_->channel(0).banks().size(), 4u);
+  EXPECT_EQ(mem_->channel(1).banks().size(), 4u);
+  // The facade re-assembles them in global-resource order.
+  EXPECT_EQ(mem_->banks().size(), 8u);
+}
+
+TEST_F(MultiChannelTest, SaturatedChannelDoesNotBackpressureIdleChannel) {
+  // Fill channel 0 to its per-channel capacity with same-bank writes.
+  cfg_.queue_capacity = 4;
+  mem_ = std::make_unique<MemorySystem>(cfg_, *arch_, stats_);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(mem_->can_accept(DecodedAddr{0, 0, 0, 1, 0}));
+    mem_->enqueue(tx(i + 1, 0, 0, 0, 1, AccessType::kWrite, 0));
+  }
+  // Channel 0 is saturated; channel 1 still accepts.
+  EXPECT_FALSE(mem_->can_accept(DecodedAddr{0, 0, 0, 1, 0}));
+  EXPECT_TRUE(mem_->can_accept(DecodedAddr{1, 0, 0, 1, 0}));
+
+  // A read on the idle channel completes at its natural (unloaded)
+  // latency, undelayed by the saturated sibling.
+  mem_->enqueue(tx(100, 1, 0, 0, 1, AccessType::kRead, 0));
+  run_to_drain();
+  ASSERT_EQ(stats_.demand_read_latency.count(), 1u);
+  EXPECT_EQ(stats_.demand_read_latency.min(), 44u);  // 27 + 13 + 4, no queue
+}
+
+TEST_F(MultiChannelTest, PerChannelBusBusyTimesSumToGlobalFigure) {
+  // Load both channels; every issued access holds its channel's bus for
+  // one 4 ns burst, so the per-channel busy times must sum to the figure
+  // the old single fused controller reported: total issued ops x burst.
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    mem_->enqueue(tx(2 * i + 1, 0, i % 2, (i / 2) % 2, 1 + (i % 3),
+                     i % 2 == 0 ? AccessType::kRead : AccessType::kWrite,
+                     10 * i));
+    mem_->enqueue(tx(2 * i + 2, 1, (i + 1) % 2, i % 2, 1 + (i % 3),
+                     i % 2 == 0 ? AccessType::kWrite : AccessType::kRead,
+                     10 * i));
+  }
+  run_to_drain();
+  std::uint64_t ops = 0;
+  for (const auto& s : mem_->banks()) ops += s.bank->ops();
+  const Tick global_figure = ops * cfg_.timing.burst_ns();
+  EXPECT_GT(global_figure, 0u);
+  EXPECT_EQ(mem_->channel(0).bus_busy_time() + mem_->channel(1).bus_busy_time(),
+            global_figure);
+  // Both channels actually carried traffic.
+  EXPECT_GT(mem_->channel(0).bus_busy_time(), 0u);
+  EXPECT_GT(mem_->channel(1).bus_busy_time(), 0u);
+}
+
+TEST_F(MultiChannelTest, PerChannelMetricsPublished) {
+  mem_->enqueue(tx(1, 0, 0, 0, 1, AccessType::kRead, 0));
+  mem_->enqueue(tx(2, 1, 0, 0, 1, AccessType::kRead, 0));
+  run_to_drain();
+  MetricsRegistry reg;
+  mem_->publish_metrics(reg);
+  EXPECT_EQ(reg.counter("ch0.bus_busy_ns"), 4u);
+  EXPECT_EQ(reg.counter("ch1.bus_busy_ns"), 4u);
+  EXPECT_EQ(reg.counter("bus.busy_ns"), 8u);
+  EXPECT_EQ(reg.counter("ch0.max_queue_depth"), 1u);
+  EXPECT_EQ(reg.counter("sim.end_time"), 44u);
+}
+
 TEST_F(MultiChannelTest, RefreshCoversBothChannels) {
-  cfg_ = ControllerConfig{};
-  cfg_.geom = two_channel_geom();
-  ArchConfig ac;
-  ac.kind = ArchKind::kRefreshWomPcm;
-  arch_ = make_architecture(ac, cfg_.geom, cfg_.timing);
-  ctrl_ = std::make_unique<MemoryController>(cfg_, *arch_, stats_);
+  build(ArchKind::kRefreshWomPcm);
   // Drive one row to the limit on each channel.
   for (unsigned ch = 0; ch < 2; ++ch) {
-    ctrl_->enqueue(tx(1 + ch * 2, ch, 0, 0, 3, AccessType::kWrite,
-                      ch * 100));
-    ctrl_->enqueue(tx(2 + ch * 2, ch, 0, 0, 3, AccessType::kWrite,
-                      600 + ch * 100));
+    mem_->enqueue(tx(1 + ch * 2, ch, 0, 0, 3, AccessType::kWrite, ch * 100));
+    mem_->enqueue(
+        tx(2 + ch * 2, ch, 0, 0, 3, AccessType::kWrite, 600 + ch * 100));
   }
-  Tick now = 0;
-  ctrl_->tick(now);
-  for (;;) {
-    const Tick t = ctrl_->next_event_after(now);
-    if (t == kNeverTick || t > 20000) break;
-    now = t;
-    ctrl_->tick(now);
-  }
-  // Round-robin over channel*rank reaches both channels' pending rows.
+  run_to_drain(20000);
+  // Each channel's refresh engine reaches its own pending row.
   EXPECT_EQ(arch_->counters().get("refresh.rows"), 2u);
+  EXPECT_GE(mem_->channel(0).refresh_engine().commands(), 1u);
+  EXPECT_GE(mem_->channel(1).refresh_engine().commands(), 1u);
 }
 
 TEST(MultiChannelSim, EndToEndRun) {
@@ -119,6 +181,12 @@ TEST(MultiChannelSim, EndToEndRun) {
   EXPECT_EQ(r.injected_reads + r.injected_writes, 8000u);
   EXPECT_GT(r.refresh_commands, 0u);
   EXPECT_GT(r.avg_write_ns(), 0.0);
+  // Per-channel breakdowns surface in the collected metrics.
+  EXPECT_GT(r.metrics.counter("ch0.bus_busy_ns"), 0u);
+  EXPECT_GT(r.metrics.counter("ch1.bus_busy_ns"), 0u);
+  EXPECT_EQ(r.metrics.counter("ch0.bus_busy_ns") +
+                r.metrics.counter("ch1.bus_busy_ns"),
+            r.metrics.counter("bus.busy_ns"));
 }
 
 }  // namespace

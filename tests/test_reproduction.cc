@@ -8,6 +8,7 @@
 // bands rather than exact values.
 #include <gtest/gtest.h>
 
+#include "sim/config_io.h"
 #include "sim/experiment.h"
 
 namespace wompcm {
@@ -169,6 +170,126 @@ TEST(ReproductionFig6, HitRateDropsWithBanksPerRank) {
       (banks == 4 ? hit4 : hit32) = h / (h + m);
     }
     EXPECT_GT(hit4, hit32) << name;
+  }
+}
+
+// Golden-equivalence snapshot: the layered MemorySystem stack must produce
+// bit-identical results to the recorded pre-refactor (fused single
+// controller) run of the paper platform. Numbers below were dumped with
+// %.17g / exact integers from the monolithic simulator immediately before
+// the per-channel split; double literals round-trip exactly, so
+// EXPECT_DOUBLE_EQ means bit-identical.
+struct GoldenRun {
+  const char* bench;
+  Tick end_time;
+  std::uint64_t injected_reads, injected_writes;
+  std::uint64_t refresh_commands, refresh_rows;
+  std::uint64_t read_count, read_min, read_max;
+  double read_sum;
+  std::uint64_t write_count, write_min, write_max;
+  double write_sum;
+  double energy_read_pj, energy_write_pj, energy_refresh_pj;
+  double max_line_wear, mean_line_wear, lifetime_years;
+  double row_hit_rate, max_bank_utilization;
+  Tick banks_busy;
+  std::uint64_t banks_ops, banks_hits, banks_pauses;
+  std::uint64_t reads_forwarded, refresh_pauses, rat_insert, rat_stale_pop;
+  std::uint64_t writes_alpha, writes_alpha_cold, writes_fast;
+};
+
+constexpr GoldenRun kGolden[] = {
+    {"401.bzip2", 810153, 12395, 7605, 202, 569,
+     9909, 17, 712, 463425.0,
+     6091, 44, 697, 638556.0,
+     18974208.0, 67765247.999990284, 3823680.0,
+     119.0, 1.2148492423058896, 2.157327681243613e-05,
+     0.8850586231085279, 0.19406704659490245,
+     854899, 19958, 17664, 36,
+     30, 36, 622, 20, 2256, 1453, 5349},
+    {"ocean", 273547, 12892, 7108, 68, 434,
+     10296, 17, 979, 760254.0,
+     5704, 44, 1142, 912051.0,
+     19782144.0, 74007590.399989754, 2916480.0,
+     30.0, 0.68358227296593788, 2.8893937857547258e-05,
+     0.80372241957272228, 0.24551174021283362,
+     1096121, 19987, 16064, 27,
+     3, 27, 559, 23, 4167, 3746, 2941},
+};
+
+TEST(GoldenEquivalence, PaperConfigIsBitIdenticalToPreRefactorSnapshot) {
+  const SimConfig cfg =
+      load_config_file(paper_config(), WOMPCM_REPO_DIR "/configs/paper.cfg");
+  for (const GoldenRun& g : kGolden) {
+    SCOPED_TRACE(g.bench);
+    const SimResult r = run_benchmark(cfg, *find_profile(g.bench), 20000, 42);
+    EXPECT_EQ(r.arch_name, "pcm-refresh[rs23-inv,wide-column]");
+    EXPECT_EQ(r.end_time, g.end_time);
+    EXPECT_EQ(r.injected_reads, g.injected_reads);
+    EXPECT_EQ(r.injected_writes, g.injected_writes);
+    EXPECT_EQ(r.deferred_injections, 0u);
+    EXPECT_EQ(r.refresh_commands, g.refresh_commands);
+    EXPECT_EQ(r.refresh_rows, g.refresh_rows);
+    EXPECT_DOUBLE_EQ(r.capacity_overhead, 0.5);
+
+    EXPECT_EQ(r.stats.demand_read_latency.count(), g.read_count);
+    EXPECT_DOUBLE_EQ(r.stats.demand_read_latency.sum(), g.read_sum);
+    EXPECT_EQ(r.stats.demand_read_latency.min(), g.read_min);
+    EXPECT_EQ(r.stats.demand_read_latency.max(), g.read_max);
+    EXPECT_EQ(r.stats.demand_write_latency.count(), g.write_count);
+    EXPECT_DOUBLE_EQ(r.stats.demand_write_latency.sum(), g.write_sum);
+    EXPECT_EQ(r.stats.demand_write_latency.min(), g.write_min);
+    EXPECT_EQ(r.stats.demand_write_latency.max(), g.write_max);
+    EXPECT_EQ(r.stats.internal_write_latency.count(), 0u);
+
+    EXPECT_DOUBLE_EQ(r.energy_read_pj, g.energy_read_pj);
+    EXPECT_DOUBLE_EQ(r.energy_write_pj, g.energy_write_pj);
+    EXPECT_DOUBLE_EQ(r.energy_refresh_pj, g.energy_refresh_pj);
+    EXPECT_DOUBLE_EQ(r.max_line_wear, g.max_line_wear);
+    EXPECT_DOUBLE_EQ(r.mean_line_wear, g.mean_line_wear);
+    EXPECT_DOUBLE_EQ(r.lifetime_years, g.lifetime_years);
+    EXPECT_DOUBLE_EQ(r.row_hit_rate(), g.row_hit_rate);
+    EXPECT_DOUBLE_EQ(r.max_bank_utilization(), g.max_bank_utilization);
+    // Single channel, no WOM cache: the combined figures equal the
+    // main-bank class and the cache class is empty.
+    EXPECT_DOUBLE_EQ(r.row_hit_rate(SimResult::BankClass::kMain),
+                     g.row_hit_rate);
+    EXPECT_DOUBLE_EQ(r.row_hit_rate(SimResult::BankClass::kCache), 0.0);
+    EXPECT_DOUBLE_EQ(
+        r.max_bank_utilization(SimResult::BankClass::kCache), 0.0);
+
+    Tick busy = 0;
+    std::uint64_t ops = 0, hits = 0, pauses = 0;
+    for (const auto& b : r.banks) {
+      busy += b.busy_time;
+      ops += b.ops;
+      hits += b.row_hits;
+      pauses += b.pauses;
+    }
+    EXPECT_EQ(r.banks.size(), 512u);
+    EXPECT_EQ(busy, g.banks_busy);
+    EXPECT_EQ(ops, g.banks_ops);
+    EXPECT_EQ(hits, g.banks_hits);
+    EXPECT_EQ(pauses, g.banks_pauses);
+
+    const auto& c = r.stats.counters;
+    EXPECT_EQ(c.get("ctrl.reads_forwarded"), g.reads_forwarded);
+    EXPECT_EQ(c.get("ctrl.refresh_pauses"), g.refresh_pauses);
+    EXPECT_EQ(c.get("rat.insert"), g.rat_insert);
+    EXPECT_EQ(c.get("rat.stale_pop"), g.rat_stale_pop);
+    EXPECT_EQ(c.get("refresh.rows"), g.refresh_rows);
+    EXPECT_EQ(c.get("writes.alpha"), g.writes_alpha);
+    EXPECT_EQ(c.get("writes.alpha.cold"), g.writes_alpha_cold);
+    EXPECT_EQ(c.get("writes.fast"), g.writes_fast);
+
+    // The metrics-registry collect() path carries the same scalars, and
+    // the single channel's bus accounting matches total ops x one burst.
+    EXPECT_EQ(r.metrics.counter("sim.end_time"), g.end_time);
+    EXPECT_EQ(r.metrics.counter("refresh.commands"), g.refresh_commands);
+    EXPECT_EQ(r.metrics.counter("ch0.refresh.rows"), g.refresh_rows);
+    EXPECT_EQ(r.metrics.counter("bus.busy_ns"),
+              g.banks_ops * cfg.timing.burst_ns());
+    EXPECT_EQ(r.metrics.counter("ch0.bus_busy_ns"),
+              r.metrics.counter("bus.busy_ns"));
   }
 }
 
