@@ -4,7 +4,8 @@
 // (trace-gen / controller / codec) summed over all cells.
 //
 // Arguments: accesses=N (default 5000), seed=S (42), jobs=J (0 = all
-// hardware threads), profiles=P (8, capped at 20).
+// hardware threads), profiles=P (8, capped at 20), out=FILE
+// (BENCH_sweep.json; the machine-readable mirror of the stdout report).
 #include <cmath>
 #include <cstdio>
 #include <string>
@@ -86,6 +87,7 @@ int main(int argc, char** argv) {
   const auto jobs = static_cast<unsigned>(args.get_int_or("jobs", 0));
   const auto nprofiles =
       static_cast<std::size_t>(args.get_int_or("profiles", 8));
+  const std::string out_path = args.get_string_or("out", "BENCH_sweep.json");
 
   const auto archs = paper_architectures();
   std::vector<WorkloadProfile> profiles = benchmark_profiles();
@@ -142,5 +144,42 @@ int main(int argc, char** argv) {
     std::printf("  codec:      %6.1f%%\n",
                 100.0 * static_cast<double>(ph.codec_ns) / tot);
   }
+
+  // Machine-readable mirror of the report above (schema in README.md),
+  // feeding the BENCH_*.json trajectory alongside perf_trace.
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"perf_sweep\",\n");
+  std::fprintf(f, "  \"schema\": 1,\n");
+  std::fprintf(f, "  \"accesses\": %llu,\n",
+               static_cast<unsigned long long>(accesses));
+  std::fprintf(f, "  \"seed\": %llu,\n",
+               static_cast<unsigned long long>(seed));
+  std::fprintf(f, "  \"archs\": %zu,\n", archs.size());
+  std::fprintf(f, "  \"profiles\": %zu,\n", profiles.size());
+  std::fprintf(f, "  \"cells\": %zu,\n", cells);
+  std::fprintf(f, "  \"jobs\": %u,\n", par.resolved_jobs());
+  std::fprintf(f, "  \"hardware_threads\": %u,\n",
+               ThreadPool::hardware_workers());
+  std::fprintf(f, "  \"serial\": {\"wall_s\": %.6f, \"cells_per_sec\": %.3f},\n",
+               serial_s, static_cast<double>(cells) / serial_s);
+  std::fprintf(f,
+               "  \"parallel\": {\"wall_s\": %.6f, \"cells_per_sec\": %.3f},\n",
+               parallel_s, static_cast<double>(cells) / parallel_s);
+  std::fprintf(f, "  \"speedup\": %.3f,\n", serial_s / parallel_s);
+  std::fprintf(f, "  \"bit_identical\": true,\n");
+  std::fprintf(f, "  \"serial_phases_ns\": {\"trace_gen\": %llu, "
+               "\"controller\": %llu, \"codec\": %llu, \"total\": %llu}\n",
+               static_cast<unsigned long long>(ph.trace_gen_ns),
+               static_cast<unsigned long long>(ph.controller_ns),
+               static_cast<unsigned long long>(ph.codec_ns),
+               static_cast<unsigned long long>(ph.total_ns));
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", out_path.c_str());
   return 0;
 }

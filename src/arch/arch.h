@@ -86,6 +86,18 @@ class Architecture {
   virtual unsigned route(const DecodedAddr& dec, AccessType type,
                          bool internal) const;
 
+  // True when route() for demand reads can change while the read waits in
+  // a queue (WCPCM probes mutable cache tags). Controllers must not cache
+  // the routing of such reads at enqueue time; every other access class is
+  // required to route identically for the lifetime of the transaction.
+  virtual bool read_route_dynamic() const { return false; }
+
+  // Monotone stamp that advances whenever route() could start returning a
+  // different resource for some queued demand read (tag state mutated).
+  // While the stamp is unchanged, schedulers may reuse a dynamic read's
+  // previously computed route instead of re-probing every scan.
+  virtual std::uint64_t route_version() const { return 0; }
+
   // Channel that owns a bank-like resource. Resources never span channels;
   // per-channel controllers use this to claim exactly their own banks.
   virtual unsigned resource_channel(unsigned resource) const;
@@ -165,6 +177,14 @@ class Architecture {
   // trigger a gap move whose row-copy cost is charged to `plan->post_ns`.
   unsigned physical_row(const DecodedAddr& dec, AccessType type,
                         IssuePlan* plan);
+
+  // Cached counter increment for per-access hot paths: binds `slot` on the
+  // first call and skips the string-keyed map lookup afterwards. Equivalent
+  // to counters_.inc(name, by), including key creation on the first call.
+  void bump(std::uint64_t*& slot, const char* name, std::uint64_t by = 1) {
+    if (slot == nullptr) slot = counters_.slot(name);
+    *slot += by;
+  }
 
   MemoryGeometry geom_;
   AddressMapper mapper_;

@@ -26,12 +26,12 @@ void RefreshWomPcm::on_row_at_limit(const DecodedAddr& dec,
   if (it != q.end()) {
     q.erase(it);
   } else {
-    counters_.inc("rat.insert");
+    bump(ctr_rat_insert_, "rat.insert");
   }
   q.push_back(key);
   if (q.size() > rat_entries_) {
     q.pop_front();
-    counters_.inc("rat.evict");
+    bump(ctr_rat_evict_, "rat.evict");
   }
 }
 
@@ -69,10 +69,11 @@ Architecture::RefreshWork RefreshWomPcm::perform_refresh(
         wear_.on_refresh(key);
         break;
       }
-      counters_.inc("rat.stale_pop");
+      bump(ctr_rat_stale_pop_, "rat.stale_pop");
     }
   }
-  counters_.inc("refresh.rows", work.rows);
+  // Unconditional (by may be 0), matching the original inc()'s key creation.
+  bump(ctr_refresh_rows_, "refresh.rows", work.rows);
   return work;
 }
 

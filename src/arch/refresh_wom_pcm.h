@@ -41,6 +41,11 @@ class RefreshWomPcm final : public WomPcm {
   unsigned rat_entries_;
   // Per main bank: rows (keys) at the rewrite limit, most recent last.
   std::vector<std::deque<std::uint64_t>> rat_;
+  // Lazily-bound counter slots (see Architecture::bump).
+  std::uint64_t* ctr_rat_insert_ = nullptr;
+  std::uint64_t* ctr_rat_evict_ = nullptr;
+  std::uint64_t* ctr_rat_stale_pop_ = nullptr;
+  std::uint64_t* ctr_refresh_rows_ = nullptr;
 };
 
 }  // namespace wompcm

@@ -78,7 +78,7 @@ IssuePlan Wcpcm::plan(const DecodedAddr& dec, AccessType type, bool internal,
     p.resource = flat_bank(dec);
     p.write_class = WriteClass::kAlpha;
     p.program_ns = timing_.row_write_ns;
-    counters_.inc("writes.victim");
+    bump(ctr_writes_victim_, "writes.victim");
     energy_.on_write(WriteClass::kAlpha, line_bits());
     wear_.on_write_pulses(row_key_for(p.resource, p.row), dec.col,
                           kResetOnlyWearPerCell);
@@ -92,10 +92,16 @@ IssuePlan Wcpcm::plan(const DecodedAddr& dec, AccessType type, bool internal,
     p.pre_ns += timing_.tag_check_ns;
     TagEntry& e = tags_[ci][dec.row];
     const bool hit = !e.valid || e.bank == dec.bank;
+    // The mutations below change some queued read's probe outcome exactly
+    // when the entry is installed, re-banked, or gains a new valid line;
+    // a re-write of an already-valid line leaves every probe unchanged.
+    if (!e.valid || e.bank != dec.bank || !get_line(e, dec.col)) {
+      ++route_version_;
+    }
     if (hit) {
-      counters_.inc("wcpcm.write_hits");
+      bump(ctr_write_hits_, "wcpcm.write_hits");
     } else {
-      counters_.inc("wcpcm.write_misses");
+      bump(ctr_write_misses_, "wcpcm.write_misses");
       // Read the victim row out to the register, then hand it to the
       // main-memory write queue; the new install starts with only the
       // written line valid.
@@ -103,7 +109,7 @@ IssuePlan Wcpcm::plan(const DecodedAddr& dec, AccessType type, bool internal,
       DecodedAddr victim = dec;
       victim.bank = e.bank;
       p.spawned.push_back(SpawnedWrite{victim});
-      counters_.inc("wcpcm.victims");
+      bump(ctr_victims_, "wcpcm.victims");
       e.line_valid.clear();
     }
     const std::uint64_t key = cache_row_key(ci, dec.row);
@@ -111,10 +117,10 @@ IssuePlan Wcpcm::plan(const DecodedAddr& dec, AccessType type, bool internal,
     p.write_class = rec.cls;
     p.program_ns = timing_.program_ns(p.write_class);
     if (p.write_class == WriteClass::kAlpha) {
-      counters_.inc("writes.alpha");
-      if (rec.cold) counters_.inc("writes.alpha.cold");
+      bump(ctr_writes_alpha_, "writes.alpha");
+      if (rec.cold) bump(ctr_writes_alpha_cold_, "writes.alpha.cold");
     } else {
-      counters_.inc("writes.fast");
+      bump(ctr_writes_fast_, "writes.fast");
     }
     energy_.on_write(p.write_class,
                      line_bits() * code_->wits() / code_->data_bits());
@@ -135,11 +141,11 @@ IssuePlan Wcpcm::plan(const DecodedAddr& dec, AccessType type, bool internal,
   // Read: parallel probe, tag-comparison penalty either way.
   p.pre_ns += timing_.tag_check_ns;
   if (probe_read_hit(dec)) {
-    counters_.inc("wcpcm.read_hits");
+    bump(ctr_read_hits_, "wcpcm.read_hits");
     p.resource = cache_resource(dec.channel, dec.rank);
     energy_.on_read(line_bits() * code_->wits() / code_->data_bits());
   } else {
-    counters_.inc("wcpcm.read_misses");
+    bump(ctr_read_misses_, "wcpcm.read_misses");
     p.resource = flat_bank(dec);
     energy_.on_read(line_bits());
   }

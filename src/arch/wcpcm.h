@@ -37,6 +37,13 @@ class Wcpcm final : public Architecture {
   unsigned num_resources() const override;
   unsigned route(const DecodedAddr& dec, AccessType type,
                  bool internal) const override;
+  // Demand reads probe the mutable cache tags: a queued read's destination
+  // can flip between main memory and the WOM-cache while it waits.
+  bool read_route_dynamic() const override { return true; }
+  // Advanced by plan() on every observable tag mutation (install, bank
+  // replacement, new valid line), i.e. exactly when a queued read's
+  // probe_read_hit outcome could change.
+  std::uint64_t route_version() const override { return route_version_; }
   unsigned resource_channel(unsigned resource) const override;
   // The per-rank WOM-cache arrays appended after the main banks.
   bool is_cache_resource(unsigned resource) const override {
@@ -100,6 +107,19 @@ class Wcpcm final : public Architecture {
   std::vector<std::vector<TagEntry>> tags_;
   // Rows of each WOM-cache array pending re-initialization.
   std::vector<std::deque<unsigned>> rat_;
+  std::uint64_t route_version_ = 0;  // see route_version()
+
+  // Lazily-bound counter slots for the per-access hot path (see
+  // Architecture::bump).
+  std::uint64_t* ctr_writes_victim_ = nullptr;
+  std::uint64_t* ctr_write_hits_ = nullptr;
+  std::uint64_t* ctr_write_misses_ = nullptr;
+  std::uint64_t* ctr_victims_ = nullptr;
+  std::uint64_t* ctr_writes_alpha_ = nullptr;
+  std::uint64_t* ctr_writes_alpha_cold_ = nullptr;
+  std::uint64_t* ctr_writes_fast_ = nullptr;
+  std::uint64_t* ctr_read_hits_ = nullptr;
+  std::uint64_t* ctr_read_misses_ = nullptr;
 };
 
 }  // namespace wompcm

@@ -39,10 +39,10 @@ IssuePlan WomPcm::plan(const DecodedAddr& dec, AccessType type, bool internal,
     p.write_class = rec.cls;
     p.program_ns = timing_.program_ns(p.write_class);
     if (p.write_class == WriteClass::kAlpha) {
-      counters_.inc("writes.alpha");
-      if (rec.cold) counters_.inc("writes.alpha.cold");
+      bump(ctr_writes_alpha_, "writes.alpha");
+      if (rec.cold) bump(ctr_writes_alpha_cold_, "writes.alpha.cold");
     } else {
-      counters_.inc("writes.fast");
+      bump(ctr_writes_fast_, "writes.fast");
     }
     energy_.on_write(p.write_class, coded_line_bits());
     wear_.on_write(key, dec.col, p.write_class);
@@ -52,17 +52,17 @@ IssuePlan WomPcm::plan(const DecodedAddr& dec, AccessType type, bool internal,
       // main one; the cost is the extra command/data transfer plus the
       // tail of the (half-width) hidden program that outlasts the overlap.
       p.post_ns += timing_.burst_ns() + timing_.tag_check_ns;
-      counters_.inc("hidden_page.extra_writes");
+      bump(ctr_hidden_writes_, "hidden_page.extra_writes");
     }
     if (tracker_.row_has_limit_lines(key)) on_row_at_limit(dec, key);
   } else {
-    counters_.inc("reads");
+    bump(ctr_reads_, "reads");
     energy_.on_read(coded_line_bits());
     if (organization_ == WomOrganization::kHiddenPage) {
       // Fetch the hidden half-codeword (parallel bank region) before
       // decode: one extra column access plus its burst.
       p.post_ns += timing_.col_read_ns + timing_.burst_ns();
-      counters_.inc("hidden_page.extra_reads");
+      bump(ctr_hidden_reads_, "hidden_page.extra_reads");
     }
   }
   return p;

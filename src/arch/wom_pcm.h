@@ -50,6 +50,16 @@ class WomPcm : public Architecture {
   WomCodePtr code_;
   WomOrganization organization_;
   WomStateTracker tracker_;
+
+ private:
+  // Lazily-bound counter slots for the per-access hot path (see
+  // Architecture::bump).
+  std::uint64_t* ctr_writes_alpha_ = nullptr;
+  std::uint64_t* ctr_writes_alpha_cold_ = nullptr;
+  std::uint64_t* ctr_writes_fast_ = nullptr;
+  std::uint64_t* ctr_reads_ = nullptr;
+  std::uint64_t* ctr_hidden_writes_ = nullptr;
+  std::uint64_t* ctr_hidden_reads_ = nullptr;
 };
 
 }  // namespace wompcm

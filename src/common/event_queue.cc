@@ -2,13 +2,12 @@
 
 namespace wompcm {
 
-void EventQueue::schedule(Tick t) {
-  if (t != kNeverTick) q_.push(t);
-}
-
 Tick EventQueue::next_after(Tick now) {
-  while (!q_.empty() && q_.top() <= now) q_.pop();
-  return q_.empty() ? kNeverTick : q_.top();
+  while (!heap_.empty() && heap_.front() <= now) {
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<Tick>{});
+    heap_.pop_back();
+  }
+  return heap_.empty() ? kNeverTick : heap_.front();
 }
 
 bool Clock::advance(std::initializer_list<Tick> candidates) {

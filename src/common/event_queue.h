@@ -8,15 +8,18 @@
 //  - EventQueue: a min-heap of future instants. Components push completion
 //    and wakeup times as they schedule work; next_after(now) discards
 //    everything already reached and reports the earliest pending instant
-//    (kNeverTick when quiescent).
+//    (kNeverTick when quiescent). The heap is a plain vector so callers on
+//    the hot path can reserve() once and stay off the allocator, and
+//    peek() exposes the earliest scheduled instant without popping.
 //  - Clock: the monotone simulation clock of a driving loop. advance()
 //    jumps to the earliest of the candidate instants offered by the layers
 //    below (arrivals, controller events, ...) and refuses to move when all
 //    of them are kNeverTick — the loop's quiescence condition.
 #pragma once
 
+#include <algorithm>
+#include <functional>
 #include <initializer_list>
-#include <queue>
 #include <vector>
 
 #include "common/types.h"
@@ -27,18 +30,29 @@ class EventQueue {
  public:
   // Schedules an instant. kNeverTick is accepted and ignored, so callers
   // can forward "maybe a time" values without branching.
-  void schedule(Tick t);
+  void schedule(Tick t) {
+    if (t == kNeverTick) return;
+    heap_.push_back(t);
+    std::push_heap(heap_.begin(), heap_.end(), std::greater<Tick>{});
+  }
 
   // Earliest scheduled instant strictly in the future of `now`; instants
   // at or before `now` are dropped (they were handled by the tick that
   // advanced the clock there). Returns kNeverTick when nothing is pending.
   Tick next_after(Tick now);
 
-  bool empty() const { return q_.empty(); }
-  std::size_t size() const { return q_.size(); }
+  // Earliest scheduled instant, including ones at or before the current
+  // time (kNeverTick when empty). Does not modify the queue.
+  Tick peek() const { return heap_.empty() ? kNeverTick : heap_.front(); }
+
+  // Pre-sizes the backing store so steady-state scheduling never allocates.
+  void reserve(std::size_t n) { heap_.reserve(n); }
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
 
  private:
-  std::priority_queue<Tick, std::vector<Tick>, std::greater<Tick>> q_;
+  std::vector<Tick> heap_;  // binary min-heap via std::push_heap/pop_heap
 };
 
 // Earliest of two instants (kNeverTick is the identity).

@@ -6,24 +6,53 @@
 // because the codec is called from deep inside the architecture layer;
 // each sweep cell runs entirely on one thread (the serial caller or one
 // pool worker), so the per-run delta is race-free by construction.
+//
+// Two timestamp granularities are exposed:
+//  - now_ns(): a calibrated monotonic nanosecond clock, for phase totals
+//    read a handful of times per run.
+//  - now_ticks() + ticks_to_ns(): a raw TSC read for per-access interval
+//    accumulation. Deltas are summed in ticks and converted once at read
+//    time, so the per-sample cost is a single rdtsc instead of a scaled
+//    clock read on both ends of every interval.
 #pragma once
 
 #include <cstdint>
+
+#if defined(__x86_64__)
+#include <x86intrin.h>
+#endif
 
 namespace wompcm::perf {
 
 // Monotonic nanosecond timestamp (steady clock).
 std::uint64_t now_ns();
 
+// Raw monotonic timestamp for interval accumulation: TSC ticks on x86_64,
+// nanoseconds on the fallback path. Only deltas are meaningful; convert
+// accumulated deltas with ticks_to_ns().
+inline std::uint64_t now_ticks() {
+#if defined(__x86_64__)
+  return __rdtsc();
+#else
+  return now_ns();
+#endif
+}
+
+// Converts a now_ticks() delta (or a sum of deltas) to nanoseconds.
+std::uint64_t ticks_to_ns(std::uint64_t ticks);
+
+namespace detail {
+inline thread_local std::uint64_t t_codec_ticks = 0;
+}
+
 // Current thread's accumulated codec time.
 std::uint64_t codec_ns();
-void add_codec_ns(std::uint64_t ns);
 
 // RAII accumulator: adds its lifetime to the calling thread's codec total.
 class ScopedCodecTimer {
  public:
-  ScopedCodecTimer() : start_(now_ns()) {}
-  ~ScopedCodecTimer() { add_codec_ns(now_ns() - start_); }
+  ScopedCodecTimer() : start_(now_ticks()) {}
+  ~ScopedCodecTimer() { detail::t_codec_ticks += now_ticks() - start_; }
   ScopedCodecTimer(const ScopedCodecTimer&) = delete;
   ScopedCodecTimer& operator=(const ScopedCodecTimer&) = delete;
 

@@ -9,6 +9,8 @@
 #include <cassert>
 #include <cmath>
 #include <cstdint>
+#include <limits>
+#include <vector>
 
 namespace wompcm {
 
@@ -91,6 +93,10 @@ class ZipfSampler {
     h_x1_ = h(1.5) - 1.0;
     h_n_ = h(static_cast<double>(n_) + 0.5);
     s_ = 2.0 - h_inv(h(2.5) - std::pow(2.0, -alpha_));
+    if (alpha_ > 0.0) {
+      const std::uint64_t cap = n_ < kAcceptTableCap ? n_ : kAcceptTableCap;
+      accept_.assign(static_cast<std::size_t>(cap) + 1, kUnfilled);
+    }
   }
 
   std::uint64_t sample(Rng& rng) {
@@ -101,13 +107,29 @@ class ZipfSampler {
       double k = std::floor(x + 0.5);
       if (k < 1.0) k = 1.0;
       if (k > static_cast<double>(n_)) k = static_cast<double>(n_);
-      if (k - x <= s_ || u >= h(k + 0.5) - std::pow(k, -alpha_)) {
+      if (k - x <= s_ || u >= accept_threshold(k)) {
         return static_cast<std::uint64_t>(k) - 1;  // 0-based
       }
     }
   }
 
  private:
+  // h(k + 0.5) - k^-alpha, the rejection test's acceptance bound. It only
+  // depends on the integer k, and Zipf draws concentrate on small k, so the
+  // transcendental evaluations are memoized. The cached value comes from
+  // the exact expression the uncached path uses, so sampling (and every
+  // synthetic trace built on it) is bit-identical with or without the
+  // cache.
+  double accept_threshold(double k) {
+    const auto ki = static_cast<std::size_t>(k);
+    if (ki < accept_.size()) {
+      double& v = accept_[ki];
+      if (std::isnan(v)) v = h(k + 0.5) - std::pow(k, -alpha_);
+      return v;
+    }
+    return h(k + 0.5) - std::pow(k, -alpha_);
+  }
+
   double h(double x) const {
     if (alpha_ == 1.0) return std::log(x);
     return (std::pow(x, 1.0 - alpha_) - 1.0) / (1.0 - alpha_);
@@ -117,11 +139,17 @@ class ZipfSampler {
     return std::pow(1.0 + u * (1.0 - alpha_), 1.0 / (1.0 - alpha_));
   }
 
+  // NaN marks an unfilled cell: the bound is finite for every valid k.
+  static constexpr double kUnfilled =
+      std::numeric_limits<double>::quiet_NaN();
+  static constexpr std::uint64_t kAcceptTableCap = 1ull << 16;
+
   std::uint64_t n_;
   double alpha_;
   double h_x1_;
   double h_n_;
   double s_;
+  std::vector<double> accept_;  // lazily-filled acceptance bounds
 };
 
 }  // namespace wompcm

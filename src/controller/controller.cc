@@ -41,7 +41,30 @@ MemoryController::MemoryController(const ControllerConfig& cfg,
       banks_.emplace_back();
     }
   }
-  if (refresh_.active(arch_)) push_event(refresh_.next_check());
+
+  const auto nlocal = static_cast<unsigned>(banks_.size());
+  ready_.resize(nlocal, true);  // every bank starts idle
+  wake_heap_.reserve(2 * static_cast<std::size_t>(nlocal) + 16);
+  refresh_touched_.reserve(nlocal);
+  events_.reserve(4 * static_cast<std::size_t>(cfg_.queue_capacity) + 64);
+  line_bytes_ = cfg_.geom.line_bytes();
+  read_q_.configure(line_bytes_, nlocal, cfg_.queue_capacity);
+  write_q_.configure(line_bytes_, nlocal, cfg_.queue_capacity);
+  internal_q_.configure(line_bytes_, nlocal, cfg_.queue_capacity);
+
+  reference_ = cfg_.sched.scan_mode == ScanMode::kReference;
+  refresh_active_ = refresh_.active(arch_);
+  pausing_ = refresh_.write_pausing();
+  dynamic_reads_ = arch_.read_route_dynamic();
+  refresh_bank_of_ = [this](unsigned resource) -> Bank& {
+    refresh_touched_.push_back(resource);
+    return bank_mut(resource);
+  };
+  refresh_ready_fn_ = [this](unsigned resource) {
+    return refresh_unit_ready(resource, last_tick_);
+  };
+
+  if (refresh_active_) push_event(refresh_.next_check());
 }
 
 bool MemoryController::can_accept() const {
@@ -58,33 +81,40 @@ void MemoryController::enqueue(Transaction tx) {
   assert(tx.arrival >= last_tick_);
   assert(tx.dec.channel == cfg_.channel);
   if (tx.internal) {
-    internal_q_.push(tx);
+    internal_q_.push(tx, local_resource(arch_.route(tx.dec, tx.type, true)));
     note_queue_depth();
     push_event(tx.arrival);
+    if (bus_free_ > tx.arrival) push_event(bus_free_);
     return;
   }
   if (tx.type == AccessType::kRead) {
-    if (cfg_.read_forwarding &&
-        write_q_.contains_line(tx.addr, cfg_.geom.line_bytes())) {
+    if (cfg_.read_forwarding && write_q_.contains_line(tx.addr, line_bytes_)) {
       // The freshest copy sits in the write queue: forward it at buffer
       // latency without touching the array.
       const Tick latency = cfg_.timing.col_read_ns + cfg_.timing.burst_ns();
       if (tx.record) {
         stats_.demand_read_latency.add(latency);
         stats_.read_latency_hist.add(latency);
-        stats_.counters.inc("ctrl.reads_forwarded");
+        bump(ctr_reads_forwarded_, "ctrl.reads_forwarded");
       }
       if (tx.arrival + latency > last_completion_) {
         last_completion_ = tx.arrival + latency;
       }
       return;
     }
-    read_q_.push(tx);
+    if (dynamic_reads_) {
+      read_q_.push(tx);  // routing may change while queued: no cached bank
+    } else {
+      read_q_.push(tx, local_resource(arch_.route(tx.dec, tx.type, false)));
+    }
   } else {
-    write_q_.push(tx);
+    write_q_.push(tx, local_resource(arch_.route(tx.dec, tx.type, false)));
   }
   note_queue_depth();
   push_event(tx.arrival);
+  // issue() skips the bus-free event when the queues go empty; a late
+  // arrival that finds the bus held must restore it.
+  if (bus_free_ > tx.arrival) push_event(bus_free_);
 }
 
 bool MemoryController::is_row_hit(const Transaction& tx) const {
@@ -101,17 +131,16 @@ bool MemoryController::can_issue(const Transaction& tx, Tick now) const {
 }
 
 bool MemoryController::issue_from(TransactionQueue& q, Tick now) {
-  const std::size_t i = pick_transaction(
-      q, cfg_.sched,
-      [&](const Transaction& tx) { return can_issue(tx, now); },
-      [&](const Transaction& tx) { return is_row_hit(tx); });
-  if (i == kNoPick) return false;
-  issue(q.take(i), now);
+  const Pick p = find_pick(q, now);
+  if (p.idx == kNoPick) return false;
+  issue(q.take(p.idx), now);
   return true;
 }
 
-MemoryController::Pick MemoryController::find_pick(const TransactionQueue& q,
-                                                   Tick now) const {
+// The straight-line scan: every entry in age order through the generic
+// pick_transaction, with per-entry routing and timing checks.
+MemoryController::Pick MemoryController::find_pick_reference(
+    const TransactionQueue& q, Tick now) const {
   Pick p;
   p.idx = pick_transaction(
       q, cfg_.sched,
@@ -122,6 +151,84 @@ MemoryController::Pick MemoryController::find_pick(const TransactionQueue& q,
     p.arrival = q.at(p.idx).arrival;
   }
   return p;
+}
+
+// The indexed scan. Picks the same entry as find_pick_reference, but:
+//  - bails in O(1) when the bus is held, or when no queued entry targets a
+//    ready bank (occupancy mask vs readiness bitmap; only valid when every
+//    entry's routing is cached, i.e. unindexed() == 0);
+//  - tests bank readiness by bitmap bit instead of recomputing
+//    demand_ready_at, using the bank cached at enqueue time (recomputing
+//    the route only for dynamically-routed entries);
+//  - stops at the first not-yet-arrived entry when arrivals are monotone
+//    (everything after it in age order has not arrived either).
+MemoryController::Pick MemoryController::find_pick(TransactionQueue& q,
+                                                   Tick now) {
+  if (reference_) return find_pick_reference(q, now);
+  Pick fallback;
+  if (q.empty() || bus_free_ > now) return fallback;
+  if (q.unindexed() == 0 && !ready_.intersects(q.bank_mask())) return fallback;
+
+  const bool monotone = q.arrivals_monotone();
+  // Dynamic routes are memoized against the architecture's route_version:
+  // each queued entry re-probes at most once per tag mutation instead of
+  // once per scan.
+  const std::uint64_t rv = q.unindexed() != 0 ? arch_.route_version() : 0;
+  ScanCache& sc = scan_cache_for(q);
+  if (sc.valid && sc.epoch == scan_epoch_ && sc.pushes == q.pushes() &&
+      sc.rv == rv && now < sc.barrier) {
+    return fallback;  // nothing that could produce a pick has changed
+  }
+  const bool row_hit_first = cfg_.sched.row_hit_first;
+  const std::size_t limit =
+      q.size() < cfg_.sched.scan_limit ? q.size() : cfg_.sched.scan_limit;
+  Tick barrier = kNeverTick;
+  std::size_t seen = 0;
+  for (auto pos = q.first(); pos != TransactionQueue::kNoPos && seen < limit;
+       pos = q.next(pos), ++seen) {
+    const Transaction& tx = q.at(pos);
+    if (tx.arrival > now) {
+      if (monotone) {
+        barrier = tx.arrival;
+        break;
+      }
+      continue;
+    }
+    unsigned r = q.resource_at(pos);
+    if (r == TransactionQueue::kNoResource) {
+      r = q.route_hint(pos, rv);
+      if (r == TransactionQueue::kNoResource) {
+        r = local_resource(arch_.route(tx.dec, tx.type, tx.internal));
+        q.set_route_hint(pos, r, rv);
+      }
+    }
+    if (!ready_.test(r)) continue;
+    const auto open = banks_[r].open_row();
+    const bool hit = open.has_value() && *open == tx.dec.row;
+    if (!row_hit_first || hit) {
+      Pick p;
+      p.idx = pos;
+      p.row_hit = hit;
+      p.arrival = tx.arrival;
+      return p;
+    }
+    if (fallback.idx == kNoPick) {
+      fallback.idx = pos;
+      fallback.row_hit = false;
+      fallback.arrival = tx.arrival;
+    }
+  }
+  if (fallback.idx == kNoPick && monotone) {
+    // Complete failure: remember it so the next scan is O(1) unless an
+    // invalidating event intervenes. Non-monotone queues are skipped —
+    // unarrived entries may be scattered, so no single barrier covers them.
+    sc.valid = true;
+    sc.epoch = scan_epoch_;
+    sc.pushes = q.pushes();
+    sc.rv = rv;
+    sc.barrier = barrier;
+  }
+  return fallback;
 }
 
 bool MemoryController::issue_fcfs(Tick now) {
@@ -156,7 +263,7 @@ void MemoryController::issue(Transaction tx, Tick now) {
     // penalty up front (the refresh completion is pushed back in
     // begin_demand).
     pre += cfg_.timing.pause_resume_ns;
-    stats_.counters.inc("ctrl.refresh_pauses");
+    bump(ctr_refresh_pauses_, "ctrl.refresh_pauses");
   }
   const Tick activate =
       (bank.open_row().has_value() && *bank.open_row() == plan.row)
@@ -175,9 +282,11 @@ void MemoryController::issue(Transaction tx, Tick now) {
   if (cfg_.row_policy == RowPolicy::kClosed) bank.close_row();
   bus_free_ = now + cfg_.timing.burst_ns();
   bus_busy_time_ += cfg_.timing.burst_ns();
-  push_event(finish);
-  push_event(bus_free_);
   if (finish > last_completion_) last_completion_ = finish;
+
+  const unsigned lr = local_resource(plan.resource);
+  ready_.clear(lr);
+  wake_push(bank.busy_until(), lr);
 
   const Tick latency = finish - tx.arrival;
   if (tx.record) {
@@ -201,10 +310,17 @@ void MemoryController::issue(Transaction tx, Tick now) {
     victim.arrival = now;
     victim.internal = true;
     victim.record = tx.record;
-    internal_q_.push(victim);
+    internal_q_.push(victim,
+                     local_resource(arch_.route(victim.dec, victim.type, true)));
     note_queue_depth();
-    if (tx.record) stats_.counters.inc("ctrl.internal_writes");
+    if (tx.record) bump(ctr_internal_writes_, "ctrl.internal_writes");
   }
+
+  push_event(finish);
+  // A tick at bus-free time can only matter if something is left to issue;
+  // with every queue empty the instant is a no-op, and any later arrival
+  // that finds the bus held re-schedules it (see enqueue).
+  if (reference_ || !drained()) push_event(bus_free_);
 }
 
 bool MemoryController::refresh_unit_ready(unsigned resource, Tick now) const {
@@ -213,33 +329,64 @@ bool MemoryController::refresh_unit_ready(unsigned resource, Tick now) const {
   auto targets = [&](const Transaction& tx) {
     return arch_.route(tx.dec, tx.type, tx.internal) == resource;
   };
-  for (const Transaction& tx : read_q_.entries()) {
-    if (targets(tx)) return false;
+  for (auto p = read_q_.first(); p != TransactionQueue::kNoPos;
+       p = read_q_.next(p)) {
+    if (targets(read_q_.at(p))) return false;
   }
-  for (const Transaction& tx : write_q_.entries()) {
-    if (targets(tx)) return false;
+  for (auto p = write_q_.first(); p != TransactionQueue::kNoPos;
+       p = write_q_.next(p)) {
+    if (targets(write_q_.at(p))) return false;
   }
   return true;
+}
+
+void MemoryController::run_refresh(Tick now) {
+  refresh_touched_.clear();
+  const Tick f = refresh_.run(now, arch_, refresh_bank_of_, refresh_ready_fn_);
+  if (f != 0) {
+    push_event(f);
+    if (f > last_completion_) last_completion_ = f;
+    if (!pausing_) {
+      // Without write pausing a refreshing bank blocks demand: reflect the
+      // refresh window in the readiness bitmap.
+      for (const unsigned r : refresh_touched_) {
+        const unsigned lr = local_resource(r);
+        ready_.clear(lr);
+        wake_push(banks_[lr].refresh_until(), lr);
+      }
+    }
+  }
+  if (refresh_.next_check() != kNeverTick) {
+    push_event(refresh_.next_check());
+  }
+}
+
+void MemoryController::process_bank_wakes(Tick now) {
+  while (!wake_heap_.empty() && wake_heap_.front().at <= now) {
+    std::pop_heap(wake_heap_.begin(), wake_heap_.end(), WakeLater{});
+    const BankWake w = wake_heap_.back();
+    wake_heap_.pop_back();
+    const Bank& b = banks_[w.resource];
+    Tick at = b.busy_until();
+    if (!pausing_ && b.refresh_until() > at) at = b.refresh_until();
+    if (at <= now) {
+      ready_.set(w.resource);
+      ++scan_epoch_;
+    } else {
+      wake_push(at, w.resource);  // re-blocked since the wake was scheduled
+    }
+  }
 }
 
 void MemoryController::tick(Tick now) {
   assert(now >= last_tick_);
   last_tick_ = now;
+  process_bank_wakes(now);
 
   // Run due PCM-refresh checks first: refresh only targets quiet ranks, so
   // pending demand work always wins.
-  if (refresh_.active(arch_)) {
-    const Tick f = refresh_.run(
-        now, arch_,
-        [&](unsigned resource) -> Bank& { return bank_mut(resource); },
-        [&](unsigned resource) { return refresh_unit_ready(resource, now); });
-    if (f != 0) {
-      push_event(f);
-      if (f > last_completion_) last_completion_ = f;
-    }
-    if (refresh_.next_check() != kNeverTick) {
-      push_event(refresh_.next_check());
-    }
+  if (refresh_active_ && (reference_ || refresh_.next_check() <= now)) {
+    run_refresh(now);
   }
 
   // Issue until neither class can make progress at this instant. Internal
@@ -260,10 +407,14 @@ void MemoryController::tick(Tick now) {
     if (!issued) issued = issue_from(internal_q_, now);
     if (!issued) break;
   }
+
+  next_event_ = events_.next_after(now);
 }
 
 Tick MemoryController::next_event_after(Tick now) {
-  return events_.next_after(now);
+  if (next_event_ != kNeverTick && next_event_ > now) return next_event_;
+  next_event_ = events_.next_after(now);
+  return next_event_;
 }
 
 void MemoryController::publish_metrics(MetricsRegistry& reg) const {

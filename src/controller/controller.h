@@ -21,6 +21,15 @@
 // where pre/program/post come from the architecture's IssuePlan (WOM fast
 // path vs alpha-write, tag checks, hidden-page second access) and the data
 // bus of the channel is held for one burst at issue.
+//
+// Hot-path structure (see DESIGN.md "Hot path & complexity"): the
+// controller keeps a BankBitmap of demand-ready banks (maintained by a
+// wakeup min-heap processed at each tick), caches each transaction's
+// routed bank in the queue at enqueue time (except dynamically-routed
+// reads), and caches the earliest scheduled event so the memory system can
+// skip channels with nothing due. SchedulerConfig::scan_mode selects
+// between this indexed path and the straight-line reference scan; both
+// must produce bit-identical results.
 #pragma once
 
 #include <memory>
@@ -32,6 +41,7 @@
 #include "controller/refresh_engine.h"
 #include "controller/scheduler.h"
 #include "pcm/bank.h"
+#include "pcm/rank.h"
 #include "stats/metrics.h"
 #include "stats/stats.h"
 
@@ -81,6 +91,11 @@ class MemoryController {
   // kNeverTick if the controller is fully drained and quiescent.
   Tick next_event_after(Tick now);
 
+  // Cached earliest scheduled event (may be at or before the current
+  // instant when work is due). The memory system uses this to dispatch
+  // tick() only to channels with something to do.
+  Tick pending_event() const { return next_event_; }
+
   bool drained() const {
     return read_q_.empty() && write_q_.empty() && internal_q_.empty();
   }
@@ -113,22 +128,70 @@ class MemoryController {
     bool row_hit = false;
     Tick arrival = kNeverTick;
   };
+  // A future instant at which a local bank may become demand-ready again.
+  struct BankWake {
+    Tick at = 0;
+    unsigned resource = 0;  // local index into banks_
+  };
+  struct WakeLater {
+    bool operator()(const BankWake& a, const BankWake& b) const {
+      return a.at > b.at;
+    }
+  };
+
+  // Memoized failed scan for one queue (see find_pick). A recorded failure
+  // proves "no entry can issue", and stays valid until an event occurs that
+  // could create a pick: a bank turning ready (scan_epoch_), a push into
+  // this queue (pushes), a dynamic-route mutation (rv), or the queue's
+  // first not-yet-arrived entry coming due (barrier). Bank-busying events
+  // and takes only shrink the issuable set, so they leave a failure valid.
+  struct ScanCache {
+    std::uint64_t epoch = 0;
+    std::uint64_t pushes = 0;
+    std::uint64_t rv = 0;
+    Tick barrier = 0;
+    bool valid = false;
+  };
 
   unsigned local_resource(unsigned global_resource) const {
     return global_to_local_[global_resource];
+  }
+  ScanCache& scan_cache_for(const TransactionQueue& q) {
+    if (&q == &read_q_) return scan_cache_[0];
+    if (&q == &write_q_) return scan_cache_[1];
+    return scan_cache_[2];
   }
   Bank& bank_mut(unsigned global_resource) {
     return banks_[local_resource(global_resource)];
   }
   bool can_issue(const Transaction& tx, Tick now) const;
   bool is_row_hit(const Transaction& tx) const;
-  Pick find_pick(const TransactionQueue& q, Tick now) const;
+  Pick find_pick(TransactionQueue& q, Tick now);
+  Pick find_pick_reference(const TransactionQueue& q, Tick now) const;
   bool issue_fcfs(Tick now);
   bool issue_from(TransactionQueue& q, Tick now);
   void issue(Transaction tx, Tick now);
   bool refresh_unit_ready(unsigned resource, Tick now) const;
-  void push_event(Tick t) { events_.schedule(t); }
+  void run_refresh(Tick now);
+  void process_bank_wakes(Tick now);
+  void wake_push(Tick at, unsigned local) {
+    wake_heap_.push_back(BankWake{at, local});
+    std::push_heap(wake_heap_.begin(), wake_heap_.end(), WakeLater{});
+  }
+  // Schedules a controller event, keeping next_event_ == the heap minimum
+  // (re-pushing the current minimum is a no-op).
+  void push_event(Tick t) {
+    if (t == kNeverTick || t == next_event_) return;
+    events_.schedule(t);
+    if (t < next_event_) next_event_ = t;
+  }
   void note_queue_depth();
+  // Lazily-bound counter increment: resolves the CounterSet slot on first
+  // use so untouched counters never appear in reports.
+  void bump(std::uint64_t*& slot, const char* name) {
+    if (slot == nullptr) slot = stats_.counters.slot(name);
+    ++*slot;
+  }
 
   ControllerConfig cfg_;
   Architecture& arch_;
@@ -148,10 +211,36 @@ class MemoryController {
   WriteDrainPolicy drain_;
   RefreshEngine refresh_;
 
+  // Demand-readiness bitmap over local banks: bit set == the bank could
+  // start a demand op right now (busy over, and — unless write pausing
+  // hides refresh — refresh over). Updated by process_bank_wakes() at tick
+  // start and synchronously on issue/refresh within a tick.
+  BankBitmap ready_;
+  std::vector<BankWake> wake_heap_;  // min-heap of readiness re-check times
+  ScanCache scan_cache_[3];          // read, write, internal
+  // Advances whenever a readiness bit is set (pushes are detected
+  // per-queue via TransactionQueue::pushes()).
+  std::uint64_t scan_epoch_ = 0;
+  std::vector<unsigned> refresh_touched_;  // global resources, scratch
+
   EventQueue events_;
+  Tick next_event_ = kNeverTick;  // cached minimum of events_
   Tick last_tick_ = 0;
   Tick last_completion_ = 0;
   std::uint64_t next_internal_id_;
+
+  // Configuration-derived constants hoisted off the hot path.
+  bool reference_ = false;      // scan_mode == kReference
+  bool refresh_active_ = false; // refresh engine live for this arch
+  bool pausing_ = false;        // write pausing hides refresh from readiness
+  bool dynamic_reads_ = false;  // demand-read routing may change while queued
+  unsigned line_bytes_ = 64;
+  RefreshEngine::BankResolver refresh_bank_of_;  // built once, not per tick
+  std::function<bool(unsigned)> refresh_ready_fn_;
+
+  std::uint64_t* ctr_reads_forwarded_ = nullptr;
+  std::uint64_t* ctr_refresh_pauses_ = nullptr;
+  std::uint64_t* ctr_internal_writes_ = nullptr;
 };
 
 }  // namespace wompcm

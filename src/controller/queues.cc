@@ -1,31 +1,197 @@
 #include "controller/queues.h"
 
-#include <cassert>
-
 namespace wompcm {
 
-Transaction TransactionQueue::take(std::size_t i) {
-  assert(i < q_.size());
-  Transaction tx = q_[i];
-  q_.erase(q_.begin() + static_cast<std::ptrdiff_t>(i));
-  return tx;
+namespace {
+
+std::size_t pow2_at_least(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+TransactionQueue::TransactionQueue() {
+  ring_.assign(16, Slot{});
+  ring_mask_ = ring_.size() - 1;
+  lines_.assign(64, LineCell{});
+  line_mask_ = lines_.size() - 1;
+}
+
+void TransactionQueue::configure(unsigned line_bytes, unsigned resources,
+                                 std::size_t capacity) {
+  assert(empty());
+  line_bytes_ = line_bytes == 0 ? 64 : line_bytes;
+  counts_.assign(resources, 0);
+  mask_.resize(resources, false);
+  unindexed_ = 0;
+  // 2x capacity of ring slack so tombstone compaction stays amortised O(1),
+  // 4x line-table slack so probes stay short at full occupancy.
+  const std::size_t cap = capacity < 8 ? 8 : capacity;
+  ring_.assign(pow2_at_least(cap * 2), Slot{});
+  ring_mask_ = ring_.size() - 1;
+  head_ = tail_ = 0;
+  lines_.assign(pow2_at_least(cap * 4), LineCell{});
+  line_mask_ = lines_.size() - 1;
+  line_used_ = 0;
+  monotone_ = true;
+  has_pushed_ = false;
+  last_push_arrival_ = 0;
+  push_count_ = 0;
+}
+
+void TransactionQueue::push_impl(const Transaction& tx, unsigned resource) {
+  if (tail_ - head_ == ring_.size()) {
+    if (live_ < ring_.size()) {
+      compact();
+    } else {
+      grow_ring();
+    }
+  }
+  Slot& s = ring_[tail_ & ring_mask_];
+  s.tx = tx;
+  s.live = true;
+  s.hint_stamp = kNoStamp;  // reused slot: drop any stale route hint
+  ++tail_;
+  ++live_;
+  ++push_count_;
+  if (has_pushed_ && tx.arrival < last_push_arrival_) monotone_ = false;
+  has_pushed_ = true;
+  last_push_arrival_ = tx.arrival;
+  line_add(tx.addr / line_bytes_);
+  if (resource != kNoResource && resource < counts_.size()) {
+    s.resource = resource;
+    if (counts_[resource]++ == 0) mask_.set(resource);
+  } else {
+    s.resource = kNoResource;
+    ++unindexed_;
+  }
+}
+
+Transaction TransactionQueue::take(Pos p) {
+  assert(p >= head_ && p < tail_);
+  Slot& s = ring_[p & ring_mask_];
+  assert(s.live);
+  s.live = false;
+  --live_;
+  line_remove(s.tx.addr / line_bytes_);
+  if (s.resource != kNoResource) {
+    if (--counts_[s.resource] == 0) mask_.clear(s.resource);
+  } else {
+    --unindexed_;
+  }
+  // Keep head_ pointing at a live entry so first() is O(1).
+  while (head_ != tail_ && !ring_[head_ & ring_mask_].live) ++head_;
+  return s.tx;
+}
+
+void TransactionQueue::compact() {
+  Pos w = head_;
+  for (Pos r = head_; r != tail_; ++r) {
+    Slot& s = ring_[r & ring_mask_];
+    if (!s.live) continue;
+    if (w != r) {
+      ring_[w & ring_mask_] = s;
+      s.live = false;
+    }
+    ++w;
+  }
+  tail_ = w;
+}
+
+void TransactionQueue::grow_ring() {
+  std::vector<Slot> bigger(ring_.size() * 2);
+  std::size_t w = 0;
+  for (Pos r = head_; r != tail_; ++r) {
+    const Slot& s = ring_[r & ring_mask_];
+    if (s.live) bigger[w++] = s;
+  }
+  ring_.swap(bigger);
+  ring_mask_ = ring_.size() - 1;
+  head_ = 0;
+  tail_ = w;
 }
 
 bool TransactionQueue::contains_line(Addr addr, unsigned line_bytes) const {
+  if (line_bytes == line_bytes_) return line_find(addr / line_bytes_);
+  // Query at a granularity the index is not keyed for: scan instead.
   const Addr line = addr / line_bytes;
-  for (const Transaction& tx : q_) {
-    if (tx.addr / line_bytes == line) return true;
+  for (Pos p = first(); p != kNoPos; p = next(p)) {
+    if (ring_[p & ring_mask_].tx.addr / line_bytes == line) return true;
   }
   return false;
 }
 
 Tick TransactionQueue::oldest_arrival() const {
-  if (q_.empty()) return kNeverTick;
-  Tick t = q_.front().arrival;
-  for (const Transaction& tx : q_) {
-    if (tx.arrival < t) t = tx.arrival;
+  Tick t = kNeverTick;
+  for (Pos p = first(); p != kNoPos; p = next(p)) {
+    const Tick a = ring_[p & ring_mask_].tx.arrival;
+    if (a < t) t = a;
   }
   return t;
+}
+
+void TransactionQueue::line_add(Addr line) {
+  if ((line_used_ + 1) * 2 > lines_.size()) grow_lines();
+  std::size_t i = line_hash(line) & line_mask_;
+  while (lines_[i].count != 0) {
+    if (lines_[i].line == line) {
+      ++lines_[i].count;
+      return;
+    }
+    i = (i + 1) & line_mask_;
+  }
+  lines_[i].line = line;
+  lines_[i].count = 1;
+  ++line_used_;
+}
+
+void TransactionQueue::line_remove(Addr line) {
+  std::size_t i = line_hash(line) & line_mask_;
+  while (lines_[i].count != 0 && lines_[i].line != line) {
+    i = (i + 1) & line_mask_;
+  }
+  assert(lines_[i].count != 0 && "line index out of sync with queue");
+  if (--lines_[i].count != 0) return;
+  --line_used_;
+  // Backward-shift deletion: pull displaced entries over the hole so the
+  // probe chain stays unbroken (no tombstones in the line table).
+  std::size_t hole = i;
+  std::size_t j = (i + 1) & line_mask_;
+  while (lines_[j].count != 0) {
+    const std::size_t home = line_hash(lines_[j].line) & line_mask_;
+    if (((j - home) & line_mask_) >= ((j - hole) & line_mask_)) {
+      lines_[hole] = lines_[j];
+      hole = j;
+    }
+    j = (j + 1) & line_mask_;
+  }
+  lines_[hole].count = 0;
+}
+
+bool TransactionQueue::line_find(Addr line) const {
+  std::size_t i = line_hash(line) & line_mask_;
+  while (lines_[i].count != 0) {
+    if (lines_[i].line == line) return true;
+    i = (i + 1) & line_mask_;
+  }
+  return false;
+}
+
+void TransactionQueue::grow_lines() {
+  std::vector<LineCell> old;
+  old.swap(lines_);
+  lines_.assign(old.size() * 2, LineCell{});
+  line_mask_ = lines_.size() - 1;
+  line_used_ = 0;
+  for (const LineCell& c : old) {
+    if (c.count == 0) continue;
+    std::size_t i = line_hash(c.line) & line_mask_;
+    while (lines_[i].count != 0) i = (i + 1) & line_mask_;
+    lines_[i] = c;
+    ++line_used_;
+  }
 }
 
 }  // namespace wompcm

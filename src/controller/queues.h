@@ -1,34 +1,176 @@
-// Read / write transaction queues with age order and line lookup.
+// Read / write transaction queues with age order and indexed lookup.
+//
+// The queue is the controller's hottest data structure: every enqueue
+// probes the write queue for read-forwarding, and every scheduler scan
+// walks entries in age order. The representation is built for those two
+// paths:
+//
+//  - Storage is a power-of-two ring of slots addressed by a monotonically
+//    increasing position counter (`Pos`). push() appends at the tail;
+//    take() tombstones the slot in place, so removing from the middle
+//    never shifts other entries (age order is the position order, and a
+//    Pos handle stays valid until the next push). Dead slots are reclaimed
+//    in bulk: when the live span reaches the ring capacity, the live
+//    entries are compacted to the front in order, so a configured queue
+//    never allocates in steady state.
+//  - A linear-probe hash of line addresses (with per-line counts and
+//    backward-shift deletion) makes contains_line() O(1) instead of a
+//    scan over the queue.
+//  - Entries pushed with a resource id maintain per-resource counts and a
+//    BankBitmap occupancy mask, so a scheduler can test "does this queue
+//    target any ready bank?" in a few word operations before touching a
+//    single entry. Entries whose routing is dynamic (it can change while
+//    they wait, e.g. WCPCM demand reads that probe mutable cache tags) are
+//    pushed with kNoResource and counted in unindexed(); while any are
+//    present the mask is a subset of the queue's targets, not the whole
+//    set, and mask-based early-outs must be skipped.
+//
+// The queue also tracks whether pushes arrived in non-decreasing arrival
+// order (arrivals_monotone()); schedulers may stop an age-order scan at
+// the first not-yet-arrived entry only when that holds.
 #pragma once
 
+#include <cassert>
 #include <cstddef>
-#include <deque>
+#include <cstdint>
+#include <vector>
 
 #include "controller/transaction.h"
+#include "pcm/rank.h"
 
 namespace wompcm {
 
 class TransactionQueue {
  public:
-  void push(const Transaction& tx) { q_.push_back(tx); }
+  // Stable handle for a queued entry: the position counter at push time.
+  // Valid until the entry is taken or the next push (which may compact).
+  using Pos = std::size_t;
+  static constexpr Pos kNoPos = static_cast<Pos>(-1);
 
-  bool empty() const { return q_.empty(); }
-  std::size_t size() const { return q_.size(); }
+  // Resource id for entries whose routing is unknown or dynamic.
+  static constexpr unsigned kNoResource = ~0u;
 
-  const Transaction& at(std::size_t i) const { return q_[i]; }
-  Transaction take(std::size_t i);
+  TransactionQueue();
+
+  // Sizes the indexes for a queue holding up to `capacity` entries over
+  // `resources` bank-shaped resources, with the line index keyed at
+  // `line_bytes` granularity. Allocates; must be called while empty.
+  // Exceeding `capacity` is allowed but may allocate on push.
+  void configure(unsigned line_bytes, unsigned resources,
+                 std::size_t capacity);
+
+  void push(const Transaction& tx) { push_impl(tx, kNoResource); }
+  void push(const Transaction& tx, unsigned resource) {
+    push_impl(tx, resource);
+  }
+
+  bool empty() const { return live_ == 0; }
+  std::size_t size() const { return live_; }
+
+  // Age-order iteration over live entries:
+  //   for (auto p = q.first(); p != TransactionQueue::kNoPos; p = q.next(p))
+  Pos first() const { return head_ == tail_ ? kNoPos : head_; }
+  Pos next(Pos p) const {
+    for (++p; p != tail_; ++p) {
+      if (ring_[p & ring_mask_].live) return p;
+    }
+    return kNoPos;
+  }
+
+  const Transaction& at(Pos p) const {
+    assert(p >= head_ && p < tail_ && ring_[p & ring_mask_].live);
+    return ring_[p & ring_mask_].tx;
+  }
+
+  // Resource recorded at push time (kNoResource for dynamic routes).
+  unsigned resource_at(Pos p) const { return ring_[p & ring_mask_].resource; }
+
+  // Cached route for a dynamically-routed entry: valid only while `version`
+  // matches the stamp it was recorded under (see
+  // Architecture::route_version). Returns kNoResource when nothing current
+  // is cached, so schedulers fall back to recomputing the route.
+  unsigned route_hint(Pos p, std::uint64_t version) const {
+    const Slot& s = ring_[p & ring_mask_];
+    return s.hint_stamp == version ? s.hint : kNoResource;
+  }
+  void set_route_hint(Pos p, unsigned r, std::uint64_t version) {
+    Slot& s = ring_[p & ring_mask_];
+    s.hint = r;
+    s.hint_stamp = version;
+  }
+
+  Transaction take(Pos p);
 
   // True if some queued transaction covers the same line address
-  // (used for write-to-read forwarding).
+  // (used for write-to-read forwarding). O(1) via the line index when
+  // `line_bytes` matches the configured granularity.
   bool contains_line(Addr addr, unsigned line_bytes) const;
 
   // Oldest arrival time in the queue (kNeverTick when empty).
   Tick oldest_arrival() const;
 
-  const std::deque<Transaction>& entries() const { return q_; }
+  // Occupancy mask over resources with at least one indexed entry.
+  const BankBitmap& bank_mask() const { return mask_; }
+
+  // Number of live entries pushed without a (stable) resource.
+  std::size_t unindexed() const { return unindexed_; }
+
+  // True while every push so far arrived in non-decreasing arrival order.
+  bool arrivals_monotone() const { return monotone_; }
+
+  // Total pushes over the queue's lifetime (takes do not count). Lets a
+  // scheduler detect "no entry was added since my last scan" — removals
+  // only shrink the schedulable set, so a failed scan stays failed.
+  std::uint64_t pushes() const { return push_count_; }
 
  private:
-  std::deque<Transaction> q_;
+  // Stamp value no live route_version can take (versions count up from 0).
+  static constexpr std::uint64_t kNoStamp = ~std::uint64_t{0};
+
+  struct Slot {
+    Transaction tx{};
+    unsigned resource = kNoResource;
+    bool live = false;
+    unsigned hint = kNoResource;           // cached dynamic route
+    std::uint64_t hint_stamp = kNoStamp;   // route_version it was cached at
+  };
+  struct LineCell {
+    Addr line = 0;
+    std::uint32_t count = 0;  // 0 marks an empty cell
+  };
+
+  void push_impl(const Transaction& tx, unsigned resource);
+  void compact();
+  void grow_ring();
+
+  static std::size_t line_hash(Addr line) {
+    std::uint64_t h = static_cast<std::uint64_t>(line) * 0x9E3779B97F4A7C15ull;
+    return static_cast<std::size_t>(h ^ (h >> 29));
+  }
+  void line_add(Addr line);
+  void line_remove(Addr line);
+  bool line_find(Addr line) const;
+  void grow_lines();
+
+  std::vector<Slot> ring_;  // power-of-two capacity
+  std::size_t ring_mask_ = 0;
+  Pos head_ = 0;  // position of the oldest live entry (always live)
+  Pos tail_ = 0;  // one past the newest entry (live or dead)
+  std::size_t live_ = 0;
+
+  std::vector<LineCell> lines_;  // linear-probe hash, power-of-two size
+  std::size_t line_mask_ = 0;
+  std::size_t line_used_ = 0;
+  unsigned line_bytes_ = 64;
+
+  std::vector<std::uint32_t> counts_;  // live entries per resource
+  BankBitmap mask_;
+  std::size_t unindexed_ = 0;
+
+  bool monotone_ = true;
+  bool has_pushed_ = false;
+  Tick last_push_arrival_ = 0;
+  std::uint64_t push_count_ = 0;
 };
 
 }  // namespace wompcm

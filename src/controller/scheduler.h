@@ -21,6 +21,19 @@ enum class SchedulingPolicy : std::uint8_t { kFcfs, kReadPriority };
 
 const char* to_string(SchedulingPolicy p);
 
+// How the controller locates issuable work each tick.
+//
+// kIndexed (the default) uses the queue's bank-occupancy masks, the
+// controller's bank-readiness bitmap, and cached per-entry routing to skip
+// provably non-issuable entries; the memory system also dispatches ticks
+// only to channels with a due event. kReference is the straight-line
+// age-order scan over every entry of every channel on every tick — slower
+// but trivially correct. Both modes must produce bit-identical simulation
+// results; tests/test_hotpath_equivalence.cc enforces that.
+enum class ScanMode : std::uint8_t { kIndexed, kReference };
+
+const char* to_string(ScanMode m);
+
 struct SchedulerConfig {
   SchedulingPolicy policy = SchedulingPolicy::kFcfs;
   // kReadPriority only — write-drain hysteresis: start draining when the
@@ -31,16 +44,19 @@ struct SchedulerConfig {
   bool row_hit_first = true;
   // How many queue entries (in age order) the scheduler considers per pass.
   unsigned scan_limit = 64;
+  // Candidate-scan implementation; results are identical either way.
+  ScanMode scan_mode = ScanMode::kIndexed;
 
   bool valid(std::string* why = nullptr) const;
 };
 
-inline constexpr std::size_t kNoPick = static_cast<std::size_t>(-1);
+inline constexpr std::size_t kNoPick = TransactionQueue::kNoPos;
 
-// Selects the queue index to issue: the oldest issuable row-hit if
+// Selects the queue position to issue: the oldest issuable row-hit if
 // `row_hit_first`, otherwise the oldest issuable entry within the scan
 // window. `can_issue(tx)` must be side-effect free; `is_row_hit(tx)` is only
-// consulted for issuable entries.
+// consulted for issuable entries. This is the reference scan; the
+// controller's indexed fast path must pick the same entry.
 template <typename CanIssue, typename IsRowHit>
 std::size_t pick_transaction(const TransactionQueue& q,
                              const SchedulerConfig& cfg, CanIssue&& can_issue,
@@ -48,12 +64,14 @@ std::size_t pick_transaction(const TransactionQueue& q,
   const std::size_t n =
       q.size() < cfg.scan_limit ? q.size() : cfg.scan_limit;
   std::size_t first_issuable = kNoPick;
-  for (std::size_t i = 0; i < n; ++i) {
-    const Transaction& tx = q.at(i);
+  std::size_t seen = 0;
+  for (auto p = q.first(); p != TransactionQueue::kNoPos && seen < n;
+       p = q.next(p), ++seen) {
+    const Transaction& tx = q.at(p);
     if (!can_issue(tx)) continue;
-    if (!cfg.row_hit_first) return i;
-    if (is_row_hit(tx)) return i;
-    if (first_issuable == kNoPick) first_issuable = i;
+    if (!cfg.row_hit_first) return p;
+    if (is_row_hit(tx)) return p;
+    if (first_issuable == kNoPick) first_issuable = p;
   }
   return first_issuable;
 }

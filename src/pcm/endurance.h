@@ -13,8 +13,9 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
+#include <vector>
 
+#include "common/flat_map.h"
 #include "common/types.h"
 
 namespace wompcm {
@@ -28,7 +29,12 @@ inline constexpr double kDefaultCellEndurance = 1e8;
 
 class WearTracker {
  public:
-  explicit WearTracker(unsigned lines_per_row) : lines_(lines_per_row) {}
+  explicit WearTracker(unsigned lines_per_row) : lines_(lines_per_row) {
+    // The row index is only ever keyed (never iterated), so pre-sizing
+    // cannot change any reported value; it just avoids rehash churn on the
+    // per-write hot path.
+    slab_of_.reserve(1 << 14);
+  }
 
   void on_write(RowKey row, unsigned line, WriteClass cls) {
     add(row, line,
@@ -36,9 +42,12 @@ class WearTracker {
                                       : kAlphaWearPerCell);
   }
 
-  // A refresh cycles every line of the row.
+  // A refresh cycles every line of the row. The row's lines live in one
+  // contiguous slab, so this is one hash probe plus a sequential walk
+  // instead of lines_per_row independent lookups.
   void on_refresh(RowKey row) {
-    for (unsigned l = 0; l < lines_; ++l) add(row, l, kRefreshWearPerCell);
+    double* s = slab(row);
+    for (unsigned l = 0; l < lines_; ++l) bump(s[l], kRefreshWearPerCell);
   }
 
   // Explicit pulse count for schemes with their own write model
@@ -49,9 +58,9 @@ class WearTracker {
 
   double total_wear() const { return total_; }
   double max_line_wear() const { return max_; }
-  std::size_t touched_lines() const { return wear_.size(); }
+  std::size_t touched_lines() const { return touched_; }
   double mean_line_wear() const {
-    return wear_.empty() ? 0.0 : total_ / static_cast<double>(wear_.size());
+    return touched_ == 0 ? 0.0 : total_ / static_cast<double>(touched_);
   }
 
   // Lifetime until the hottest line exhausts `cell_endurance` cycles, if
@@ -65,15 +74,43 @@ class WearTracker {
   }
 
  private:
-  void add(RowKey row, unsigned line, double pulses) {
-    double& w = wear_[row * lines_ + line];
-    w += pulses;
+  // Sentinel for a line never written nor refreshed. Real wear is always
+  // >= 0, and a first touch replaces the sentinel outright, so the stored
+  // values (and every total/max/mean derived from them) are bit-identical
+  // to a plain per-line accumulator starting at zero. touched_ counts
+  // first touches, matching the per-(row,line) key count a map would hold.
+  static constexpr double kUntouched = -1.0;
+
+  // The row's wear slab (lines_ doubles), allocated on first touch. The
+  // returned pointer is invalidated by the next slab allocation.
+  double* slab(RowKey row) {
+    std::uint32_t& id = slab_of_[row];
+    if (id == 0) {  // 1-based so the map's default 0 means "no slab yet"
+      wear_.resize(wear_.size() + lines_, kUntouched);
+      id = static_cast<std::uint32_t>(wear_.size() / lines_);
+    }
+    return wear_.data() + static_cast<std::size_t>(id - 1) * lines_;
+  }
+
+  void bump(double& w, double pulses) {
+    if (w == kUntouched) {
+      w = pulses;
+      ++touched_;
+    } else {
+      w += pulses;
+    }
     total_ += pulses;
     if (w > max_) max_ = w;
   }
 
+  void add(RowKey row, unsigned line, double pulses) {
+    bump(slab(row)[line], pulses);
+  }
+
   unsigned lines_;
-  std::unordered_map<std::uint64_t, double> wear_;
+  FlatMap64<std::uint32_t> slab_of_;  // row key -> 1-based slab id
+  std::vector<double> wear_;          // slabs of lines_ per-line totals
+  std::size_t touched_ = 0;
   double total_ = 0.0;
   double max_ = 0.0;
 };

@@ -13,4 +13,29 @@ void RankView::begin_refresh(Tick until) {
   for (Bank& b : banks_) b.begin_refresh(until);
 }
 
+void BankBitmap::resize(unsigned bits, bool value) {
+  bits_ = bits;
+  words_.assign((bits + 63) / 64, value ? ~std::uint64_t{0} : 0);
+  if (value && bits % 64 != 0) {
+    // Keep bits past the end clear so any()/intersects() see only real banks.
+    words_.back() = (std::uint64_t{1} << (bits % 64)) - 1;
+  }
+}
+
+bool BankBitmap::intersects(const BankBitmap& other) const {
+  const std::size_t n =
+      words_.size() < other.words_.size() ? words_.size() : other.words_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (words_[i] & other.words_[i]) return true;
+  }
+  return false;
+}
+
+bool BankBitmap::any() const {
+  for (const std::uint64_t w : words_) {
+    if (w) return true;
+  }
+  return false;
+}
+
 }  // namespace wompcm

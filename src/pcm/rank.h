@@ -1,7 +1,11 @@
-// Rank-level helpers: a rank is the refresh scheduling unit (Section 3.2).
+// Rank-level helpers: a rank is the refresh scheduling unit (Section 3.2),
+// and BankBitmap is the word-packed bank-set representation the controller
+// uses for O(words) readiness/occupancy tests across a channel's banks.
 #pragma once
 
+#include <cstdint>
 #include <span>
+#include <vector>
 
 #include "pcm/bank.h"
 
@@ -25,6 +29,44 @@ class RankView {
 
  private:
   std::span<Bank> banks_;
+};
+
+// Fixed-size bit set over a channel's bank-shaped resources, packed into
+// 64-bit words. The controller keeps one as the demand-readiness mask
+// (bit set = the bank could start a demand op right now) and each
+// transaction queue keeps one as its bank-occupancy mask (bit set = at
+// least one queued entry targets that bank); `intersects` between the two
+// answers "could anything in this queue issue?" without touching a single
+// queue entry. All mutators are O(1); intersects/any are O(words), i.e.
+// 8 words for the paper geometry's 512 flat banks per channel.
+class BankBitmap {
+ public:
+  BankBitmap() = default;
+
+  // Sizes the map to `bits` resources, all initialised to `value`.
+  // Allocates; call once at construction time, not on the hot path.
+  void resize(unsigned bits, bool value);
+
+  void set(unsigned bit) {
+    words_[bit >> 6] |= std::uint64_t{1} << (bit & 63);
+  }
+  void clear(unsigned bit) {
+    words_[bit >> 6] &= ~(std::uint64_t{1} << (bit & 63));
+  }
+  bool test(unsigned bit) const {
+    return (words_[bit >> 6] >> (bit & 63)) & 1u;
+  }
+
+  // True when any bit is set in both maps. The maps must be sized over the
+  // same resource space (same resize width).
+  bool intersects(const BankBitmap& other) const;
+
+  bool any() const;
+  unsigned bits() const { return bits_; }
+
+ private:
+  std::vector<std::uint64_t> words_;
+  unsigned bits_ = 0;
 };
 
 }  // namespace wompcm

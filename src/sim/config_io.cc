@@ -165,6 +165,16 @@ SimConfig apply_overrides(SimConfig cfg, const KeyValueConfig& kv) {
     cfg.sched.row_hit_first = *v;
   }
   cfg.sched.scan_limit = get_unsigned(kv, "scan_limit", cfg.sched.scan_limit);
+  if (kv.has("scan_mode")) {
+    const std::string m = kv.get_string_or("scan_mode", "");
+    if (m == "indexed") {
+      cfg.sched.scan_mode = ScanMode::kIndexed;
+    } else if (m == "reference") {
+      cfg.sched.scan_mode = ScanMode::kReference;
+    } else {
+      bad("scan_mode", m);
+    }
+  }
   if (kv.has("row_policy")) {
     const std::string p = kv.get_string_or("row_policy", "");
     if (p == "open") {
@@ -267,6 +277,7 @@ std::string describe(const SimConfig& cfg) {
      << "row_hit_first=" << (cfg.sched.row_hit_first ? "true" : "false")
      << "\n"
      << "scan_limit=" << cfg.sched.scan_limit << "\n"
+     << "scan_mode=" << to_string(cfg.sched.scan_mode) << "\n"
      << "row_policy="
      << (cfg.row_policy == RowPolicy::kOpen ? "open" : "closed") << "\n"
      << "queue_capacity=" << cfg.queue_capacity << "\n"

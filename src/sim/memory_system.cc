@@ -6,7 +6,8 @@ namespace wompcm {
 
 MemorySystem::MemorySystem(const MemorySystemConfig& cfg, Architecture& arch,
                            SimStats& stats)
-    : arch_(arch) {
+    : arch_(arch),
+      dispatch_all_(cfg.sched.scan_mode == ScanMode::kReference) {
   channels_.reserve(cfg.geom.channels);
   for (unsigned c = 0; c < cfg.geom.channels; ++c) {
     ControllerConfig ccfg;
@@ -38,7 +39,17 @@ Tick MemorySystem::next_event_after(Tick now) {
 }
 
 void MemorySystem::tick(Tick now) {
-  for (const auto& c : channels_) c->tick(now);
+  if (dispatch_all_) {
+    for (const auto& c : channels_) c->tick(now);
+    return;
+  }
+  // Controllers are quiescent between their own scheduled events (every
+  // wake condition — arrival, bank finish, bus free, refresh check or
+  // completion — has a pushed event), so a channel with nothing due at
+  // `now` would tick to no effect: skip it.
+  for (const auto& c : channels_) {
+    if (c->pending_event() <= now) c->tick(now);
+  }
 }
 
 bool MemorySystem::drained() const {

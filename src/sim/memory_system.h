@@ -55,7 +55,8 @@ class MemorySystem {
   // when the whole system is quiescent).
   Tick next_event_after(Tick now);
 
-  // Ticks every channel controller at `now` (monotone across calls).
+  // Ticks the channel controllers with work due at `now` (every controller
+  // in reference scan mode; monotone across calls).
   void tick(Tick now);
 
   bool drained() const;
@@ -78,6 +79,9 @@ class MemorySystem {
 
  private:
   Architecture& arch_;
+  // Reference scan mode dispatches every tick to every channel instead of
+  // only the channels with a due event (see ScanMode).
+  bool dispatch_all_ = false;
   std::vector<std::unique_ptr<MemoryController>> channels_;
 };
 

@@ -40,15 +40,15 @@ SimResult Simulator::run(TraceSource& trace) {
   std::uint64_t injected_writes = 0;
   std::vector<std::uint64_t> deferred(mem.num_channels(), 0);
 
-  std::uint64_t trace_gen_ns = 0;
+  std::uint64_t trace_gen_ticks = 0;
   const std::uint64_t codec_ns_start = perf::codec_ns();
   const std::uint64_t loop_start_ns = perf::now_ns();
 
   auto fetch = [&]() -> std::optional<Transaction> {
-    const std::uint64_t t0 = perf::now_ns();
+    const std::uint64_t t0 = perf::now_ticks();
     const auto rec = trace.next();
     if (!rec) {
-      trace_gen_ns += perf::now_ns() - t0;
+      trace_gen_ticks += perf::now_ticks() - t0;
       return std::nullopt;
     }
     trace_clock += rec->gap;
@@ -63,7 +63,7 @@ SimResult Simulator::run(TraceSource& trace) {
     // run unrecorded to reach steady state. run_benchmark() rejects budgets
     // >= the trace length, which would record nothing.
     tx.record = tx.id > warmup;
-    trace_gen_ns += perf::now_ns() - t0;
+    trace_gen_ticks += perf::now_ticks() - t0;
     return tx;
   };
 
@@ -106,9 +106,10 @@ SimResult Simulator::run(TraceSource& trace) {
   // time accumulates in a thread-local counter (this run stays on one
   // thread), and the controller gets the rest.
   result.phases.total_ns = perf::now_ns() - loop_start_ns;
-  result.phases.trace_gen_ns = trace_gen_ns;
+  result.phases.trace_gen_ns = perf::ticks_to_ns(trace_gen_ticks);
   result.phases.codec_ns = perf::codec_ns() - codec_ns_start;
-  const std::uint64_t accounted = trace_gen_ns + result.phases.codec_ns;
+  const std::uint64_t accounted =
+      result.phases.trace_gen_ns + result.phases.codec_ns;
   result.phases.controller_ns =
       result.phases.total_ns > accounted ? result.phases.total_ns - accounted
                                          : 0;

@@ -44,6 +44,13 @@ class CounterSet {
   const std::map<std::string, std::uint64_t>& all() const { return map_; }
   void merge(const CounterSet& o);
 
+  // Stable pointer to a counter for hot paths, so repeated increments skip
+  // the name lookup (and any string allocation). std::map nodes never move,
+  // so the pointer stays valid for the CounterSet's lifetime. Note this
+  // inserts the counter (at zero) immediately — call on first use, not
+  // up front, to keep never-hit counters out of reports.
+  std::uint64_t* slot(const std::string& name) { return &map_[name]; }
+
  private:
   std::map<std::string, std::uint64_t> map_;
 };

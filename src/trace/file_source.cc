@@ -1,23 +1,72 @@
 #include "trace/file_source.h"
 
+#include <cctype>
 #include <cinttypes>
 #include <cstring>
 #include <stdexcept>
 
 namespace wompcm {
 
+namespace {
+
+// Manual field parsers over [p, end), replacing the per-line sscanf. They
+// accept the same inputs the old "%" SCNu64 " %c %" SCNx64 format did for
+// well-formed traces: leading whitespace before every field and an
+// optional 0x/0X prefix on the hex address.
+bool skip_space(const char*& p, const char* end) {
+  while (p != end && std::isspace(static_cast<unsigned char>(*p))) ++p;
+  return p != end;
+}
+
+bool parse_dec_u64(const char*& p, const char* end, std::uint64_t* out) {
+  if (!skip_space(p, end)) return false;
+  if (!std::isdigit(static_cast<unsigned char>(*p))) return false;
+  std::uint64_t v = 0;
+  while (p != end && std::isdigit(static_cast<unsigned char>(*p))) {
+    v = v * 10 + static_cast<std::uint64_t>(*p - '0');
+    ++p;
+  }
+  *out = v;
+  return true;
+}
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+bool parse_hex_u64(const char*& p, const char* end, std::uint64_t* out) {
+  if (!skip_space(p, end)) return false;
+  if (end - p >= 3 && p[0] == '0' && (p[1] == 'x' || p[1] == 'X') &&
+      hex_digit(p[2]) >= 0) {
+    p += 2;
+  }
+  int d = hex_digit(*p);
+  if (d < 0) return false;
+  std::uint64_t v = 0;
+  do {
+    v = (v << 4) | static_cast<std::uint64_t>(d);
+    ++p;
+  } while (p != end && (d = hex_digit(*p)) >= 0);
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
 FileTraceSource::FileTraceSource(const std::string& path) {
   f_ = std::fopen(path.c_str(), "rb");
   if (f_ == nullptr) {
     throw std::runtime_error("cannot open trace file: " + path);
   }
-  char magic[8] = {};
-  const std::size_t got = std::fread(magic, 1, sizeof(magic), f_);
-  if (got == sizeof(magic) && std::memcmp(magic, kTraceMagic, 8) == 0) {
+  buf_.resize(kBufSize);
+  refill();
+  if (end_ >= sizeof(kTraceMagic) &&
+      std::memcmp(buf_.data(), kTraceMagic, sizeof(kTraceMagic)) == 0) {
     binary_ = true;
-  } else {
-    binary_ = false;
-    std::rewind(f_);
+    pos_ = sizeof(kTraceMagic);
   }
 }
 
@@ -25,22 +74,52 @@ FileTraceSource::~FileTraceSource() {
   if (f_ != nullptr) std::fclose(f_);
 }
 
+bool FileTraceSource::refill() {
+  if (eof_) return false;
+  if (pos_ > 0) {
+    std::memmove(buf_.data(), buf_.data() + pos_, end_ - pos_);
+    end_ -= pos_;
+    pos_ = 0;
+  }
+  if (end_ == buf_.size()) buf_.resize(buf_.size() * 2);
+  const std::size_t got =
+      std::fread(buf_.data() + end_, 1, buf_.size() - end_, f_);
+  eof_ = got == 0;
+  end_ += got;
+  return got > 0;
+}
+
 std::optional<TraceRecord> FileTraceSource::next() {
   return binary_ ? next_binary() : next_text();
 }
 
 std::optional<TraceRecord> FileTraceSource::next_text() {
-  char buf[256];
-  while (std::fgets(buf, sizeof(buf), f_) != nullptr) {
+  for (;;) {
+    const char* nl = static_cast<const char*>(
+        std::memchr(buf_.data() + pos_, '\n', end_ - pos_));
+    if (nl == nullptr && !eof_) {
+      refill();
+      continue;
+    }
+    if (pos_ == end_) return std::nullopt;
+    const char* p = buf_.data() + pos_;
+    const char* line_end = nl != nullptr ? nl : buf_.data() + end_;
+    pos_ = nl != nullptr ? static_cast<std::size_t>(nl - buf_.data()) + 1
+                         : end_;
     ++line_;
-    const char* p = buf;
-    while (*p == ' ' || *p == '\t') ++p;
-    if (*p == '\0' || *p == '\n' || *p == '#') continue;
+
+    if (!skip_space(p, line_end) || *p == '#') continue;
     std::uint64_t gap = 0;
-    char type = 0;
     std::uint64_t addr = 0;
-    if (std::sscanf(p, "%" SCNu64 " %c %" SCNx64, &gap, &type, &addr) != 3 ||
-        (type != 'R' && type != 'W' && type != 'r' && type != 'w')) {
+    char type = 0;
+    bool ok = parse_dec_u64(p, line_end, &gap);
+    if (ok && skip_space(p, line_end)) {
+      type = *p++;
+    } else {
+      ok = false;
+    }
+    ok = ok && parse_hex_u64(p, line_end, &addr);
+    if (!ok || (type != 'R' && type != 'W' && type != 'r' && type != 'w')) {
       throw std::runtime_error("malformed trace line " + std::to_string(line_));
     }
     TraceRecord rec;
@@ -50,24 +129,29 @@ std::optional<TraceRecord> FileTraceSource::next_text() {
     rec.addr = addr;
     return rec;
   }
-  return std::nullopt;
 }
 
 std::optional<TraceRecord> FileTraceSource::next_binary() {
-  std::uint8_t buf[17];
-  const std::size_t got = std::fread(buf, 1, sizeof(buf), f_);
-  if (got == 0) return std::nullopt;
-  if (got != sizeof(buf)) {
+  constexpr std::size_t kRecordBytes = 17;  // u64 gap, u8 type, u64 addr
+  while (end_ - pos_ < kRecordBytes && refill()) {
+  }
+  const std::size_t avail = end_ - pos_;
+  if (avail == 0) return std::nullopt;
+  if (avail < kRecordBytes) {
     throw std::runtime_error("truncated binary trace record");
   }
+  const auto* b = reinterpret_cast<const std::uint8_t*>(buf_.data() + pos_);
+  pos_ += kRecordBytes;
   auto u64 = [&](std::size_t off) {
     std::uint64_t v = 0;
-    for (int i = 7; i >= 0; --i) v = (v << 8) | buf[off + static_cast<std::size_t>(i)];
+    for (int i = 7; i >= 0; --i) {
+      v = (v << 8) | b[off + static_cast<std::size_t>(i)];
+    }
     return v;
   };
   TraceRecord rec;
   rec.gap = u64(0);
-  rec.type = buf[8] != 0 ? AccessType::kWrite : AccessType::kRead;
+  rec.type = b[8] != 0 ? AccessType::kWrite : AccessType::kRead;
   rec.addr = u64(9);
   return rec;
 }

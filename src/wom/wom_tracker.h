@@ -19,9 +19,9 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.h"
 #include "common/types.h"
 
 namespace wompcm {
@@ -71,17 +71,25 @@ class WomStateTracker {
   std::size_t tracked_rows() const { return rows_.size(); }
 
  private:
-  struct RowState {
-    std::vector<std::uint8_t> gen;  // kUnknownGen until first touch
-    unsigned at_limit = 0;          // lines currently at generation t
-  };
-
-  RowState& row_state(RowKey row);
+  // Per-row state lives in parallel slab arrays indexed by a 1-based slab
+  // id (the row index map's default 0 means "no state yet"): generations
+  // are lines_ contiguous bytes in gen_, the at-limit line count a single
+  // entry in at_limit_. One hash probe per operation; a refresh resets the
+  // row with one sequential fill.
+  std::size_t slab_id(RowKey row);  // allocates on first touch
+  std::uint8_t* gen_slab(std::size_t id) {
+    return gen_.data() + (id - 1) * lines_;
+  }
+  const std::uint8_t* gen_slab(std::size_t id) const {
+    return gen_.data() + (id - 1) * lines_;
+  }
 
   unsigned t_;
   unsigned lines_;
   bool erased_start_;
-  std::unordered_map<RowKey, RowState> rows_;
+  FlatMap64<std::uint32_t> rows_;     // row key -> 1-based slab id
+  std::vector<std::uint8_t> gen_;     // slabs of lines_ generations
+  std::vector<unsigned> at_limit_;    // per slab: lines at generation t
   std::uint64_t writes_ = 0;
   std::uint64_t alpha_writes_ = 0;
   std::uint64_t cold_alpha_writes_ = 0;

@@ -8,9 +8,12 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <memory>
 #include <new>
 
+#include "arch/arch.h"
 #include "common/rng.h"
+#include "controller/controller.h"
 #include "wom/page_codec.h"
 #include "wom/registry.h"
 
@@ -91,6 +94,71 @@ TEST(CodecAllocation, MarkerCodeWriteIsAllocationFree) {
   for (int i = 0; i < 32; ++i) page.write((i & 1) ? b : a);
   const std::uint64_t after = g_allocations.load();
   EXPECT_EQ(after - before, 0u);
+}
+
+// The controller/queue steady state must be allocation-free per transaction
+// too: the indexed queues, readiness bitmaps, event heap, counter slots,
+// and the WOM/wear slab trackers all pre-reserve or bind on first touch, so
+// once the working set is warm, enqueue -> schedule -> complete touches the
+// allocator zero times. (WCPCM is exercised elsewhere; its victim
+// write-backs spawn transactions, which is an allocation by design.)
+TEST(ControllerAllocation, SteadyStateTransactionsAreAllocationFree) {
+  MemoryGeometry geom;
+  geom.channels = 1;
+  geom.ranks = 2;
+  geom.banks_per_rank = 2;
+  geom.rows_per_bank = 16;
+  geom.cols_per_row = 64;  // 8 lines/row
+
+  ControllerConfig cfg;
+  cfg.geom = geom;
+  cfg.refresh.enabled = false;  // refresh bookkeeping is off the per-tx path
+  ArchConfig acfg;
+  acfg.kind = ArchKind::kWomPcm;
+
+  SimStats stats;
+  std::unique_ptr<Architecture> arch = make_architecture(acfg, geom, cfg.timing);
+  MemoryController ctrl(cfg, *arch, stats);
+  AddressMapper mapper(geom);
+
+  std::uint64_t id = 1;
+  Tick now = 0;
+  // One pass: reads and writes over a fixed (bank, row, line) working set,
+  // run to drain. DecodedAddr::col is line-granular.
+  auto pass = [&] {
+    for (unsigned rank = 0; rank < geom.ranks; ++rank) {
+      for (unsigned bank = 0; bank < geom.banks_per_rank; ++bank) {
+        for (unsigned i = 0; i < 8; ++i) {
+          Transaction t;
+          t.id = id++;
+          t.dec = DecodedAddr{0, rank, bank, i % 4, i % 8};
+          t.addr = mapper.encode(t.dec);
+          t.arrival = now;
+          t.type = (i & 1) ? AccessType::kWrite : AccessType::kRead;
+          ctrl.enqueue(t);
+        }
+      }
+    }
+    ctrl.tick(now);
+    for (;;) {
+      const Tick t = ctrl.next_event_after(now);
+      if (t == kNeverTick) break;
+      now = t;
+      ctrl.tick(now);
+    }
+    ASSERT_TRUE(ctrl.drained());
+  };
+
+  // Warmup: touch every row/line of the working set, cross the WOM rewrite
+  // limit (alpha writes) several times so every counter slot, slab, queue
+  // index, and event-heap high-water mark exists before the window.
+  for (int i = 0; i < 16; ++i) pass();
+
+  const std::uint64_t before = g_allocations.load();
+  for (int i = 0; i < 8; ++i) pass();
+  const std::uint64_t after = g_allocations.load();
+  EXPECT_EQ(after - before, 0u)
+      << (after - before) << " allocations across 8 steady-state passes";
 }
 
 }  // namespace
