@@ -6,9 +6,7 @@
 #include <cstdio>
 #include <functional>
 
-#include "common/config.h"
-#include "sim/experiment.h"
-#include "stats/table.h"
+#include "womcode.h"
 
 namespace wompcm::bench {
 
@@ -29,9 +27,12 @@ inline int run_fig5(int argc, char** argv, const char* title,
               title, metric_name, static_cast<unsigned long long>(accesses),
               static_cast<unsigned long long>(seed));
 
-  const auto rows = run_arch_sweep(paper_config(), paper_architectures(),
-                                   benchmark_profiles(), accesses, seed,
-                                   ParallelPolicy::with_jobs(jobs));
+  RunOptions opts = RunOptions::with_seed(seed);
+  opts.jobs = ParallelPolicy::with_jobs(jobs);
+  const RunRequest base{paper_config(),
+                        TraceSpec::profile(WorkloadProfile{}, accesses), opts};
+  const auto rows =
+      run_sweep(base, paper_architectures(), benchmark_profiles());
   const auto norm = normalize(rows, metric);
 
   TextTable t({"benchmark", "pcm", "wom-pcm", "pcm-refresh", "wcpcm"});

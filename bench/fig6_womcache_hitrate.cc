@@ -11,9 +11,7 @@
 
 #include <cstdio>
 
-#include "common/config.h"
-#include "sim/experiment.h"
-#include "stats/table.h"
+#include "womcode.h"
 
 using namespace wompcm;
 
@@ -52,7 +50,8 @@ int main(int argc, char** argv) {
       cfg.geom.banks_per_rank = kBankSweep[bi];
       cfg.geom.rows_per_bank = 32768 * 32 / kBankSweep[bi];
       cfg.arch.kind = ArchKind::kWcpcm;
-      const SimResult r = run_benchmark(cfg, p, accesses, seed);
+      const SimResult r =
+          run({cfg, TraceSpec::profile(p, accesses), RunOptions::with_seed(seed)});
       const double hit = wcpcm_write_hit_rate(r);
       avg[bi] += hit;
       row.push_back(TextTable::fmt(hit));

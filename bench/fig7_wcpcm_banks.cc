@@ -12,9 +12,7 @@
 
 #include <cstdio>
 
-#include "common/config.h"
-#include "sim/experiment.h"
-#include "stats/table.h"
+#include "womcode.h"
 
 using namespace wompcm;
 
@@ -44,7 +42,8 @@ int main(int argc, char** argv) {
       cfg.geom.banks_per_rank = kBankSweep[bi];
       cfg.geom.rows_per_bank = 32768 * 32 / kBankSweep[bi];
       cfg.arch.kind = ArchKind::kWcpcm;
-      const SimResult res = run_benchmark(cfg, p, accesses, seed);
+      const SimResult res =
+          run({cfg, TraceSpec::profile(p, accesses), RunOptions::with_seed(seed)});
       w[bi] = res.avg_write_ns();
       r[bi] = res.avg_read_ns();
     }

@@ -10,10 +10,7 @@
 
 #include <cstdio>
 
-#include "common/config.h"
-#include "pcm/timing.h"
-#include "stats/table.h"
-#include "wom/code_search.h"
+#include "womcode.h"
 
 using namespace wompcm;
 

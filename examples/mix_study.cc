@@ -12,11 +12,7 @@
 
 #include <cstdio>
 
-#include "common/config.h"
-#include "sim/config_io.h"
-#include "sim/experiment.h"
-#include "stats/table.h"
-#include "trace/mix.h"
+#include "womcode.h"
 
 using namespace wompcm;
 
@@ -68,8 +64,12 @@ int main(int argc, char** argv) {
   TextTable t({"architecture", "avg write ns", "w norm", "avg read ns",
                "r norm", "max bank util", "row hit rate"});
   double base_w = 0, base_r = 0;
+  std::vector<std::string> harness_keys = {"cores", "accesses", "seed"};
+  for (std::size_t i = 0; i < cores; ++i) {
+    harness_keys.push_back("b" + std::to_string(i));
+  }
   for (const ArchKind kind : kinds) {
-    SimConfig cfg = apply_overrides(paper_config(), args);
+    SimConfig cfg = apply_overrides(paper_config(), args, harness_keys);
     cfg.arch.kind = kind;
     cfg.warmup_accesses = cores * accesses / 5;
     auto trace = build_mix(mix, cfg.geom, accesses, seed);

@@ -11,11 +11,7 @@
 
 #include <cstdio>
 
-#include "common/config.h"
-#include "sim/experiment.h"
-#include "stats/table.h"
-#include "wom/page_codec.h"
-#include "wom/registry.h"
+#include "womcode.h"
 
 using namespace wompcm;
 
@@ -61,7 +57,8 @@ void timing_demo(const KeyValueConfig& args) {
   for (const ArchConfig& arch : paper_architectures()) {
     SimConfig cfg = paper_config();
     cfg.arch = arch;
-    const SimResult r = run_benchmark(cfg, *profile, accesses, seed);
+    const SimResult r =
+        run({cfg, TraceSpec::profile(*profile, accesses), RunOptions::with_seed(seed)});
     table.add_row({r.arch_name, TextTable::fmt(r.avg_write_ns(), 1),
                    TextTable::fmt(r.avg_read_ns(), 1),
                    std::to_string(r.stats.counters.get("writes.alpha")),
@@ -85,7 +82,8 @@ void multichannel_demo(const KeyValueConfig& args) {
   cfg.geom.channels = 2;
   cfg.geom.ranks = 8;
   cfg.arch.kind = ArchKind::kRefreshWomPcm;
-  const SimResult r = run_benchmark(cfg, *find_profile(bench), accesses, seed);
+  const SimResult r = run(
+      {cfg, TraceSpec::profile(*find_profile(bench), accesses), RunOptions::with_seed(seed)});
 
   std::printf("== Multi-channel demo: %s on channels=2 ==\n", bench.c_str());
   std::printf("avg write %.1f ns, avg read %.1f ns\n", r.avg_write_ns(),

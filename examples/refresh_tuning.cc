@@ -6,9 +6,7 @@
 
 #include <cstdio>
 
-#include "common/config.h"
-#include "sim/experiment.h"
-#include "stats/table.h"
+#include "womcode.h"
 
 using namespace wompcm;
 
@@ -22,7 +20,7 @@ SimResult run_cfg(const WorkloadProfile& profile, double threshold,
   cfg.refresh.threshold = threshold;
   cfg.refresh.write_pausing = pausing;
   cfg.timing.refresh_period_ns = period;
-  return run_benchmark(cfg, profile, accesses, seed);
+  return run({cfg, TraceSpec::profile(profile, accesses), RunOptions::with_seed(seed)});
 }
 
 }  // namespace

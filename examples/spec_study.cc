@@ -10,10 +10,7 @@
 
 #include <cstdio>
 
-#include "common/config.h"
-#include "sim/config_io.h"
-#include "sim/experiment.h"
-#include "stats/table.h"
+#include "womcode.h"
 
 using namespace wompcm;
 
@@ -35,7 +32,9 @@ int main(int argc, char** argv) {
   if (args.has("config")) {
     base = load_config_file(base, args.get_string_or("config", ""));
   }
-  base = apply_overrides(base, args);
+  base = apply_overrides(base, args,
+                         /*harness_keys=*/{"accesses", "seed", "suite",
+                                           "config", "jobs"});
 
   auto archs = paper_architectures();
   for (auto& a : archs) {
@@ -45,8 +44,11 @@ int main(int argc, char** argv) {
     a.kind = kind;
   }
   const auto jobs = static_cast<unsigned>(args.get_int_or("jobs", 0));
-  const auto rows = run_arch_sweep(base, archs, profiles, accesses, seed,
-                                   ParallelPolicy::with_jobs(jobs));
+  RunOptions opts = RunOptions::with_seed(seed);
+  opts.jobs = ParallelPolicy::with_jobs(jobs);
+  const RunRequest req{base, TraceSpec::profile(WorkloadProfile{}, accesses),
+                       opts};
+  const auto rows = run_sweep(req, archs, profiles);
 
   const auto wnorm =
       normalize(rows, [](const SimResult& r) { return r.avg_write_ns(); });

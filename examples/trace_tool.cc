@@ -12,11 +12,7 @@
 #include <map>
 #include <memory>
 
-#include "common/config.h"
-#include "sim/experiment.h"
-#include "stats/histogram.h"
-#include "stats/table.h"
-#include "trace/file_source.h"
+#include "womcode.h"
 
 using namespace wompcm;
 
@@ -155,9 +151,7 @@ int cmd_run(const KeyValueConfig& args) {
     std::printf("unknown arch %s\n", arch.c_str());
     return 1;
   }
-  FileTraceSource src(in);
-  Simulator sim(cfg);
-  const SimResult r = sim.run(src);
+  const SimResult r = run({cfg, TraceSpec::file(in)});
   std::printf("%s: avg write %.1f ns, avg read %.1f ns, %llu refresh cmds\n",
               r.arch_name.c_str(), r.avg_write_ns(), r.avg_read_ns(),
               static_cast<unsigned long long>(r.refresh_commands));

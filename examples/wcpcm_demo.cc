@@ -2,13 +2,17 @@
 // the WOM-cache behaviour — hit rates, victim traffic, capacity overhead,
 // and the resulting write/read latencies.
 //
-// Usage: wcpcm_demo [benchmark=NAME] [accesses=N] [seed=S]
+// Any SimConfig key overrides the paper platform; with fault.enabled=true
+// the table grows graceful-degradation columns (dead WOM-cache rows bypass
+// to main memory, dead main rows remap onto spares).
+//
+// Usage: wcpcm_demo [benchmark=NAME] [accesses=N] [seed=S] [key=value...]
+//        e.g. wcpcm_demo fault.enabled=true fault.endurance=400
+//               fault.initial_wear=0.9 fault.sigma=0.35
 
 #include <cstdio>
 
-#include "common/config.h"
-#include "sim/experiment.h"
-#include "stats/table.h"
+#include "womcode.h"
 
 using namespace wompcm;
 
@@ -25,19 +29,31 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  std::printf("WCPCM on %s, banks/rank sweep (paper Figs. 6 and 7 axes)\n\n",
-              bench.c_str());
-  TextTable t({"banks/rank", "write hit%", "read hit%", "victims",
-               "avg write ns", "avg read ns", "row hit% main", "row hit% $",
-               "util main", "util $", "overhead%"});
+  const SimConfig base =
+      apply_overrides(paper_config(), args,
+                      /*harness_keys=*/{"benchmark", "accesses", "seed"});
+  const bool faults = base.fault.enabled;
+
+  std::printf("WCPCM on %s, banks/rank sweep (paper Figs. 6 and 7 axes)%s\n\n",
+              bench.c_str(), faults ? " [fault injection ON]" : "");
+  std::vector<std::string> header = {
+      "banks/rank", "write hit%", "read hit%", "victims", "avg write ns",
+      "avg read ns", "row hit% main", "row hit% $", "util main", "util $",
+      "overhead%"};
+  if (faults) {
+    header.insert(header.end(),
+                  {"demoted", "remapped", "dead $ rows", "bypasses"});
+  }
+  TextTable t(header);
   for (const unsigned banks : {4u, 8u, 16u, 32u}) {
-    SimConfig cfg = paper_config();
+    SimConfig cfg = base;
     // Fixed total capacity: fewer banks per rank means larger banks, and
     // the per-rank WOM-cache (sized like one bank) grows accordingly.
     cfg.geom.banks_per_rank = banks;
     cfg.geom.rows_per_bank = 32768 * 32 / banks;
     cfg.arch.kind = ArchKind::kWcpcm;
-    const SimResult r = run_benchmark(cfg, *profile, accesses, seed);
+    const SimResult r =
+        run({cfg, TraceSpec::profile(*profile, accesses), RunOptions::with_seed(seed)});
     const double wh = static_cast<double>(
         r.stats.counters.get("wcpcm.write_hits"));
     const double wm = static_cast<double>(
@@ -46,24 +62,40 @@ int main(int argc, char** argv) {
         static_cast<double>(r.stats.counters.get("wcpcm.read_hits"));
     const double rm =
         static_cast<double>(r.stats.counters.get("wcpcm.read_misses"));
-    t.add_row({std::to_string(banks),
-               TextTable::fmt(100.0 * wh / (wh + wm), 1),
-               TextTable::fmt(100.0 * rh / (rh + rm), 1),
-               std::to_string(r.stats.counters.get("wcpcm.victims")),
-               TextTable::fmt(r.avg_write_ns(), 1),
-               TextTable::fmt(r.avg_read_ns(), 1),
-               // Main banks and WOM-cache arrays behave differently enough
-               // that the pooled figures hide both: report them per class.
-               TextTable::fmt(
-                   100.0 * r.row_hit_rate(SimResult::BankClass::kMain), 1),
-               TextTable::fmt(
-                   100.0 * r.row_hit_rate(SimResult::BankClass::kCache), 1),
-               TextTable::fmt(
-                   r.max_bank_utilization(SimResult::BankClass::kMain), 3),
-               TextTable::fmt(
-                   r.max_bank_utilization(SimResult::BankClass::kCache), 3),
-               TextTable::fmt(r.capacity_overhead * 100.0, 1)});
+    std::vector<std::string> row = {
+        std::to_string(banks),
+        TextTable::fmt(100.0 * wh / (wh + wm), 1),
+        TextTable::fmt(100.0 * rh / (rh + rm), 1),
+        std::to_string(r.stats.counters.get("wcpcm.victims")),
+        TextTable::fmt(r.avg_write_ns(), 1),
+        TextTable::fmt(r.avg_read_ns(), 1),
+        // Main banks and WOM-cache arrays behave differently enough
+        // that the pooled figures hide both: report them per class.
+        TextTable::fmt(100.0 * r.row_hit_rate(SimResult::BankClass::kMain),
+                       1),
+        TextTable::fmt(100.0 * r.row_hit_rate(SimResult::BankClass::kCache),
+                       1),
+        TextTable::fmt(r.max_bank_utilization(SimResult::BankClass::kMain),
+                       3),
+        TextTable::fmt(r.max_bank_utilization(SimResult::BankClass::kCache),
+                       3),
+        TextTable::fmt(r.capacity_overhead * 100.0, 1)};
+    if (faults) {
+      row.push_back(std::to_string(r.fault_demoted_writes));
+      row.push_back(std::to_string(r.fault_remapped_rows));
+      row.push_back(std::to_string(r.stats.counters.get("wcpcm.dead_rows")));
+      row.push_back(
+          std::to_string(r.stats.counters.get("wcpcm.bypass_writes")));
+    }
+    t.add_row(row);
   }
   std::printf("%s", t.to_text().c_str());
+  if (faults) {
+    std::printf(
+        "\nfault seed %llu: dead WOM-cache rows are retired (later writes "
+        "bypass to\nmain memory); dead main rows remap onto per-bank "
+        "spares.\n",
+        static_cast<unsigned long long>(base.fault.seed));
+  }
   return 0;
 }

@@ -33,7 +33,8 @@ Architecture::Architecture(const MemoryGeometry& geom, const PcmTiming& timing)
     : geom_(geom),
       mapper_(geom),
       timing_(timing),
-      wear_(geom.lines_per_row()) {}
+      wear_(geom.lines_per_row()),
+      row_key_stride_(geom.rows_per_bank + 1) {}
 
 unsigned Architecture::num_resources() const { return main_banks(); }
 
@@ -45,17 +46,104 @@ void Architecture::enable_start_gap(unsigned interval) {
   }
 }
 
+void Architecture::configure_faults(const FaultConfig& fault) {
+  std::string why;
+  if (!fault.valid(&why)) {
+    throw std::invalid_argument("bad fault config: " + why);
+  }
+  if (!fault.enabled) return;
+  fault_ = std::make_unique<FaultModel>(fault, geom_.lines_per_row());
+  // Three physical-row populations per bank: the logical rows, the
+  // Start-Gap spare (rows_per_bank), then the fault spares. Widen the
+  // wear-key stride so spares never alias the next bank's keys; with
+  // faults off the stride (and thus every key) is unchanged.
+  row_key_stride_ = geom_.rows_per_bank + 1 + fault.spare_rows;
+  if (fault.spare_rows > 0) {
+    remap_ = std::make_unique<SpareRowRemapper>(
+        main_banks(), fault.spare_rows, geom_.rows_per_bank + 1);
+  }
+  fault_by_channel_.assign(geom_.channels, FaultTally{});
+}
+
 unsigned Architecture::physical_row(const DecodedAddr& dec, AccessType type,
                                     IssuePlan* plan) {
-  if (start_gap_.empty()) return dec.row;
-  StartGapRemapper& sg = start_gap_[flat_bank(dec)];
-  if (type == AccessType::kWrite && sg.on_write()) {
-    // Gap move: the bank copies one row (read + write) before servicing
-    // further accesses.
-    plan->post_ns += timing_.row_read_ns + timing_.row_write_ns;
-    counters_.inc("wl.gap_moves");
+  unsigned row = dec.row;
+  if (!start_gap_.empty()) {
+    StartGapRemapper& sg = start_gap_[flat_bank(dec)];
+    if (type == AccessType::kWrite && sg.on_write()) {
+      // Gap move: the bank copies one row (read + write) before servicing
+      // further accesses.
+      plan->post_ns += timing_.row_read_ns + timing_.row_write_ns;
+      counters_.inc("wl.gap_moves");
+    }
+    row = sg.remap(dec.row);
   }
-  return sg.remap(dec.row);
+  // Retired rows resolve through the bad-row chain after wear leveling:
+  // Start-Gap rotates logical rows, the remap table patches dead physical
+  // rows out from under the rotation.
+  return resolved_row(flat_bank(dec), row);
+}
+
+Architecture::FaultOutcome Architecture::fault_on_write(unsigned keyed_bank,
+                                                        unsigned channel,
+                                                        unsigned line,
+                                                        bool allow_remap,
+                                                        IssuePlan* p) {
+  FaultOutcome out;
+  if (fault_ == nullptr) return out;
+  FaultTally& tally = fault_by_channel_[channel];
+  const std::uint64_t key = row_key_for(keyed_bank, p->row);
+  // Original array rows carry the configured initial wear; the Start-Gap
+  // spare and the fault spares (row >= rows_per_bank) are fresh stock.
+  const bool pre_aged = p->row < geom_.rows_per_bank;
+  const FaultModel::Observation obs =
+      fault_->observe_write(key, line, wear_.line_wear(key, line), pre_aged);
+  if (obs.transitioned) ++tally.injected;
+  if (obs.state == FaultModel::LineState::kHealthy) return out;
+  // Stuck cells break the monotone 0->1 WOM rewrite: a fast-path write is
+  // demoted to a full alpha re-program before verify has a chance.
+  if (p->write_class == WriteClass::kResetOnly) {
+    p->write_class = WriteClass::kAlpha;
+    p->program_ns = timing_.program_ns(WriteClass::kAlpha);
+    ++tally.demoted;
+    out.demoted = true;
+  }
+  // Write-verify with bounded retry: each retry re-programs the line and
+  // reads it back. A dead line burns the full budget and still fails.
+  const bool dead = obs.state == FaultModel::LineState::kDead;
+  const unsigned retries =
+      dead ? fault_->config().max_retries : fault_->retry_draw();
+  p->post_ns += retries * (p->program_ns + timing_.col_read_ns);
+  tally.retries += retries;
+  wear_.on_write_pulses(key, line, retries * kAlphaWearPerCell);
+  if (!dead) return out;
+  if (obs.transitioned) ++tally.dead_rows;
+  if (!allow_remap || remap_ == nullptr) {
+    out.dead_unmapped = true;
+    return out;
+  }
+  if (std::optional<unsigned> spare = remap_->retire(keyed_bank, p->row)) {
+    // Retirement migrates the row: stream the dead row out (its data is
+    // still correctable) and program it into the fresh spare.
+    p->post_ns += timing_.row_read_ns + timing_.row_write_ns;
+    p->row = *spare;
+    ++tally.remapped;
+    out.remapped = true;
+  } else {
+    ++tally.exhausted;
+    out.dead_unmapped = true;
+  }
+  return out;
+}
+
+void Architecture::fault_on_read(unsigned channel, IssuePlan* p) {
+  if (fault_ == nullptr) return;
+  if (!fault_->read_disturbed()) return;
+  FaultTally& tally = fault_by_channel_[channel];
+  ++tally.read_disturbs;
+  ++tally.injected;
+  // A disturbed read is caught by ECC and pays one corrective re-read.
+  p->post_ns += timing_.col_read_ns;
 }
 
 unsigned Architecture::route(const DecodedAddr& dec, AccessType type,
@@ -79,6 +167,34 @@ void Architecture::publish_metrics(MetricsRegistry& reg, Tick end_time) const {
   reg.set_gauge("wear.max_line", wear_.max_line_wear());
   reg.set_gauge("wear.mean_line", wear_.mean_line_wear());
   reg.set_gauge("wear.lifetime_years", wear_.lifetime_years(end_time));
+  if (fault_ != nullptr) {
+    // Published only when the fault model is installed, so the off-path
+    // registry stays bit-identical to a build without faults.
+    FaultTally sum;
+    for (unsigned c = 0; c < geom_.channels; ++c) {
+      const FaultTally& t = fault_by_channel_[c];
+      sum.injected += t.injected;
+      sum.retries += t.retries;
+      sum.demoted += t.demoted;
+      sum.remapped += t.remapped;
+      sum.dead_rows += t.dead_rows;
+      sum.read_disturbs += t.read_disturbs;
+      sum.exhausted += t.exhausted;
+      reg.set_counter(channel_metric(c, "fault.injected"), t.injected);
+      reg.set_counter(channel_metric(c, "fault.retries"), t.retries);
+      reg.set_counter(channel_metric(c, "fault.demoted_writes"), t.demoted);
+      reg.set_counter(channel_metric(c, "fault.remapped_rows"), t.remapped);
+    }
+    reg.set_counter("fault.injected", sum.injected);
+    reg.set_counter("fault.retries", sum.retries);
+    reg.set_counter("fault.demoted_writes", sum.demoted);
+    reg.set_counter("fault.remapped_rows", sum.remapped);
+    reg.set_counter("fault.dead_rows", sum.dead_rows);
+    reg.set_counter("fault.read_disturbs", sum.read_disturbs);
+    reg.set_counter("fault.remap_exhausted", sum.exhausted);
+    reg.set_counter("fault.spare_rows_per_bank",
+                    remap_ == nullptr ? 0 : remap_->spare_rows());
+  }
 }
 
 double Architecture::refresh_pending_fraction(unsigned, unsigned) const {
@@ -121,6 +237,13 @@ WomCodePtr resolve_inverted_code(const std::string& name) {
 std::unique_ptr<Architecture> make_architecture(const ArchConfig& cfg,
                                                 const MemoryGeometry& geom,
                                                 const PcmTiming& timing) {
+  return make_architecture(cfg, geom, timing, FaultConfig{});
+}
+
+std::unique_ptr<Architecture> make_architecture(const ArchConfig& cfg,
+                                                const MemoryGeometry& geom,
+                                                const PcmTiming& timing,
+                                                const FaultConfig& fault) {
   std::string why;
   if (!geom.valid(&why)) {
     throw std::invalid_argument("bad geometry: " + why);
@@ -163,6 +286,7 @@ std::unique_ptr<Architecture> make_architecture(const ArchConfig& cfg,
     // desynchronize the cache; Start-Gap covers the row-addressed kinds.
     arch->enable_start_gap(cfg.start_gap_interval);
   }
+  arch->configure_faults(fault);
   return arch;
 }
 

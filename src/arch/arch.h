@@ -17,8 +17,10 @@
 
 #include "common/address.h"
 #include "common/types.h"
+#include "controller/remap_table.h"
 #include "controller/wear_leveling.h"
 #include "pcm/endurance.h"
+#include "pcm/fault_model.h"
 #include "pcm/energy.h"
 #include "pcm/timing.h"
 #include "stats/metrics.h"
@@ -157,6 +159,17 @@ class Architecture {
   void enable_start_gap(unsigned interval);
   bool start_gap_enabled() const { return !start_gap_.empty(); }
 
+  // Installs the fault-injection model (pcm/fault_model.h). A disabled
+  // config is a no-op, keeping the off-path bit-identical to a build
+  // without faults. Must be called before the first plan();
+  // make_architecture() does it. Throws std::invalid_argument on a bad
+  // fault config.
+  void configure_faults(const FaultConfig& fault);
+  bool faults_enabled() const { return fault_ != nullptr; }
+  // Test/diagnostic access; null while faults are off.
+  const SpareRowRemapper* remapper() const { return remap_.get(); }
+  const FaultModel* fault_model() const { return fault_.get(); }
+
  protected:
   unsigned main_banks() const { return mapper_.num_flat_banks(); }
   unsigned flat_bank(const DecodedAddr& dec) const {
@@ -167,16 +180,47 @@ class Architecture {
            dec.row;
   }
   std::uint64_t row_key_for(unsigned bank, unsigned row) const {
-    // Physical rows may include the Start-Gap spare (== rows_per_bank), so
-    // key space is rows_per_bank + 1 per bank.
-    return static_cast<std::uint64_t>(bank) * (geom_.rows_per_bank + 1) + row;
+    // Physical rows may include the Start-Gap spare (== rows_per_bank) and,
+    // with faults enabled, the bank's fault spares — the stride widens to
+    // cover them (see configure_faults), so keys never collide across
+    // banks. With faults off the stride is rows_per_bank + 1, unchanged.
+    return static_cast<std::uint64_t>(bank) * row_key_stride_ + row;
   }
   std::uint64_t line_bits() const { return geom_.line_bytes() * 8ull; }
 
   // Physical row backing this access. With Start-Gap enabled, writes may
   // trigger a gap move whose row-copy cost is charged to `plan->post_ns`.
+  // With faults enabled, rows retired to spares resolve through the remap
+  // table afterwards.
   unsigned physical_row(const DecodedAddr& dec, AccessType type,
                         IssuePlan* plan);
+
+  // Bad-row chain only (no Start-Gap): for paths that address main memory
+  // directly by decoded row (WCPCM victims / bypasses).
+  unsigned resolved_row(unsigned bank, unsigned row) const {
+    return remap_ == nullptr ? row : remap_->resolve(bank, row);
+  }
+
+  // ---- Fault pipeline (no-ops while faults are off) ----
+
+  struct FaultOutcome {
+    bool demoted = false;       // fast-path write demoted to alpha
+    bool remapped = false;      // row retired; plan->row moved to a spare
+    bool dead_unmapped = false; // line dead but not remappable here (cache
+                                // rows, exhausted spares): caller degrades
+  };
+
+  // Write-path hook. Call after plan->row / write_class / program_ns are
+  // settled and *before* energy/wear accounting, so demotion and remapping
+  // are charged at the rates the cells actually saw. `keyed_bank` is the
+  // row_key_for bank index (a cache array index for WCPCM cache rows);
+  // `allow_remap` is false for rows with no spare pool behind them.
+  FaultOutcome fault_on_write(unsigned keyed_bank, unsigned channel,
+                              unsigned line, bool allow_remap, IssuePlan* p);
+
+  // Read-path hook: transient read-disturb draw; a disturbed read pays one
+  // corrective re-read.
+  void fault_on_read(unsigned channel, IssuePlan* p);
 
   // Cached counter increment for per-access hot paths: binds `slot` on the
   // first call and skips the string-keyed map lookup afterwards. Equivalent
@@ -186,6 +230,18 @@ class Architecture {
     *slot += by;
   }
 
+  // Per-channel fault bookkeeping, summed into fault.* metrics and also
+  // published per channel (ch<N>.fault.*).
+  struct FaultTally {
+    std::uint64_t injected = 0;       // healthy -> degraded/dead transitions
+    std::uint64_t retries = 0;        // extra write-verify programming pulses
+    std::uint64_t demoted = 0;        // fast-path writes demoted to alpha
+    std::uint64_t remapped = 0;       // rows retired to spares
+    std::uint64_t dead_rows = 0;      // rows declared dead (pre-remap)
+    std::uint64_t read_disturbs = 0;  // transient read upsets
+    std::uint64_t exhausted = 0;      // retirements denied: spare pool empty
+  };
+
   MemoryGeometry geom_;
   AddressMapper mapper_;
   PcmTiming timing_;
@@ -193,6 +249,10 @@ class Architecture {
   EnergyCounters energy_;
   WearTracker wear_;
   std::vector<StartGapRemapper> start_gap_;  // per main bank; empty = off
+  std::unique_ptr<FaultModel> fault_;        // null = faults off
+  std::unique_ptr<SpareRowRemapper> remap_;  // null = no spare pool
+  std::vector<FaultTally> fault_by_channel_;
+  unsigned row_key_stride_;  // rows_per_bank + 1 (+ fault spares)
 };
 
 // Factory. Throws std::invalid_argument on bad configuration (unknown code
@@ -200,5 +260,12 @@ class Architecture {
 std::unique_ptr<Architecture> make_architecture(const ArchConfig& cfg,
                                                 const MemoryGeometry& geom,
                                                 const PcmTiming& timing);
+// As above, plus fault injection (configure_faults is called before the
+// architecture is returned; a disabled FaultConfig is exactly the 3-arg
+// overload).
+std::unique_ptr<Architecture> make_architecture(const ArchConfig& cfg,
+                                                const MemoryGeometry& geom,
+                                                const PcmTiming& timing,
+                                                const FaultConfig& fault);
 
 }  // namespace wompcm

@@ -14,6 +14,7 @@ IssuePlan BaselinePcm::plan(const DecodedAddr& dec, AccessType type,
     // line, so it completes at the full row-write latency.
     p.write_class = WriteClass::kAlpha;
     p.program_ns = timing_.row_write_ns;
+    fault_on_write(p.resource, dec.channel, dec.col, /*allow_remap=*/true, &p);
     counters_.inc("writes.slow");
     energy_.on_write(WriteClass::kAlpha, line_bits());
     // A conventional bit-alterable write flips about half the cells.
@@ -22,6 +23,7 @@ IssuePlan BaselinePcm::plan(const DecodedAddr& dec, AccessType type,
   } else {
     counters_.inc("reads");
     energy_.on_read(line_bits());
+    fault_on_read(dec.channel, &p);
   }
   return p;
 }
@@ -37,13 +39,15 @@ IssuePlan SymmetricPcm::plan(const DecodedAddr& dec, AccessType type,
     // The what-if: every write completes at RESET latency.
     p.write_class = WriteClass::kResetOnly;
     p.program_ns = timing_.reset_ns;
+    fault_on_write(p.resource, dec.channel, dec.col, /*allow_remap=*/true, &p);
     counters_.inc("writes.fast");
-    energy_.on_write(WriteClass::kResetOnly, line_bits());
+    energy_.on_write(p.write_class, line_bits());
     wear_.on_write_pulses(row_key_for(p.resource, p.row), dec.col,
                           kResetOnlyWearPerCell);
   } else {
     counters_.inc("reads");
     energy_.on_read(line_bits());
+    fault_on_read(dec.channel, &p);
   }
   return p;
 }

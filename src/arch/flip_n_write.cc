@@ -18,6 +18,7 @@ IssuePlan FlipNWritePcm::plan(const DecodedAddr& dec, AccessType type,
     const bool fast = fast_fraction_ > 0.0 && rng_.next_bool(fast_fraction_);
     p.write_class = fast ? WriteClass::kResetOnly : WriteClass::kAlpha;
     p.program_ns = timing_.program_ns(p.write_class);
+    fault_on_write(p.resource, dec.channel, dec.col, /*allow_remap=*/true, &p);
     counters_.inc(fast ? "writes.fast" : "writes.slow");
     // Flip-N-Write programs at most half the line's bits.
     energy_.on_write(p.write_class, line_bits() / 2);
@@ -26,6 +27,7 @@ IssuePlan FlipNWritePcm::plan(const DecodedAddr& dec, AccessType type,
   } else {
     counters_.inc("reads");
     energy_.on_read(line_bits());
+    fault_on_read(dec.channel, &p);
   }
   return p;
 }

@@ -74,10 +74,13 @@ IssuePlan Wcpcm::plan(const DecodedAddr& dec, AccessType type, bool internal,
   p.row = dec.row;
 
   if (internal) {
-    // Victim write-back: a conventional (SET-bound) write to main memory.
+    // Victim write-back (or dead-row bypass): a conventional (SET-bound)
+    // write to main memory, through the bank's bad-row chain.
     p.resource = flat_bank(dec);
+    p.row = resolved_row(p.resource, dec.row);
     p.write_class = WriteClass::kAlpha;
     p.program_ns = timing_.row_write_ns;
+    fault_on_write(p.resource, dec.channel, dec.col, /*allow_remap=*/true, &p);
     bump(ctr_writes_victim_, "writes.victim");
     energy_.on_write(WriteClass::kAlpha, line_bits());
     wear_.on_write_pulses(row_key_for(p.resource, p.row), dec.col,
@@ -90,6 +93,14 @@ IssuePlan Wcpcm::plan(const DecodedAddr& dec, AccessType type, bool internal,
   if (type == AccessType::kWrite) {
     p.resource = cache_resource(dec.channel, dec.rank);
     p.pre_ns += timing_.tag_check_ns;
+    if (cache_row_dead(ci, dec.row)) {
+      // The cache row was retired: the line is latched into the write
+      // register (tag check only, no cell programming) and forwarded to
+      // PCM main memory as an internal write.
+      p.spawned.push_back(SpawnedWrite{dec});
+      bump(ctr_bypass_writes_, "wcpcm.bypass_writes");
+      return p;
+    }
     TagEntry& e = tags_[ci][dec.row];
     const bool hit = !e.valid || e.bank == dec.bank;
     // The mutations below change some queued read's probe outcome exactly
@@ -116,6 +127,10 @@ IssuePlan Wcpcm::plan(const DecodedAddr& dec, AccessType type, bool internal,
     const auto rec = cache_tracker_.record_write(key, dec.col);
     p.write_class = rec.cls;
     p.program_ns = timing_.program_ns(p.write_class);
+    // No spare pool behind the cache array: a dead verdict is handled
+    // below by invalidate-and-bypass.
+    const FaultOutcome f = fault_on_write(main_banks() + ci, dec.channel,
+                                          dec.col, /*allow_remap=*/false, &p);
     if (p.write_class == WriteClass::kAlpha) {
       bump(ctr_writes_alpha_, "writes.alpha");
       if (rec.cold) bump(ctr_writes_alpha_cold_, "writes.alpha.cold");
@@ -125,6 +140,21 @@ IssuePlan Wcpcm::plan(const DecodedAddr& dec, AccessType type, bool internal,
     energy_.on_write(p.write_class,
                      line_bits() * code_->wits() / code_->data_bits());
     wear_.on_write(cache_wear_key(ci, dec.row), dec.col, p.write_class);
+    if (f.dead_unmapped) {
+      // The row can no longer be programmed reliably: retire it from cache
+      // service. A miss already flushed the previous occupant; on a hit the
+      // bypass write below refreshes the same main-memory row, so the entry
+      // is invalidated outright and the demand line re-queued to main. The
+      // dead set makes every later write bypass before touching the tags.
+      ++route_version_;  // invalidation can flip a queued read's probe
+      e.valid = false;
+      e.line_valid.clear();
+      dead_cache_rows_[key] = 1;
+      bump(ctr_dead_rows_, "wcpcm.dead_rows");
+      p.spawned.push_back(SpawnedWrite{dec});
+      bump(ctr_bypass_writes_, "wcpcm.bypass_writes");
+      return p;
+    }
     if (cache_tracker_.row_has_limit_lines(key)) {
       auto& q = rat_[ci];
       const auto it = std::find(q.begin(), q.end(), dec.row);
@@ -147,8 +177,10 @@ IssuePlan Wcpcm::plan(const DecodedAddr& dec, AccessType type, bool internal,
   } else {
     bump(ctr_read_misses_, "wcpcm.read_misses");
     p.resource = flat_bank(dec);
+    p.row = resolved_row(p.resource, dec.row);
     energy_.on_read(line_bits());
   }
+  fault_on_read(dec.channel, &p);
   return p;
 }
 
@@ -169,6 +201,7 @@ Architecture::RefreshWork Wcpcm::perform_refresh(
   while (!q.empty() && work.rows == 0) {
     const unsigned row = q.front();
     q.pop_front();
+    if (cache_row_dead(ci, row)) continue;  // retired: nothing to refresh
     if (cache_tracker_.refresh(cache_row_key(ci, row))) {
       ++work.rows;
       energy_.on_refresh(line_bits() * code_->wits() / code_->data_bits());

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "arch/arch.h"
+#include "common/flat_map.h"
 #include "wom/wom_code.h"
 #include "wom/wom_tracker.h"
 
@@ -99,6 +100,12 @@ class Wcpcm final : public Architecture {
   std::uint64_t cache_row_key(unsigned cache_idx, unsigned row) const {
     return static_cast<std::uint64_t>(cache_idx) * geom_.rows_per_bank + row;
   }
+  // Cache rows have no spare pool behind them: a dead row is invalidated
+  // and bypassed (writes latch through to main memory) instead of remapped.
+  bool cache_row_dead(unsigned cache_idx, unsigned row) const {
+    return fault_ != nullptr &&
+           dead_cache_rows_.find(cache_row_key(cache_idx, row)) != nullptr;
+  }
 
   WomCodePtr code_;
   unsigned rat_entries_;
@@ -108,6 +115,9 @@ class Wcpcm final : public Architecture {
   // Rows of each WOM-cache array pending re-initialization.
   std::vector<std::deque<unsigned>> rat_;
   std::uint64_t route_version_ = 0;  // see route_version()
+  // Cache rows retired by the fault model (see cache_row_dead). Keyed like
+  // cache_row_key; only ever populated while faults are enabled.
+  FlatMap64<std::uint8_t> dead_cache_rows_;
 
   // Lazily-bound counter slots for the per-access hot path (see
   // Architecture::bump).
@@ -120,6 +130,8 @@ class Wcpcm final : public Architecture {
   std::uint64_t* ctr_writes_fast_ = nullptr;
   std::uint64_t* ctr_read_hits_ = nullptr;
   std::uint64_t* ctr_read_misses_ = nullptr;
+  std::uint64_t* ctr_dead_rows_ = nullptr;
+  std::uint64_t* ctr_bypass_writes_ = nullptr;
 };
 
 }  // namespace wompcm

@@ -34,13 +34,22 @@ IssuePlan WomPcm::plan(const DecodedAddr& dec, AccessType type, bool internal,
   p.resource = flat_bank(dec);
   p.row = physical_row(dec, type, &p);
   if (type == AccessType::kWrite) {
-    const std::uint64_t key = row_key_for(p.resource, p.row);
+    std::uint64_t key = row_key_for(p.resource, p.row);
     const auto rec = tracker_.record_write(key, dec.col);
     p.write_class = rec.cls;
     p.program_ns = timing_.program_ns(p.write_class);
+    const FaultOutcome f =
+        fault_on_write(p.resource, dec.channel, dec.col, /*allow_remap=*/true,
+                       &p);
+    if (f.remapped) {
+      // The row moved to a fresh spare: start its WOM generation there so
+      // the rewrite budget tracks the cells actually being programmed.
+      key = row_key_for(p.resource, p.row);
+      tracker_.record_write(key, dec.col);
+    }
     if (p.write_class == WriteClass::kAlpha) {
       bump(ctr_writes_alpha_, "writes.alpha");
-      if (rec.cold) bump(ctr_writes_alpha_cold_, "writes.alpha.cold");
+      if (rec.cold && !f.demoted) bump(ctr_writes_alpha_cold_, "writes.alpha.cold");
     } else {
       bump(ctr_writes_fast_, "writes.fast");
     }
@@ -58,6 +67,7 @@ IssuePlan WomPcm::plan(const DecodedAddr& dec, AccessType type, bool internal,
   } else {
     bump(ctr_reads_, "reads");
     energy_.on_read(coded_line_bits());
+    fault_on_read(dec.channel, &p);
     if (organization_ == WomOrganization::kHiddenPage) {
       // Fetch the hidden half-codeword (parallel bank region) before
       // decode: one extra column access plus its burst.

@@ -1,0 +1,29 @@
+#include "controller/remap_table.h"
+
+namespace wompcm {
+
+SpareRowRemapper::SpareRowRemapper(unsigned banks, unsigned spare_rows,
+                                   unsigned first_spare_row)
+    : spare_rows_(spare_rows), first_spare_(first_spare_row), used_(banks, 0) {}
+
+unsigned SpareRowRemapper::resolve(unsigned bank, unsigned row) const {
+  // Follow the chain: a spare that died in service forwards again. The
+  // chain is acyclic (a spare is handed out once) and bounded by the pool.
+  for (const std::uint32_t* next; (next = map_.find(key(bank, row))) != nullptr;) {
+    row = *next;
+  }
+  return row;
+}
+
+std::optional<unsigned> SpareRowRemapper::retire(unsigned bank, unsigned row) {
+  if (used_[bank] >= spare_rows_) {
+    ++exhausted_;
+    return std::nullopt;
+  }
+  const unsigned spare = first_spare_ + used_[bank]++;
+  map_[key(bank, row)] = spare;
+  ++remapped_;
+  return spare;
+}
+
+}  // namespace wompcm

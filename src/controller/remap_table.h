@@ -1,0 +1,59 @@
+// Spare-row remap table (bad-line map).
+//
+// Graceful degradation for dead rows: each main bank carries a small pool
+// of spare physical rows; when the fault model declares a row's line dead
+// (write-verify can never pass), the controller retires the physical row
+// to the bank's next free spare and records the mapping here. The table is
+// consulted on the address path (after Start-Gap, see
+// Architecture::physical_row), and a retired spare can itself be retired —
+// resolve() follows the chain.
+//
+// Spare physical rows are indexed from `first_spare_row` upward, past the
+// Start-Gap spare, so the three row populations (logical rows, the gap
+// spare, fault spares) never collide in the per-bank key space.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/flat_map.h"
+
+namespace wompcm {
+
+class SpareRowRemapper {
+ public:
+  // `banks` main banks, each with `spare_rows` spares starting at physical
+  // row `first_spare_row`.
+  SpareRowRemapper(unsigned banks, unsigned spare_rows,
+                   unsigned first_spare_row);
+
+  // Physical row currently backing `row` in `bank`: follows the retirement
+  // chain (a dead spare forwards to its replacement). Identity when the row
+  // was never retired.
+  unsigned resolve(unsigned bank, unsigned row) const;
+
+  // Retires (bank, row) — the *physical* row, post Start-Gap — to the
+  // bank's next free spare. Returns the spare's physical row id, or nullopt
+  // (and counts the exhaustion) when the bank has no spares left.
+  std::optional<unsigned> retire(unsigned bank, unsigned row);
+
+  std::uint64_t remapped_rows() const { return remapped_; }
+  std::uint64_t exhausted() const { return exhausted_; }
+  unsigned spares_used(unsigned bank) const { return used_[bank]; }
+  unsigned spare_rows() const { return spare_rows_; }
+
+ private:
+  static std::uint64_t key(unsigned bank, unsigned row) {
+    return (static_cast<std::uint64_t>(bank) << 32) | row;
+  }
+
+  unsigned spare_rows_;
+  unsigned first_spare_;
+  std::vector<unsigned> used_;       // spares consumed, per bank
+  FlatMap64<std::uint32_t> map_;     // (bank, dead row) -> replacement row
+  std::uint64_t remapped_ = 0;
+  std::uint64_t exhausted_ = 0;
+};
+
+}  // namespace wompcm

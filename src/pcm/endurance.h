@@ -58,6 +58,17 @@ class WearTracker {
 
   double total_wear() const { return total_; }
   double max_line_wear() const { return max_; }
+
+  // Accumulated wear of one line (0 for a line never touched). Const and
+  // allocation-free: safe on the fault model's per-write classification path.
+  double line_wear(RowKey row, unsigned line) const {
+    const std::uint32_t* id = slab_of_.find(row);
+    if (id == nullptr || *id == 0) return 0.0;
+    const double w =
+        wear_[static_cast<std::size_t>(*id - 1) * lines_ + line];
+    return w == kUntouched ? 0.0 : w;
+  }
+
   std::size_t touched_lines() const { return touched_; }
   double mean_line_wear() const {
     return touched_ == 0 ? 0.0 : total_ / static_cast<double>(touched_);

@@ -1,0 +1,108 @@
+// Seeded cell-failure model: the endurance story made an active event.
+//
+// The wear tracker (pcm/endurance.h) passively accounts pulses per cell;
+// this model lets lines actually fail. Each coded line draws an endurance
+// budget from a lognormal centered on a configurable median (process
+// variation: some lines die orders of magnitude earlier than the spec
+// sheet), and once its accumulated wear crosses that budget the line
+// develops stuck-at cells:
+//
+//   healthy  -> degraded : stuck bits break the monotone 0->1 WOM rewrite,
+//                          so the controller demotes fast-path writes to
+//                          full alpha re-programs and write-verifies with
+//                          bounded retry;
+//   degraded -> dead     : verify can never pass; the controller retires
+//                          the whole row to a spare (controller/remap_table)
+//                          or, for a WOM-cache row, invalidates and
+//                          bypasses it.
+//
+// Determinism contract: every draw is a pure function of the fault seed.
+// Per-line endurance uses a stateless hash of the line's identity, so it is
+// independent of access order; per-event draws (verify retries, transient
+// read disturb) use a sequential event counter, which is reproducible
+// because the controller's issue order is itself deterministic and
+// scan-mode invariant. Two runs with the same seed — under either scan
+// mode, or inside a jobs=N sweep — observe identical faults.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/flat_map.h"
+#include "common/types.h"
+#include "pcm/endurance.h"
+
+namespace wompcm {
+
+// A dead line's wear has overshot its endurance budget by this factor
+// (between the first stuck bits and enough of them to defeat verify).
+inline constexpr double kDeadWearFactor = 1.5;
+
+struct FaultConfig {
+  bool enabled = false;
+  // Seed of the fault universe: which lines are weak, how verify retries
+  // bounce, when reads disturb. Independent of the trace seed.
+  std::uint64_t seed = 1;
+  // Lognormal median of the per-line endurance budget (pulses per cell).
+  double endurance = kDefaultCellEndurance;
+  // Lognormal sigma of the per-line draw (0 = every line identical).
+  double sigma = 0.25;
+  // Fraction of the median endurance already consumed before the run: the
+  // "simulate a worn array" axis (0.9 = 90% through its life). Spare rows
+  // and the Start-Gap spare are fresh stock and start at zero.
+  double initial_wear = 0.0;
+  // Write-verify retry bound per faulty-line write (>= 1).
+  unsigned max_retries = 3;
+  // Spare rows per main bank available for retiring dead rows.
+  unsigned spare_rows = 64;
+  // Per-read probability of a transient read-disturb error (re-read cost).
+  double read_disturb = 0.0;
+
+  bool valid(std::string* why = nullptr) const;
+};
+
+class FaultModel {
+ public:
+  enum class LineState : std::uint8_t { kHealthy = 0, kDegraded = 1, kDead = 2 };
+
+  struct Observation {
+    LineState state = LineState::kHealthy;
+    LineState previous = LineState::kHealthy;
+    bool transitioned = false;  // state advanced on this observation
+  };
+
+  FaultModel(const FaultConfig& cfg, unsigned lines_per_row);
+
+  // Deterministic per-line endurance budget (pulses per cell): a pure
+  // function of (seed, row, line), independent of access order.
+  double line_endurance(RowKey row, unsigned line) const;
+
+  // Classifies the line given its tracked wear and records the sticky
+  // state. `pre_aged` marks lines that carry the configured initial wear
+  // (original array rows); spares are fresh. States only ever advance.
+  Observation observe_write(RowKey row, unsigned line, double wear,
+                            bool pre_aged);
+
+  // Verify retries consumed by a write to a degraded line, in
+  // [1, max_retries]. Sequential-event draw.
+  unsigned retry_draw();
+
+  // One transient read-disturb Bernoulli draw. Sequential-event draw.
+  bool read_disturbed();
+
+  const FaultConfig& config() const { return cfg_; }
+
+ private:
+  std::uint64_t line_key(RowKey row, unsigned line) const {
+    return row * lines_ + line;
+  }
+  LineState classify(RowKey row, unsigned line, double wear,
+                     bool pre_aged) const;
+
+  FaultConfig cfg_;
+  unsigned lines_;
+  FlatMap64<std::uint8_t> state_;  // line key -> last recorded LineState
+  std::uint64_t events_ = 0;       // sequential per-event draw counter
+};
+
+}  // namespace wompcm

@@ -1,5 +1,6 @@
 #include "sim/config_io.h"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -7,6 +8,66 @@
 namespace wompcm {
 
 namespace {
+
+// Every key apply_overrides() recognizes. Kept next to the handlers below;
+// the EveryFieldRoundTripsThroughDescribe test catches a handler added
+// without its describe() line, and the strict unknown-key check makes a
+// key listed here but not handled (or vice versa) fail loudly in tests.
+constexpr const char* kKnownKeys[] = {
+    "channels", "ranks", "banks", "rows", "cols", "devices", "bits_per_col",
+    "burst", "mapping", "row_read", "row_write", "reset", "set", "col_read",
+    "refresh_period", "tag_check", "pause_resume", "arch", "code",
+    "organization", "rat", "refresh_enabled", "require_empty_queues", "rth",
+    "pausing", "fnw_fast", "start_gap", "start_gap_interval", "seed",
+    "policy", "write_q_high", "write_q_low", "row_hit_first", "scan_limit",
+    "scan_mode", "row_policy", "queue_capacity", "read_forwarding", "warmup",
+    "fault.enabled", "fault.seed", "fault.endurance", "fault.sigma",
+    "fault.initial_wear", "fault.max_retries", "fault.spare_rows",
+    "fault.read_disturb",
+};
+
+// Classic two-row Levenshtein distance; the keys are short, so this is
+// only ever called on the error path.
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> prev(b.size() + 1), cur(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) prev[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    cur[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[b.size()];
+}
+
+void reject_unknown_keys(const KeyValueConfig& kv,
+                         const std::vector<std::string>& harness_keys) {
+  for (const auto& [key, value] : kv.entries()) {
+    (void)value;
+    const auto known = [&key](const std::string& k) { return k == key; };
+    if (std::any_of(std::begin(kKnownKeys), std::end(kKnownKeys), known) ||
+        std::any_of(harness_keys.begin(), harness_keys.end(), known)) {
+      continue;
+    }
+    // Suggest the nearest valid key (config keys first, then the harness's
+    // own keys) so a typo points at its likely target.
+    std::string nearest;
+    std::size_t best = std::string::npos;
+    const auto consider = [&](const std::string& cand) {
+      const std::size_t d = edit_distance(key, cand);
+      if (d < best) {
+        best = d;
+        nearest = cand;
+      }
+    };
+    for (const char* k : kKnownKeys) consider(k);
+    for (const std::string& k : harness_keys) consider(k);
+    throw std::invalid_argument("config: unknown key '" + key +
+                                "' (did you mean '" + nearest + "'?)");
+  }
+}
 
 [[noreturn]] void bad(const std::string& key, const std::string& value) {
   throw std::invalid_argument("config: bad value for " + key + ": " + value);
@@ -30,7 +91,10 @@ Tick get_tick(const KeyValueConfig& kv, const std::string& key,
 
 }  // namespace
 
-SimConfig apply_overrides(SimConfig cfg, const KeyValueConfig& kv) {
+SimConfig apply_overrides(SimConfig cfg, const KeyValueConfig& kv,
+                          const std::vector<std::string>& harness_keys) {
+  reject_unknown_keys(kv, harness_keys);
+
   // Geometry.
   cfg.geom.channels = get_unsigned(kv, "channels", cfg.geom.channels);
   cfg.geom.ranks = get_unsigned(kv, "ranks", cfg.geom.ranks);
@@ -142,6 +206,53 @@ SimConfig apply_overrides(SimConfig cfg, const KeyValueConfig& kv) {
     const auto v = kv.get_int("seed");
     if (!v) bad("seed", kv.get_string_or("seed", ""));
     cfg.arch.seed = static_cast<std::uint64_t>(*v);
+  }
+
+  // Fault injection.
+  if (kv.has("fault.enabled")) {
+    const auto v = kv.get_bool("fault.enabled");
+    if (!v) bad("fault.enabled", kv.get_string_or("fault.enabled", ""));
+    cfg.fault.enabled = *v;
+  }
+  if (kv.has("fault.seed")) {
+    const auto v = kv.get_int("fault.seed");
+    if (!v) bad("fault.seed", kv.get_string_or("fault.seed", ""));
+    cfg.fault.seed = static_cast<std::uint64_t>(*v);
+  }
+  if (kv.has("fault.endurance")) {
+    const auto v = kv.get_double("fault.endurance");
+    if (!v || *v <= 0.0) {
+      bad("fault.endurance", kv.get_string_or("fault.endurance", ""));
+    }
+    cfg.fault.endurance = *v;
+  }
+  if (kv.has("fault.sigma")) {
+    const auto v = kv.get_double("fault.sigma");
+    if (!v || *v < 0.0) bad("fault.sigma", kv.get_string_or("fault.sigma", ""));
+    cfg.fault.sigma = *v;
+  }
+  if (kv.has("fault.initial_wear")) {
+    const auto v = kv.get_double("fault.initial_wear");
+    if (!v || *v < 0.0) {
+      bad("fault.initial_wear", kv.get_string_or("fault.initial_wear", ""));
+    }
+    cfg.fault.initial_wear = *v;
+  }
+  if (kv.has("fault.max_retries")) {
+    const auto v = kv.get_int("fault.max_retries");
+    if (!v || *v < 1) {
+      bad("fault.max_retries", kv.get_string_or("fault.max_retries", ""));
+    }
+    cfg.fault.max_retries = static_cast<unsigned>(*v);
+  }
+  cfg.fault.spare_rows =
+      get_unsigned(kv, "fault.spare_rows", cfg.fault.spare_rows);
+  if (kv.has("fault.read_disturb")) {
+    const auto v = kv.get_double("fault.read_disturb");
+    if (!v || *v < 0.0 || *v > 1.0) {
+      bad("fault.read_disturb", kv.get_string_or("fault.read_disturb", ""));
+    }
+    cfg.fault.read_disturb = *v;
   }
 
   // Controller.
@@ -286,7 +397,15 @@ std::string describe(const SimConfig& cfg) {
      << "fnw_fast=" << cfg.arch.fnw_fast_fraction << "\n"
      << "start_gap=" << (cfg.arch.start_gap ? "true" : "false") << "\n"
      << "start_gap_interval=" << cfg.arch.start_gap_interval << "\n"
-     << "seed=" << cfg.arch.seed << "\n";
+     << "seed=" << cfg.arch.seed << "\n"
+     << "fault.enabled=" << (cfg.fault.enabled ? "true" : "false") << "\n"
+     << "fault.seed=" << cfg.fault.seed << "\n"
+     << "fault.endurance=" << cfg.fault.endurance << "\n"
+     << "fault.sigma=" << cfg.fault.sigma << "\n"
+     << "fault.initial_wear=" << cfg.fault.initial_wear << "\n"
+     << "fault.max_retries=" << cfg.fault.max_retries << "\n"
+     << "fault.spare_rows=" << cfg.fault.spare_rows << "\n"
+     << "fault.read_disturb=" << cfg.fault.read_disturb << "\n";
   if (cfg.warmup_accesses.has_value()) {
     os << "warmup=" << *cfg.warmup_accesses << "\n";
   }

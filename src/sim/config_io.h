@@ -7,15 +7,20 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "common/config.h"
 #include "sim/simulator.h"
 
 namespace wompcm {
 
-// Applies the recognized keys from `kv` onto `base`. Unrecognized keys are
-// ignored (they may belong to the harness, e.g. accesses/seed/benchmark).
-// Throws std::invalid_argument when a recognized key has a bad value.
+// Applies the recognized keys from `kv` onto `base`. Strict: an unknown key
+// throws std::invalid_argument naming the key and the nearest valid key
+// ("config: unknown key 'scanmode' (did you mean 'scan_mode'?)"), so a typo
+// never silently runs the default configuration. Keys that belong to the
+// calling harness rather than the SimConfig (e.g. accesses/benchmark/jobs)
+// are passed in `harness_keys` and skipped. Throws std::invalid_argument
+// when a recognized key has a bad value.
 //
 // Keys: channels ranks banks rows cols devices burst
 //       row_read row_write reset set col_read refresh_period
@@ -23,7 +28,11 @@ namespace wompcm {
 //       rat rth pausing policy (fcfs|read-priority) row_policy (open|closed)
 //       queue_capacity read_forwarding warmup
 //       start_gap start_gap_interval fnw_fast seed
-SimConfig apply_overrides(SimConfig base, const KeyValueConfig& kv);
+//       fault.enabled fault.seed fault.endurance fault.sigma
+//       fault.initial_wear fault.max_retries fault.spare_rows
+//       fault.read_disturb
+SimConfig apply_overrides(SimConfig base, const KeyValueConfig& kv,
+                          const std::vector<std::string>& harness_keys = {});
 
 // Loads key=value lines from a file and applies them onto `base`.
 // Throws std::runtime_error if the file cannot be read.

@@ -1,10 +1,6 @@
 #include "sim/experiment.h"
 
-#include <functional>
-#include <stdexcept>
-
-#include "common/thread_pool.h"
-#include "sim/parallel_sweep.h"
+#include "sim/run.h"
 
 namespace wompcm {
 
@@ -31,41 +27,23 @@ std::vector<ArchConfig> paper_architectures() {
 
 SimResult run_benchmark(const SimConfig& cfg, const WorkloadProfile& profile,
                         std::uint64_t accesses, std::uint64_t seed) {
-  // Mix the benchmark name into the seed so different benchmarks draw
-  // different streams even with the same base seed.
-  std::uint64_t s = seed;
-  for (const char c : profile.name) {
-    s = s * 1099511628211ull + static_cast<unsigned char>(c);
-  }
-  SimConfig resolved = cfg;
-  if (!resolved.warmup_accesses.has_value()) {
-    resolved.warmup_accesses = accesses / 5;
-  }
-  // The warmup budget is drawn down by reads and writes jointly (the
-  // simulator skips recording for the first `warmup` transactions of either
-  // kind), so a budget >= accesses would leave every latency stat empty.
-  if (*resolved.warmup_accesses >= accesses) {
-    throw std::invalid_argument(
-        "run_benchmark: warmup_accesses (" +
-        std::to_string(*resolved.warmup_accesses) +
-        ") must be smaller than the trace length (" +
-        std::to_string(accesses) + ")");
-  }
-  SyntheticTraceSource trace(profile, resolved.geom, s, accesses);
-  Simulator sim(resolved);
-  return sim.run(trace);
-}
-
-unsigned ParallelPolicy::resolved_jobs() const {
-  return jobs == 0 ? ThreadPool::hardware_workers() : jobs;
+  RunRequest req;
+  req.config = cfg;
+  req.trace = TraceSpec::profile(profile, accesses);
+  req.options.seed = seed;
+  return run(req);
 }
 
 std::vector<SweepRow> run_arch_sweep(
     const SimConfig& base, const std::vector<ArchConfig>& archs,
     const std::vector<WorkloadProfile>& profiles, std::uint64_t accesses,
     std::uint64_t seed, ParallelPolicy policy) {
-  return ParallelSweepRunner(policy).run(base, archs, profiles, accesses,
-                                         seed);
+  RunRequest req;
+  req.config = base;
+  req.trace = TraceSpec::profile(WorkloadProfile{}, accesses);
+  req.options.seed = seed;
+  req.options.jobs = policy;
+  return run_sweep(req, archs, profiles);
 }
 
 double column_mean(const std::vector<std::vector<double>>& m, std::size_t c) {

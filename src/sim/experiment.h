@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/run.h"
 #include "sim/simulator.h"
 #include "trace/profiles.h"
 
@@ -22,38 +23,20 @@ SimConfig paper_config();
 // PCM (baseline), WOM-code PCM, PCM-refresh, WCPCM.
 std::vector<ArchConfig> paper_architectures();
 
-// Runs one benchmark profile on one configuration.
+// Runs one benchmark profile on one configuration. A thin wrapper over
+// run() (sim/run.h) — equivalent to a RunRequest with
+// TraceSpec::profile(profile, accesses) and the given seed.
 // Throws std::invalid_argument if the (resolved) warmup budget is not
 // smaller than `accesses`: warmup counts reads and writes jointly, so a
 // budget >= the trace length would silently record no latency samples.
 SimResult run_benchmark(const SimConfig& cfg, const WorkloadProfile& profile,
                         std::uint64_t accesses, std::uint64_t seed);
 
-// One benchmark's results across a set of architectures.
-struct SweepRow {
-  std::string benchmark;
-  std::vector<SimResult> results;  // parallel to the arch list
-};
-
-// How an arch sweep distributes its (architecture, benchmark) cells.
-struct ParallelPolicy {
-  // 0 = one worker per hardware thread; 1 = serial in the calling thread;
-  // N = fixed pool of N workers. Results are bit-identical either way:
-  // every cell owns its own simulator, trace source, and derived seed.
-  unsigned jobs = 0;
-
-  static ParallelPolicy serial() { return ParallelPolicy{1}; }
-  static ParallelPolicy automatic() { return ParallelPolicy{0}; }
-  static ParallelPolicy with_jobs(unsigned n) { return ParallelPolicy{n}; }
-
-  unsigned resolved_jobs() const;  // >= 1
-};
-
 // Runs every profile against every architecture (same trace per benchmark:
 // the trace is regenerated with the same seed for each architecture).
 // Cells are distributed per `policy` (default: all hardware threads); the
-// result is independent of the policy. This is the single entry point for
-// sweeps — ParallelSweepRunner (sim/parallel_sweep.h) does the scheduling.
+// result is independent of the policy. A thin wrapper over run_sweep()
+// (sim/run.h), which ParallelSweepRunner (sim/parallel_sweep.h) backs.
 std::vector<SweepRow> run_arch_sweep(const SimConfig& base,
                                      const std::vector<ArchConfig>& archs,
                                      const std::vector<WorkloadProfile>& profiles,

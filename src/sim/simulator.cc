@@ -13,7 +13,7 @@ Simulator::Simulator(const SimConfig& cfg) : cfg_(cfg) {}
 
 SimResult Simulator::run(TraceSource& trace) {
   std::unique_ptr<Architecture> arch =
-      make_architecture(cfg_.arch, cfg_.geom, cfg_.timing);
+      make_architecture(cfg_.arch, cfg_.geom, cfg_.timing, cfg_.fault);
 
   SimResult result;
   result.arch_name = arch->name();
@@ -155,6 +155,12 @@ void SimResult::collect(const MetricsRegistry& reg) {
   max_line_wear = reg.gauge("wear.max_line");
   mean_line_wear = reg.gauge("wear.mean_line");
   lifetime_years = reg.gauge("wear.lifetime_years");
+  fault_injected = reg.counter("fault.injected");
+  fault_retries = reg.counter("fault.retries");
+  fault_demoted_writes = reg.counter("fault.demoted_writes");
+  fault_remapped_rows = reg.counter("fault.remapped_rows");
+  fault_dead_rows = reg.counter("fault.dead_rows");
+  fault_read_disturbs = reg.counter("fault.read_disturbs");
 }
 
 namespace {

@@ -31,6 +31,9 @@ struct SimConfig {
   SchedulerConfig sched;
   RefreshConfig refresh;
   ArchConfig arch;
+  // Seeded fault injection (pcm/fault_model.h). Disabled by default; a
+  // disabled config leaves the run bit-identical to a faultless build.
+  FaultConfig fault;
   RowPolicy row_policy = RowPolicy::kOpen;
   // Back-pressure bound on queued demand transactions, per channel: each
   // channel controller gets its own queue pair with this capacity, so a
@@ -69,6 +72,14 @@ struct SimResult {
   double max_line_wear = 0.0;
   double mean_line_wear = 0.0;
   double lifetime_years = 0.0;
+  // Fault-injection outcomes (all zero when faults are off; the registry
+  // reads missing names as zero, so collect() needs no gating).
+  std::uint64_t fault_injected = 0;
+  std::uint64_t fault_retries = 0;
+  std::uint64_t fault_demoted_writes = 0;
+  std::uint64_t fault_remapped_rows = 0;
+  std::uint64_t fault_dead_rows = 0;
+  std::uint64_t fault_read_disturbs = 0;
 
   // Host-side wall-clock breakdown of the run (nanoseconds). Not part of
   // the simulated state: two runs with identical stats will report

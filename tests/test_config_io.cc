@@ -56,11 +56,71 @@ TEST(ConfigIo, PolicyKnobs) {
   EXPECT_FALSE(cfg.read_forwarding);
 }
 
-TEST(ConfigIo, UnknownKeysIgnored) {
+TEST(ConfigIo, UnknownKeysRejectedWithNearestSuggestion) {
+  // A typo must not silently run the default configuration; the error names
+  // the offending key and the nearest valid one.
+  try {
+    apply_overrides(paper_config(),
+                    KeyValueConfig::from_tokens({"scanmode=reference"}));
+    FAIL() << "unknown key accepted";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("scanmode"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("scan_mode"), std::string::npos) << msg;
+  }
+  EXPECT_THROW(apply_overrides(paper_config(),
+                               KeyValueConfig::from_tokens({"rankz=4"})),
+               std::invalid_argument);
+}
+
+TEST(ConfigIo, HarnessKeysAreExempt) {
+  // Keys owned by the calling tool (trace length, benchmark choice, ...)
+  // are declared by the harness and skipped; everything else stays strict.
   const auto kv =
       KeyValueConfig::from_tokens({"accesses=5000", "benchmark=qsort"});
-  const SimConfig cfg = apply_overrides(paper_config(), kv);
+  const SimConfig cfg =
+      apply_overrides(paper_config(), kv, {"accesses", "benchmark"});
   EXPECT_EQ(cfg.geom.ranks, 16u);
+  EXPECT_THROW(apply_overrides(paper_config(), kv, {"accesses"}),
+               std::invalid_argument);
+  // The suggestion also considers the harness's own keys.
+  try {
+    apply_overrides(paper_config(),
+                    KeyValueConfig::from_tokens({"acesses=5000"}),
+                    {"accesses"});
+    FAIL() << "unknown key accepted";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("accesses"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ConfigIo, FaultKeysParse) {
+  const auto kv = KeyValueConfig::from_tokens(
+      {"fault.enabled=true", "fault.seed=99", "fault.endurance=500",
+       "fault.sigma=0.5", "fault.initial_wear=0.9", "fault.max_retries=7",
+       "fault.spare_rows=8", "fault.read_disturb=0.001"});
+  const SimConfig cfg = apply_overrides(paper_config(), kv);
+  EXPECT_TRUE(cfg.fault.enabled);
+  EXPECT_EQ(cfg.fault.seed, 99u);
+  EXPECT_DOUBLE_EQ(cfg.fault.endurance, 500.0);
+  EXPECT_DOUBLE_EQ(cfg.fault.sigma, 0.5);
+  EXPECT_DOUBLE_EQ(cfg.fault.initial_wear, 0.9);
+  EXPECT_EQ(cfg.fault.max_retries, 7u);
+  EXPECT_EQ(cfg.fault.spare_rows, 8u);
+  EXPECT_DOUBLE_EQ(cfg.fault.read_disturb, 0.001);
+}
+
+TEST(ConfigIo, FaultKeysRejectBadValues) {
+  for (const char* tok :
+       {"fault.enabled=2", "fault.endurance=0", "fault.endurance=-1",
+        "fault.sigma=-0.1", "fault.initial_wear=-0.5", "fault.max_retries=0",
+        "fault.read_disturb=1.5", "fault.read_disturb=-0.1"}) {
+    EXPECT_THROW(apply_overrides(paper_config(),
+                                 KeyValueConfig::from_tokens({tok})),
+                 std::invalid_argument)
+        << tok;
+  }
 }
 
 TEST(ConfigIo, BadValuesThrow) {
@@ -150,6 +210,14 @@ TEST(ConfigIo, EveryFieldRoundTripsThroughDescribe) {
   cfg.queue_capacity = 77;  // per-channel bound
   cfg.read_forwarding = false;
   cfg.warmup_accesses = 555;
+  cfg.fault.enabled = true;
+  cfg.fault.seed = 31337;
+  cfg.fault.endurance = 1500;
+  cfg.fault.sigma = 0.75;
+  cfg.fault.initial_wear = 0.5;
+  cfg.fault.max_retries = 5;
+  cfg.fault.spare_rows = 12;
+  cfg.fault.read_disturb = 0.0625;
 
   const auto path = (std::filesystem::temp_directory_path() /
                      "womcode_pcm_cfg_every_field.cfg")
@@ -202,6 +270,14 @@ TEST(ConfigIo, EveryFieldRoundTripsThroughDescribe) {
   EXPECT_FALSE(back.read_forwarding);
   ASSERT_TRUE(back.warmup_accesses.has_value());
   EXPECT_EQ(*back.warmup_accesses, 555u);
+  EXPECT_TRUE(back.fault.enabled);
+  EXPECT_EQ(back.fault.seed, 31337u);
+  EXPECT_DOUBLE_EQ(back.fault.endurance, 1500.0);
+  EXPECT_DOUBLE_EQ(back.fault.sigma, 0.75);
+  EXPECT_DOUBLE_EQ(back.fault.initial_wear, 0.5);
+  EXPECT_EQ(back.fault.max_retries, 5u);
+  EXPECT_EQ(back.fault.spare_rows, 12u);
+  EXPECT_DOUBLE_EQ(back.fault.read_disturb, 0.0625);
 }
 
 TEST(ConfigIo, BurstKeepsGeometryAndTimingInSync) {
