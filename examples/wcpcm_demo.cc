@@ -4,11 +4,15 @@
 //
 // Any SimConfig key overrides the paper platform; with fault.enabled=true
 // the table grows graceful-degradation columns (dead WOM-cache rows bypass
-// to main memory, dead main rows remap onto spares).
+// to main memory, dead main rows remap onto spares). Passing arch= or
+// composition keys (main.coding=, cache.enabled=, cache.coding=, refresh=)
+// sweeps that design instead of the default WCPCM; cache columns print "-"
+// for cacheless compositions.
 //
 // Usage: wcpcm_demo [benchmark=NAME] [accesses=N] [seed=S] [key=value...]
 //        e.g. wcpcm_demo fault.enabled=true fault.endurance=400
 //               fault.initial_wear=0.9 fault.sigma=0.35
+//        e.g. wcpcm_demo main.coding=fnw cache.enabled=true refresh=rat
 
 #include <cstdio>
 
@@ -29,12 +33,19 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  const SimConfig base =
+  SimConfig base =
       apply_overrides(paper_config(), args,
                       /*harness_keys=*/{"benchmark", "accesses", "seed"});
+  // Default to the canonical WCPCM unless the user picked a design via
+  // arch= or the composition keys.
+  if (!args.has("arch") && !base.arch.composition.has_value()) {
+    base.arch.kind = ArchKind::kWcpcm;
+  }
   const bool faults = base.fault.enabled;
+  const Composition comp = base.arch.resolved_composition();
 
-  std::printf("WCPCM on %s, banks/rank sweep (paper Figs. 6 and 7 axes)%s\n\n",
+  std::printf("%s on %s, banks/rank sweep (paper Figs. 6 and 7 axes)%s\n\n",
+              comp.cache_enabled ? "WOM-cache composition" : "Composition",
               bench.c_str(), faults ? " [fault injection ON]" : "");
   std::vector<std::string> header = {
       "banks/rank", "write hit%", "read hit%", "victims", "avg write ns",
@@ -51,7 +62,6 @@ int main(int argc, char** argv) {
     // the per-rank WOM-cache (sized like one bank) grows accordingly.
     cfg.geom.banks_per_rank = banks;
     cfg.geom.rows_per_bank = 32768 * 32 / banks;
-    cfg.arch.kind = ArchKind::kWcpcm;
     const SimResult r =
         run({cfg, TraceSpec::profile(*profile, accesses), RunOptions::with_seed(seed)});
     const double wh = static_cast<double>(
@@ -62,10 +72,15 @@ int main(int argc, char** argv) {
         static_cast<double>(r.stats.counters.get("wcpcm.read_hits"));
     const double rm =
         static_cast<double>(r.stats.counters.get("wcpcm.read_misses"));
+    // Cacheless compositions have no hit/miss traffic: print "-" rather
+    // than the NaN a 0/0 division would produce.
+    const auto pct = [](double n, double d) {
+      return d == 0.0 ? std::string("-") : TextTable::fmt(100.0 * n / d, 1);
+    };
     std::vector<std::string> row = {
         std::to_string(banks),
-        TextTable::fmt(100.0 * wh / (wh + wm), 1),
-        TextTable::fmt(100.0 * rh / (rh + rm), 1),
+        pct(wh, wh + wm),
+        pct(rh, rh + rm),
         std::to_string(r.stats.counters.get("wcpcm.victims")),
         TextTable::fmt(r.avg_write_ns(), 1),
         TextTable::fmt(r.avg_read_ns(), 1),
@@ -73,12 +88,16 @@ int main(int argc, char** argv) {
         // that the pooled figures hide both: report them per class.
         TextTable::fmt(100.0 * r.row_hit_rate(SimResult::BankClass::kMain),
                        1),
-        TextTable::fmt(100.0 * r.row_hit_rate(SimResult::BankClass::kCache),
-                       1),
+        comp.cache_enabled
+            ? TextTable::fmt(
+                  100.0 * r.row_hit_rate(SimResult::BankClass::kCache), 1)
+            : "-",
         TextTable::fmt(r.max_bank_utilization(SimResult::BankClass::kMain),
                        3),
-        TextTable::fmt(r.max_bank_utilization(SimResult::BankClass::kCache),
-                       3),
+        comp.cache_enabled
+            ? TextTable::fmt(
+                  r.max_bank_utilization(SimResult::BankClass::kCache), 3)
+            : "-",
         TextTable::fmt(r.capacity_overhead * 100.0, 1)};
     if (faults) {
       row.push_back(std::to_string(r.fault_demoted_writes));

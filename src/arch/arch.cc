@@ -2,12 +2,7 @@
 
 #include <stdexcept>
 
-#include "arch/baseline.h"
-#include "arch/flip_n_write.h"
-#include "arch/refresh_wom_pcm.h"
-#include "arch/wcpcm.h"
-#include "arch/wom_pcm.h"
-#include "wom/registry.h"
+#include "arch/composed.h"
 
 namespace wompcm {
 
@@ -27,6 +22,125 @@ const char* to_string(ArchKind k) {
       return "symmetric-ideal";
   }
   return "?";
+}
+
+const char* to_string(CodingKind k) {
+  switch (k) {
+    case CodingKind::kRaw:
+      return "raw";
+    case CodingKind::kWomWide:
+      return "wom-wide";
+    case CodingKind::kWomHidden:
+      return "wom-hidden";
+    case CodingKind::kFlipNWrite:
+      return "fnw";
+    case CodingKind::kSymmetric:
+      return "symmetric";
+  }
+  return "?";
+}
+
+const char* to_string(RefreshKind k) {
+  return k == RefreshKind::kRat ? "rat" : "none";
+}
+
+bool coding_kind_from_string(const std::string& s, CodingKind* out) {
+  if (s == "raw") {
+    *out = CodingKind::kRaw;
+  } else if (s == "wom-wide") {
+    *out = CodingKind::kWomWide;
+  } else if (s == "wom-hidden") {
+    *out = CodingKind::kWomHidden;
+  } else if (s == "fnw") {
+    *out = CodingKind::kFlipNWrite;
+  } else if (s == "symmetric") {
+    *out = CodingKind::kSymmetric;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool refresh_kind_from_string(const std::string& s, RefreshKind* out) {
+  if (s == "none") {
+    *out = RefreshKind::kNone;
+  } else if (s == "rat") {
+    *out = RefreshKind::kRat;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+Composition canonical_composition(ArchKind kind, WomOrganization org) {
+  const CodingKind wom = org == WomOrganization::kHiddenPage
+                             ? CodingKind::kWomHidden
+                             : CodingKind::kWomWide;
+  Composition c;
+  switch (kind) {
+    case ArchKind::kBaseline:
+      c.main_coding = CodingKind::kRaw;
+      break;
+    case ArchKind::kWomPcm:
+      c.main_coding = wom;
+      break;
+    case ArchKind::kRefreshWomPcm:
+      c.main_coding = wom;
+      c.refresh = RefreshKind::kRat;
+      break;
+    case ArchKind::kWcpcm:
+      c.main_coding = CodingKind::kRaw;
+      c.cache_enabled = true;
+      c.cache_coding = CodingKind::kWomWide;
+      c.refresh = RefreshKind::kRat;
+      break;
+    case ArchKind::kFlipNWrite:
+      c.main_coding = CodingKind::kFlipNWrite;
+      break;
+    case ArchKind::kSymmetric:
+      c.main_coding = CodingKind::kSymmetric;
+      break;
+  }
+  return c;
+}
+
+bool composition_valid(const Composition& c, std::string* why) {
+  if (c.cache_enabled && c.cache_coding == CodingKind::kWomHidden) {
+    if (why != nullptr) {
+      *why =
+          "cache.coding=wom-hidden has no meaning: the WOM-cache is its own "
+          "per-rank array with no hidden page region to pair with; use "
+          "cache.coding=wom-wide";
+    }
+    return false;
+  }
+  if (c.refresh == RefreshKind::kRat && !is_wom_coding(c.main_coding) &&
+      !(c.cache_enabled && is_wom_coding(c.cache_coding))) {
+    if (why != nullptr) {
+      *why =
+          "refresh=rat needs at least one WOM-coded region (row-address "
+          "tables track WOM rewrite limits, which raw/fnw/symmetric codings "
+          "do not have); set main.coding=wom-wide or wom-hidden, enable a "
+          "WOM-coded cache (cache.enabled=on cache.coding=wom-wide), or set "
+          "refresh=none";
+    }
+    return false;
+  }
+  return true;
+}
+
+Composition validate_composition(Composition c) {
+  if (!c.cache_enabled) c.cache_coding = CodingKind::kWomWide;  // normalize
+  std::string why;
+  if (!composition_valid(c, &why)) {
+    throw std::invalid_argument("bad composition: " + why);
+  }
+  return c;
+}
+
+Composition ArchConfig::resolved_composition() const {
+  if (composition.has_value()) return validate_composition(*composition);
+  return canonical_composition(kind, organization);
 }
 
 Architecture::Architecture(const MemoryGeometry& geom, const PcmTiming& timing)
@@ -216,24 +330,6 @@ std::vector<unsigned> Architecture::refresh_resources(unsigned channel,
   return res;
 }
 
-namespace {
-
-WomCodePtr resolve_inverted_code(const std::string& name) {
-  WomCodePtr code = make_code(name);
-  if (code == nullptr) {
-    throw std::invalid_argument("unknown WOM-code: " + name);
-  }
-  if (code->raises_bits()) {
-    throw std::invalid_argument(
-        "WOM architectures need an inverted code (RESET-only rewrites); "
-        "use e.g. \"" +
-        name + "-inv\"");
-  }
-  return code;
-}
-
-}  // namespace
-
 std::unique_ptr<Architecture> make_architecture(const ArchConfig& cfg,
                                                 const MemoryGeometry& geom,
                                                 const PcmTiming& timing) {
@@ -251,39 +347,11 @@ std::unique_ptr<Architecture> make_architecture(const ArchConfig& cfg,
   if (!timing.valid(&why)) {
     throw std::invalid_argument("bad timing: " + why);
   }
-  std::unique_ptr<Architecture> arch;
-  switch (cfg.kind) {
-    case ArchKind::kBaseline:
-      arch = std::make_unique<BaselinePcm>(geom, timing);
-      break;
-    case ArchKind::kWomPcm:
-      arch = std::make_unique<WomPcm>(geom, timing,
-                                      resolve_inverted_code(cfg.code),
-                                      cfg.organization);
-      break;
-    case ArchKind::kRefreshWomPcm:
-      arch = std::make_unique<RefreshWomPcm>(geom, timing,
-                                             resolve_inverted_code(cfg.code),
-                                             cfg.organization,
-                                             cfg.rat_entries);
-      break;
-    case ArchKind::kWcpcm:
-      arch = std::make_unique<Wcpcm>(geom, timing,
-                                     resolve_inverted_code(cfg.code),
-                                     cfg.rat_entries);
-      break;
-    case ArchKind::kFlipNWrite:
-      arch = std::make_unique<FlipNWritePcm>(geom, timing,
-                                             cfg.fnw_fast_fraction, cfg.seed);
-      break;
-    case ArchKind::kSymmetric:
-      arch = std::make_unique<SymmetricPcm>(geom, timing);
-      break;
-  }
-  if (arch == nullptr) throw std::invalid_argument("unknown architecture");
-  if (cfg.start_gap && cfg.kind != ArchKind::kWcpcm) {
+  auto arch = std::make_unique<ComposedArchitecture>(geom, timing, cfg);
+  if (cfg.start_gap && !arch->composition().cache_enabled) {
     // The WOM-cache index is the row address, so remapping main rows would
-    // desynchronize the cache; Start-Gap covers the row-addressed kinds.
+    // desynchronize the cache; Start-Gap covers the row-addressed
+    // compositions.
     arch->enable_start_gap(cfg.start_gap_interval);
   }
   arch->configure_faults(fault);

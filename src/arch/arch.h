@@ -12,6 +12,7 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -57,21 +58,91 @@ enum class ArchKind : std::uint8_t {
 
 const char* to_string(ArchKind k);
 
+// ---- Composable architecture description ----
+//
+// Every architecture is a composition of orthogonal policies: a coding
+// scheme for the main-memory region, an optional per-rank WOM-cache front
+// end with its own coding scheme, and a refresh policy that attaches to
+// each WOM-coded region. The five legacy ArchKinds are points in this
+// space (see canonical_composition); the cross-product admits designs the
+// paper never evaluated (Flip-N-Write behind a WOM-cache, hidden-page +
+// refresh, a symmetric-latency cache as an upper bound).
+
+// How one region stores its lines.
+enum class CodingKind : std::uint8_t {
+  kRaw,         // uncoded: every write is SET-bound (conventional PCM)
+  kWomWide,     // inverted WOM code, wide-column organization (Section 3.1)
+  kWomHidden,   // inverted WOM code, hidden-page organization (Section 3.1)
+  kFlipNWrite,  // Flip-N-Write coding (Cho & Lee, MICRO 2009)
+  kSymmetric,   // hypothetical S=1 memory: every write at RESET latency
+};
+
+enum class RefreshKind : std::uint8_t {
+  kNone,
+  kRat,  // row-address tables + burst re-initialization (Section 3.2)
+};
+
+const char* to_string(CodingKind k);
+const char* to_string(RefreshKind k);
+// Parsers for the config keys (main.coding= / cache.coding= / refresh=).
+// Return false on an unknown name.
+bool coding_kind_from_string(const std::string& s, CodingKind* out);
+bool refresh_kind_from_string(const std::string& s, RefreshKind* out);
+
+inline bool is_wom_coding(CodingKind k) {
+  return k == CodingKind::kWomWide || k == CodingKind::kWomHidden;
+}
+
+struct Composition {
+  CodingKind main_coding = CodingKind::kRaw;
+  bool cache_enabled = false;
+  // Coding of the per-rank WOM-cache arrays; meaningful only when
+  // cache_enabled (normalized to kWomWide otherwise so compositions that
+  // differ only in a disabled cache's coding compare equal).
+  CodingKind cache_coding = CodingKind::kWomWide;
+  RefreshKind refresh = RefreshKind::kNone;
+
+  bool operator==(const Composition&) const = default;
+};
+
+// The composition each legacy ArchKind is shorthand for. Architectures
+// built from a kind and from its canonical composition are bit-identical.
+Composition canonical_composition(ArchKind kind, WomOrganization org);
+
+// Validates and normalizes a composition. Returns false (with an
+// actionable message in *why) for combinations with no meaning: refresh
+// without a WOM-coded region, a hidden-page-coded cache, ...
+bool composition_valid(const Composition& c, std::string* why = nullptr);
+// As above but throwing std::invalid_argument; returns the normalized
+// composition.
+Composition validate_composition(Composition c);
+
 struct ArchConfig {
   ArchKind kind = ArchKind::kBaseline;
-  // WOM-code used by the WOM architectures; must be an inverted code.
+  // Explicit policy composition. When set it takes precedence over `kind`
+  // (which the legacy call sites keep using as shorthand); when unset the
+  // kind's canonical composition applies. See resolved_composition().
+  std::optional<Composition> composition;
+  // WOM-code used by every WOM-coded region; must be an inverted code.
   std::string code = "rs23-inv";
   WomOrganization organization = WomOrganization::kWideColumn;
-  // Row-address-table capacity per bank (Section 3.2 uses 5).
+  // Row-address-table capacity per refresh unit (Section 3.2 uses 5).
   unsigned rat_entries = 5;
   // Flip-N-Write: probability that a write needs no SET pulse at all.
   double fnw_fast_fraction = 0.0;
   std::uint64_t seed = 1;
   // Optional Start-Gap wear leveling on the main-memory rows (endurance
   // extension; the paper leaves endurance open). One gap move per
-  // `start_gap_interval` writes per bank. Not applied to the WOM-cache.
+  // `start_gap_interval` writes per bank. Not applied when a cache front
+  // end is enabled: the cache index is the row address, so remapping main
+  // rows would desynchronize the tags.
   bool start_gap = false;
   unsigned start_gap_interval = 128;
+
+  // The composition this config builds: `composition` if set, else the
+  // kind's canonical one. Throws std::invalid_argument (with the reason)
+  // on an invalid explicit composition.
+  Composition resolved_composition() const;
 };
 
 class Architecture {

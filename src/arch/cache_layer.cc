@@ -1,0 +1,31 @@
+#include "arch/cache_layer.h"
+
+namespace wompcm {
+
+CacheLayer::CacheLayer(const MemoryGeometry& geom,
+                       std::unique_ptr<CodingPolicy> coding)
+    : ranks_(geom.ranks),
+      rows_per_bank_(geom.rows_per_bank),
+      coding_(std::move(coding)),
+      tags_(geom.channels * geom.ranks,
+            std::vector<TagEntry>(geom.rows_per_bank)) {}
+
+bool CacheLayer::probe_read_hit(const DecodedAddr& dec) const {
+  const TagEntry& e = tags_[index(dec.channel, dec.rank)][dec.row];
+  return e.valid && e.bank == dec.bank && get_line(e, dec.col);
+}
+
+void CacheLayer::set_line(TagEntry& e, unsigned line,
+                          unsigned lines_per_row) {
+  if (e.line_valid.empty()) {
+    e.line_valid.assign((lines_per_row + 63) / 64, 0);
+  }
+  e.line_valid[line / 64] |= std::uint64_t{1} << (line % 64);
+}
+
+bool CacheLayer::get_line(const TagEntry& e, unsigned line) {
+  if (e.line_valid.empty()) return false;
+  return (e.line_valid[line / 64] >> (line % 64)) & 1;
+}
+
+}  // namespace wompcm

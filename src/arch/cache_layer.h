@@ -1,0 +1,86 @@
+// The per-rank WOM-cache front end (Section 4): tag state of one bank-sized
+// array per rank, N_bank-way associative by bank address, with per-line
+// valid bits and a dead-row set for rows retired by the fault model.
+//
+// The layer owns the cache's tag/validity bookkeeping and its CodingPolicy;
+// the access protocol (victim spawning, bypass, fault pipeline, refresh
+// scheduling) lives in ComposedArchitecture, which drives both this layer
+// and the backing main region's policy.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "arch/coding_policy.h"
+#include "common/address.h"
+#include "common/flat_map.h"
+
+namespace wompcm {
+
+class CacheLayer final {
+ public:
+  struct TagEntry {
+    bool valid = false;
+    unsigned bank = 0;
+    // Per-line dirty/valid bits: the cache row only holds the lines written
+    // since this bank's row was installed; reads of other lines are served
+    // by PCM main memory (whose copy of those lines is still current).
+    std::vector<std::uint64_t> line_valid;
+  };
+
+  CacheLayer(const MemoryGeometry& geom, std::unique_ptr<CodingPolicy> coding);
+
+  CodingPolicy& coding() { return *coding_; }
+  const CodingPolicy& coding() const { return *coding_; }
+
+  unsigned arrays() const { return static_cast<unsigned>(tags_.size()); }
+  unsigned index(unsigned channel, unsigned rank) const {
+    return channel * ranks_ + rank;
+  }
+
+  TagEntry& entry(unsigned cache_idx, unsigned row) {
+    return tags_[cache_idx][row];
+  }
+
+  // A read hits only if this bank's row is installed AND the requested line
+  // was written since the install; other lines of the row are still current
+  // in main memory.
+  bool probe_read_hit(const DecodedAddr& dec) const;
+
+  static void set_line(TagEntry& e, unsigned line, unsigned lines_per_row);
+  static bool get_line(const TagEntry& e, unsigned line);
+
+  // Tracker key of a cache row — local to the cache arrays (the wear/fault
+  // key space is the owning architecture's row_key_for, disjoint from this).
+  std::uint64_t row_key(unsigned cache_idx, unsigned row) const {
+    return static_cast<std::uint64_t>(cache_idx) * rows_per_bank_ + row;
+  }
+
+  // Cache rows have no spare pool behind them: a dead row is invalidated
+  // and bypassed (writes latch through to main memory) instead of remapped.
+  bool row_dead(unsigned cache_idx, unsigned row) const {
+    return dead_rows_.find(row_key(cache_idx, row)) != nullptr;
+  }
+  void mark_dead(unsigned cache_idx, unsigned row) {
+    dead_rows_[row_key(cache_idx, row)] = 1;
+  }
+
+  // Monotone stamp advanced on every tag mutation that could flip a queued
+  // demand read's probe outcome (install, re-bank, new valid line,
+  // invalidation) — see Architecture::route_version.
+  std::uint64_t route_version() const { return route_version_; }
+  void note_route_change() { ++route_version_; }
+
+ private:
+  unsigned ranks_;
+  unsigned rows_per_bank_;
+  std::unique_ptr<CodingPolicy> coding_;
+  // tags_[cache_index][row]
+  std::vector<std::vector<TagEntry>> tags_;
+  std::uint64_t route_version_ = 0;
+  // Keyed like row_key; only ever populated while faults are enabled.
+  FlatMap64<std::uint8_t> dead_rows_;
+};
+
+}  // namespace wompcm

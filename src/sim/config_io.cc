@@ -17,7 +17,8 @@ constexpr const char* kKnownKeys[] = {
     "channels", "ranks", "banks", "rows", "cols", "devices", "bits_per_col",
     "burst", "mapping", "row_read", "row_write", "reset", "set", "col_read",
     "refresh_period", "tag_check", "pause_resume", "arch", "code",
-    "organization", "rat", "refresh_enabled", "require_empty_queues", "rth",
+    "organization", "rat", "main.coding", "cache.enabled", "cache.coding",
+    "refresh", "refresh_enabled", "require_empty_queues", "rth",
     "pausing", "fnw_fast", "start_gap", "start_gap_interval", "seed",
     "policy", "write_q_high", "write_q_low", "row_hit_first", "scan_limit",
     "scan_mode", "row_policy", "queue_capacity", "read_forwarding", "warmup",
@@ -152,6 +153,10 @@ SimConfig apply_overrides(SimConfig cfg, const KeyValueConfig& kv,
     } else {
       bad("arch", a);
     }
+    // Selecting a legacy kind resets any explicit composition: "arch=" means
+    // the canonical composition of that kind, regardless of key order (the
+    // key/value store is unordered, so both orders must mean the same thing).
+    cfg.arch.composition.reset();
   }
   if (kv.has("code")) cfg.arch.code = kv.get_string_or("code", cfg.arch.code);
   if (kv.has("organization")) {
@@ -165,6 +170,32 @@ SimConfig apply_overrides(SimConfig cfg, const KeyValueConfig& kv,
     }
   }
   cfg.arch.rat_entries = get_unsigned(kv, "rat", cfg.arch.rat_entries);
+  // Composition keys override individual axes of the (possibly canonical)
+  // composition; validate_composition() rejects nonsense combinations with
+  // an actionable message.
+  if (kv.has("main.coding") || kv.has("cache.enabled") ||
+      kv.has("cache.coding") || kv.has("refresh")) {
+    Composition c = cfg.arch.composition.value_or(
+        canonical_composition(cfg.arch.kind, cfg.arch.organization));
+    if (kv.has("main.coding")) {
+      const std::string v = kv.get_string_or("main.coding", "");
+      if (!coding_kind_from_string(v, &c.main_coding)) bad("main.coding", v);
+    }
+    if (kv.has("cache.enabled")) {
+      const auto v = kv.get_bool("cache.enabled");
+      if (!v) bad("cache.enabled", kv.get_string_or("cache.enabled", ""));
+      c.cache_enabled = *v;
+    }
+    if (kv.has("cache.coding")) {
+      const std::string v = kv.get_string_or("cache.coding", "");
+      if (!coding_kind_from_string(v, &c.cache_coding)) bad("cache.coding", v);
+    }
+    if (kv.has("refresh")) {
+      const std::string v = kv.get_string_or("refresh", "");
+      if (!refresh_kind_from_string(v, &c.refresh)) bad("refresh", v);
+    }
+    cfg.arch.composition = validate_composition(c);
+  }
   if (kv.has("refresh_enabled")) {
     const auto v = kv.get_bool("refresh_enabled");
     if (!v) bad("refresh_enabled", kv.get_string_or("refresh_enabled", ""));
@@ -372,8 +403,17 @@ std::string describe(const SimConfig& cfg) {
      << (cfg.arch.organization == WomOrganization::kWideColumn ? "wide"
                                                                : "hidden")
      << "\n"
-     << "rat=" << cfg.arch.rat_entries << "\n"
-     << "refresh_enabled=" << (cfg.refresh.enabled ? "true" : "false")
+     << "rat=" << cfg.arch.rat_entries << "\n";
+  if (cfg.arch.composition.has_value()) {
+    // Emitted after "arch=" so a round-trip re-applies the explicit
+    // composition on top of the kind's canonical one.
+    const Composition& c = *cfg.arch.composition;
+    os << "main.coding=" << to_string(c.main_coding) << "\n"
+       << "cache.enabled=" << (c.cache_enabled ? "true" : "false") << "\n"
+       << "cache.coding=" << to_string(c.cache_coding) << "\n"
+       << "refresh=" << to_string(c.refresh) << "\n";
+  }
+  os << "refresh_enabled=" << (cfg.refresh.enabled ? "true" : "false")
      << "\n"
      << "rth=" << cfg.refresh.threshold << "\n"
      << "pausing=" << (cfg.refresh.write_pausing ? "true" : "false") << "\n"

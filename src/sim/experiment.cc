@@ -25,6 +25,27 @@ std::vector<ArchConfig> paper_architectures() {
   return v;
 }
 
+std::vector<ArchConfig> composition_sweep(
+    const std::vector<CodingKind>& main_codings,
+    const std::vector<bool>& cache_options,
+    const std::vector<RefreshKind>& refresh_options,
+    const std::string& code) {
+  std::vector<ArchConfig> out;
+  for (const CodingKind main : main_codings) {
+    for (const bool cache : cache_options) {
+      for (const RefreshKind refresh : refresh_options) {
+        Composition c{main, cache, CodingKind::kWomWide, refresh};
+        if (!composition_valid(c)) continue;
+        ArchConfig a;
+        a.composition = validate_composition(c);
+        a.code = code;
+        out.push_back(std::move(a));
+      }
+    }
+  }
+  return out;
+}
+
 SimResult run_benchmark(const SimConfig& cfg, const WorkloadProfile& profile,
                         std::uint64_t accesses, std::uint64_t seed) {
   RunRequest req;

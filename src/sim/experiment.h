@@ -23,6 +23,17 @@ SimConfig paper_config();
 // PCM (baseline), WOM-code PCM, PCM-refresh, WCPCM.
 std::vector<ArchConfig> paper_architectures();
 
+// Builds the composition cross-product {main codings} x {cache on/off} x
+// {refresh kinds}, silently skipping combinations composition_valid()
+// rejects (e.g. refresh=rat with no WOM-coded region). Every returned
+// ArchConfig carries an explicit validated composition plus `code` for its
+// WOM regions, ready to feed run_arch_sweep().
+std::vector<ArchConfig> composition_sweep(
+    const std::vector<CodingKind>& main_codings,
+    const std::vector<bool>& cache_options,
+    const std::vector<RefreshKind>& refresh_options,
+    const std::string& code = "rs23-inv");
+
 // Runs one benchmark profile on one configuration. A thin wrapper over
 // run() (sim/run.h) — equivalent to a RunRequest with
 // TraceSpec::profile(profile, accesses) and the given seed.

@@ -1,10 +1,9 @@
 // Tests of the architecture interface basics and the conventional-PCM and
-// Flip-N-Write policies.
+// Flip-N-Write coding policies (through their canonical compositions).
 #include <gtest/gtest.h>
 
 #include "arch/arch.h"
-#include "arch/baseline.h"
-#include "arch/flip_n_write.h"
+#include "arch/composed.h"
 
 namespace wompcm {
 namespace {
@@ -19,8 +18,23 @@ MemoryGeometry small_geom() {
   return g;
 }
 
+ArchConfig baseline_cfg() {
+  ArchConfig cfg;
+  cfg.kind = ArchKind::kBaseline;
+  return cfg;
+}
+
+ArchConfig fnw_cfg(double fast_fraction, std::uint64_t seed) {
+  ArchConfig cfg;
+  cfg.kind = ArchKind::kFlipNWrite;
+  cfg.fnw_fast_fraction = fast_fraction;
+  cfg.seed = seed;
+  return cfg;
+}
+
 TEST(BaselinePcm, EveryWriteIsSlowEveryTime) {
-  BaselinePcm arch(small_geom(), PcmTiming{});
+  ComposedArchitecture arch(small_geom(), PcmTiming{}, baseline_cfg());
+  EXPECT_EQ(arch.name(), "pcm");
   DecodedAddr d{0, 1, 2, 3, 4};
   for (int i = 0; i < 5; ++i) {
     const IssuePlan p = arch.plan(d, AccessType::kWrite, false, 0);
@@ -34,7 +48,7 @@ TEST(BaselinePcm, EveryWriteIsSlowEveryTime) {
 }
 
 TEST(BaselinePcm, ReadsHaveNoProgramPhase) {
-  BaselinePcm arch(small_geom(), PcmTiming{});
+  ComposedArchitecture arch(small_geom(), PcmTiming{}, baseline_cfg());
   DecodedAddr d{0, 0, 0, 7, 0};
   const IssuePlan p = arch.plan(d, AccessType::kRead, false, 0);
   EXPECT_EQ(p.program_ns, 0u);
@@ -44,7 +58,7 @@ TEST(BaselinePcm, ReadsHaveNoProgramPhase) {
 
 TEST(BaselinePcm, RoutesToFlatBank) {
   const MemoryGeometry g = small_geom();
-  BaselinePcm arch(g, PcmTiming{});
+  ComposedArchitecture arch(g, PcmTiming{}, baseline_cfg());
   AddressMapper mapper(g);
   DecodedAddr d{0, 1, 3, 0, 0};
   EXPECT_EQ(arch.route(d, AccessType::kRead, false), mapper.flat_bank(d));
@@ -52,7 +66,7 @@ TEST(BaselinePcm, RoutesToFlatBank) {
 }
 
 TEST(BaselinePcm, NoRefreshHooks) {
-  BaselinePcm arch(small_geom(), PcmTiming{});
+  ComposedArchitecture arch(small_geom(), PcmTiming{}, baseline_cfg());
   EXPECT_FALSE(arch.refresh_enabled());
   EXPECT_DOUBLE_EQ(arch.refresh_pending_fraction(0, 0), 0.0);
   const auto work = arch.perform_refresh(0, 0, [](unsigned) { return true; });
@@ -62,14 +76,24 @@ TEST(BaselinePcm, NoRefreshHooks) {
 
 TEST(BaselinePcm, RefreshResourcesCoverRankBanks) {
   const MemoryGeometry g = small_geom();
-  BaselinePcm arch(g, PcmTiming{});
+  ComposedArchitecture arch(g, PcmTiming{}, baseline_cfg());
   const auto res = arch.refresh_resources(0, 1);
   ASSERT_EQ(res.size(), g.banks_per_rank);
   EXPECT_EQ(res.front(), g.banks_per_rank);  // rank 1 starts after rank 0
 }
 
+TEST(BaselinePcm, IgnoresUnresolvableCodeName) {
+  // A composition with no WOM-coded region never resolves cfg.code, exactly
+  // as the monolithic BaselinePcm ignored it.
+  ArchConfig cfg = baseline_cfg();
+  cfg.code = "no-such-code";
+  ComposedArchitecture arch(small_geom(), PcmTiming{}, cfg);
+  EXPECT_EQ(arch.code(), nullptr);
+}
+
 TEST(FlipNWrite, DefaultNeverFast) {
-  FlipNWritePcm arch(small_geom(), PcmTiming{}, 0.0, 1);
+  ComposedArchitecture arch(small_geom(), PcmTiming{}, fnw_cfg(0.0, 1));
+  EXPECT_EQ(arch.name(), "flip-n-write");
   DecodedAddr d{0, 0, 0, 1, 0};
   for (int i = 0; i < 20; ++i) {
     const IssuePlan p = arch.plan(d, AccessType::kWrite, false, 0);
@@ -79,7 +103,7 @@ TEST(FlipNWrite, DefaultNeverFast) {
 }
 
 TEST(FlipNWrite, FastFractionRoughlyHonored) {
-  FlipNWritePcm arch(small_geom(), PcmTiming{}, 0.5, 7);
+  ComposedArchitecture arch(small_geom(), PcmTiming{}, fnw_cfg(0.5, 7));
   DecodedAddr d{0, 0, 0, 1, 0};
   for (int i = 0; i < 2000; ++i) {
     arch.plan(d, AccessType::kWrite, false, 0);
@@ -90,8 +114,8 @@ TEST(FlipNWrite, FastFractionRoughlyHonored) {
 
 TEST(FlipNWrite, HalvesWriteEnergyVersusBaseline) {
   const MemoryGeometry g = small_geom();
-  BaselinePcm base(g, PcmTiming{});
-  FlipNWritePcm fnw(g, PcmTiming{}, 0.0, 1);
+  ComposedArchitecture base(g, PcmTiming{}, baseline_cfg());
+  ComposedArchitecture fnw(g, PcmTiming{}, fnw_cfg(0.0, 1));
   DecodedAddr d{0, 0, 0, 1, 0};
   for (int i = 0; i < 10; ++i) {
     base.plan(d, AccessType::kWrite, false, 0);

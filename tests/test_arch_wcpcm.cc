@@ -1,10 +1,10 @@
-// Tests of the WOM-code cached PCM architecture (Section 4): tag/valid
+// Tests of the WOM-code cached PCM composition (Section 4): tag/valid
 // protocol, victim write-backs, per-line validity, parallel read probing,
 // and the cache's own refresh.
 #include <gtest/gtest.h>
 
-#include "arch/wcpcm.h"
-#include "wom/registry.h"
+#include "arch/arch.h"
+#include "arch/composed.h"
 
 namespace wompcm {
 namespace {
@@ -19,11 +19,20 @@ MemoryGeometry small_geom() {
   return g;
 }
 
+ArchConfig wcpcm_cfg(unsigned rat_entries = 5,
+                     const std::string& code = "rs23-inv") {
+  ArchConfig cfg;
+  cfg.kind = ArchKind::kWcpcm;
+  cfg.rat_entries = rat_entries;
+  cfg.code = code;
+  return cfg;
+}
+
 class WcpcmTest : public ::testing::Test {
  protected:
   WcpcmTest()
       : geom_(small_geom()),
-        arch_(geom_, PcmTiming{}, make_code("rs23-inv"), 5),
+        arch_(geom_, PcmTiming{}, wcpcm_cfg()),
         mapper_(geom_) {}
 
   unsigned cache_resource(unsigned rank) const {
@@ -31,9 +40,13 @@ class WcpcmTest : public ::testing::Test {
   }
 
   MemoryGeometry geom_;
-  Wcpcm arch_;
+  ComposedArchitecture arch_;
   AddressMapper mapper_;
 };
+
+TEST_F(WcpcmTest, KeepsTheLegacyName) {
+  EXPECT_EQ(arch_.name(), "wcpcm[rs23-inv]");
+}
 
 TEST_F(WcpcmTest, ResourcesIncludePerRankCaches) {
   EXPECT_EQ(arch_.num_resources(), mapper_.num_flat_banks() + geom_.ranks);
@@ -44,7 +57,7 @@ TEST_F(WcpcmTest, OverheadMatchesPaperFormula) {
   EXPECT_DOUBLE_EQ(arch_.capacity_overhead(), 1.5 / 4.0);
   MemoryGeometry g32 = geom_;
   g32.banks_per_rank = 32;
-  Wcpcm arch32(g32, PcmTiming{}, make_code("rs23-inv"), 5);
+  ComposedArchitecture arch32(g32, PcmTiming{}, wcpcm_cfg());
   EXPECT_NEAR(arch32.capacity_overhead(), 0.047, 0.001);
 }
 
@@ -181,9 +194,12 @@ TEST_F(WcpcmTest, RefreshResourceIsTheCacheArrayOnly) {
 }
 
 TEST_F(WcpcmTest, RejectsBadCode) {
-  EXPECT_THROW(Wcpcm(geom_, PcmTiming{}, make_code("rs23"), 5),
-               std::invalid_argument);
-  EXPECT_THROW(Wcpcm(geom_, PcmTiming{}, nullptr, 5), std::invalid_argument);
+  EXPECT_THROW(
+      ComposedArchitecture(geom_, PcmTiming{}, wcpcm_cfg(5, "rs23")),
+      std::invalid_argument);
+  EXPECT_THROW(
+      ComposedArchitecture(geom_, PcmTiming{}, wcpcm_cfg(5, "no-such-code")),
+      std::invalid_argument);
 }
 
 }  // namespace

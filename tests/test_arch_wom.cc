@@ -1,10 +1,10 @@
-// Tests of the WOM-code PCM architecture (Section 3.1) and its PCM-refresh
-// extension's row-address tables (Section 3.2).
+// Tests of the WOM coding policy on main memory (Section 3.1) and its
+// PCM-refresh extension's row-address tables (Section 3.2), through the
+// canonical wom-pcm / pcm-refresh compositions.
 #include <gtest/gtest.h>
 
-#include "arch/refresh_wom_pcm.h"
-#include "arch/wom_pcm.h"
-#include "wom/registry.h"
+#include "arch/arch.h"
+#include "arch/composed.h"
 
 namespace wompcm {
 namespace {
@@ -19,20 +19,36 @@ MemoryGeometry small_geom() {
   return g;
 }
 
-WomCodePtr inv_code() { return make_code("rs23-inv"); }
+ArchConfig wom_cfg(WomOrganization org = WomOrganization::kWideColumn,
+                   const std::string& code = "rs23-inv") {
+  ArchConfig cfg;
+  cfg.kind = ArchKind::kWomPcm;
+  cfg.organization = org;
+  cfg.code = code;
+  return cfg;
+}
+
+ArchConfig refresh_cfg(unsigned rat_entries) {
+  ArchConfig cfg;
+  cfg.kind = ArchKind::kRefreshWomPcm;
+  cfg.rat_entries = rat_entries;
+  return cfg;
+}
 
 TEST(WomPcm, RequiresInvertedCode) {
-  EXPECT_THROW(WomPcm(small_geom(), PcmTiming{}, make_code("rs23"),
-                      WomOrganization::kWideColumn),
+  EXPECT_THROW(ComposedArchitecture(small_geom(), PcmTiming{},
+                                    wom_cfg(WomOrganization::kWideColumn,
+                                            "rs23")),
                std::invalid_argument);
-  EXPECT_THROW(WomPcm(small_geom(), PcmTiming{}, nullptr,
-                      WomOrganization::kWideColumn),
+  EXPECT_THROW(ComposedArchitecture(small_geom(), PcmTiming{},
+                                    wom_cfg(WomOrganization::kWideColumn,
+                                            "no-such-code")),
                std::invalid_argument);
 }
 
 TEST(WomPcm, WriteClassSequencePerLine) {
-  WomPcm arch(small_geom(), PcmTiming{}, inv_code(),
-              WomOrganization::kWideColumn);
+  ComposedArchitecture arch(small_geom(), PcmTiming{}, wom_cfg());
+  EXPECT_EQ(arch.name(), "wom-pcm[rs23-inv,wide-column]");
   DecodedAddr d{0, 0, 0, 3, 2};
   // Cold alpha (-> gen 1), fast (-> gen 2 == t), then alternating
   // alpha/fast as the rewrite cycle repeats.
@@ -50,8 +66,7 @@ TEST(WomPcm, WriteClassSequencePerLine) {
 }
 
 TEST(WomPcm, LinesTrackIndependently) {
-  WomPcm arch(small_geom(), PcmTiming{}, inv_code(),
-              WomOrganization::kWideColumn);
+  ComposedArchitecture arch(small_geom(), PcmTiming{}, wom_cfg());
   DecodedAddr a{0, 0, 0, 3, 0};
   DecodedAddr b{0, 0, 0, 3, 1};
   arch.plan(a, AccessType::kWrite, false, 0);  // cold alpha on line 0
@@ -61,8 +76,7 @@ TEST(WomPcm, LinesTrackIndependently) {
 }
 
 TEST(WomPcm, WideColumnHasNoExtraAccesses) {
-  WomPcm arch(small_geom(), PcmTiming{}, inv_code(),
-              WomOrganization::kWideColumn);
+  ComposedArchitecture arch(small_geom(), PcmTiming{}, wom_cfg());
   DecodedAddr d{0, 0, 0, 3, 0};
   const IssuePlan w = arch.plan(d, AccessType::kWrite, false, 0);
   EXPECT_EQ(w.post_ns, 0u);
@@ -73,7 +87,9 @@ TEST(WomPcm, WideColumnHasNoExtraAccesses) {
 
 TEST(WomPcm, HiddenPageAddsDependentAccess) {
   const PcmTiming t;
-  WomPcm arch(small_geom(), t, inv_code(), WomOrganization::kHiddenPage);
+  ComposedArchitecture arch(small_geom(), t,
+                            wom_cfg(WomOrganization::kHiddenPage));
+  EXPECT_EQ(arch.name(), "wom-pcm[rs23-inv,hidden-page]");
   DecodedAddr d{0, 0, 0, 3, 0};
   const IssuePlan w = arch.plan(d, AccessType::kWrite, false, 0);
   EXPECT_EQ(w.post_ns, t.burst_ns() + t.tag_check_ns);
@@ -84,15 +100,15 @@ TEST(WomPcm, HiddenPageAddsDependentAccess) {
 }
 
 TEST(WomPcm, OverheadMatchesCode) {
-  WomPcm arch(small_geom(), PcmTiming{}, inv_code(),
-              WomOrganization::kWideColumn);
+  ComposedArchitecture arch(small_geom(), PcmTiming{}, wom_cfg());
   EXPECT_DOUBLE_EQ(arch.capacity_overhead(), 0.5);
   EXPECT_FALSE(arch.refresh_enabled());
 }
 
 TEST(WomPcm, HigherRewriteLimitDelaysAlpha) {
-  WomPcm arch(small_geom(), PcmTiming{}, make_code("marker-k2t4-inv"),
-              WomOrganization::kWideColumn);
+  ComposedArchitecture arch(
+      small_geom(), PcmTiming{},
+      wom_cfg(WomOrganization::kWideColumn, "marker-k2t4-inv"));
   DecodedAddr d{0, 0, 0, 3, 0};
   arch.plan(d, AccessType::kWrite, false, 0);  // cold alpha
   for (int i = 0; i < 3; ++i) {
@@ -104,8 +120,8 @@ TEST(WomPcm, HigherRewriteLimitDelaysAlpha) {
 }
 
 TEST(RefreshWomPcm, RegistersRowsAtLimitInRat) {
-  RefreshWomPcm arch(small_geom(), PcmTiming{}, inv_code(),
-                     WomOrganization::kWideColumn, 5);
+  ComposedArchitecture arch(small_geom(), PcmTiming{}, refresh_cfg(5));
+  EXPECT_EQ(arch.name(), "pcm-refresh[rs23-inv,wide-column]");
   EXPECT_TRUE(arch.refresh_enabled());
   DecodedAddr d{0, 0, 0, 3, 0};
   arch.plan(d, AccessType::kWrite, false, 0);
@@ -117,8 +133,7 @@ TEST(RefreshWomPcm, RegistersRowsAtLimitInRat) {
 }
 
 TEST(RefreshWomPcm, RatCapacityEvictsOldest) {
-  RefreshWomPcm arch(small_geom(), PcmTiming{}, inv_code(),
-                     WomOrganization::kWideColumn, 2);
+  ComposedArchitecture arch(small_geom(), PcmTiming{}, refresh_cfg(2));
   for (unsigned row = 0; row < 4; ++row) {
     DecodedAddr d{0, 0, 0, row, 0};
     arch.plan(d, AccessType::kWrite, false, 0);
@@ -129,8 +144,7 @@ TEST(RefreshWomPcm, RatCapacityEvictsOldest) {
 }
 
 TEST(RefreshWomPcm, PerformRefreshServesMostRecentFirst) {
-  RefreshWomPcm arch(small_geom(), PcmTiming{}, inv_code(),
-                     WomOrganization::kWideColumn, 5);
+  ComposedArchitecture arch(small_geom(), PcmTiming{}, refresh_cfg(5));
   for (unsigned row = 0; row < 3; ++row) {
     DecodedAddr d{0, 0, 0, row, 0};
     arch.plan(d, AccessType::kWrite, false, 0);
@@ -146,8 +160,7 @@ TEST(RefreshWomPcm, PerformRefreshServesMostRecentFirst) {
 }
 
 TEST(RefreshWomPcm, SkipsBusyUnits) {
-  RefreshWomPcm arch(small_geom(), PcmTiming{}, inv_code(),
-                     WomOrganization::kWideColumn, 5);
+  ComposedArchitecture arch(small_geom(), PcmTiming{}, refresh_cfg(5));
   DecodedAddr d{0, 0, 0, 3, 0};
   arch.plan(d, AccessType::kWrite, false, 0);
   arch.plan(d, AccessType::kWrite, false, 0);
@@ -158,8 +171,7 @@ TEST(RefreshWomPcm, SkipsBusyUnits) {
 }
 
 TEST(RefreshWomPcm, RefreshCoversWholeRankBanks) {
-  RefreshWomPcm arch(small_geom(), PcmTiming{}, inv_code(),
-                     WomOrganization::kWideColumn, 5);
+  ComposedArchitecture arch(small_geom(), PcmTiming{}, refresh_cfg(5));
   for (unsigned bank = 0; bank < 4; ++bank) {
     DecodedAddr d{0, 0, bank, 7, 0};
     arch.plan(d, AccessType::kWrite, false, 0);

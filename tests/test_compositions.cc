@@ -1,0 +1,218 @@
+// The composition layer's contract (DESIGN.md section 9): every legacy
+// ArchKind is bit-identical to its explicit canonical composition, invalid
+// compositions are rejected with actionable messages, the sweep helper
+// enumerates only valid cells, and the novel compositions shipped in
+// configs/ run end-to-end.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "arch/arch.h"
+#include "sim/config_io.h"
+#include "sim/experiment.h"
+
+namespace wompcm {
+namespace {
+
+// Small platform: equivalence only needs every code path, not paper scale.
+SimConfig small_config() {
+  SimConfig cfg = paper_config();
+  cfg.geom.ranks = 2;
+  cfg.geom.banks_per_rank = 4;
+  cfg.geom.rows_per_bank = 2048;
+  return cfg;
+}
+
+void expect_identical(const SimResult& a, const SimResult& b) {
+  EXPECT_EQ(a.arch_name, b.arch_name);
+  EXPECT_EQ(a.end_time, b.end_time);
+  EXPECT_EQ(a.injected_reads, b.injected_reads);
+  EXPECT_EQ(a.injected_writes, b.injected_writes);
+  EXPECT_EQ(a.deferred_injections, b.deferred_injections);
+  EXPECT_EQ(a.refresh_commands, b.refresh_commands);
+  EXPECT_EQ(a.refresh_rows, b.refresh_rows);
+  EXPECT_EQ(a.stats.demand_read_latency.count(),
+            b.stats.demand_read_latency.count());
+  EXPECT_EQ(a.stats.demand_read_latency.sum(),
+            b.stats.demand_read_latency.sum());
+  EXPECT_EQ(a.stats.demand_write_latency.count(),
+            b.stats.demand_write_latency.count());
+  EXPECT_EQ(a.stats.demand_write_latency.sum(),
+            b.stats.demand_write_latency.sum());
+  EXPECT_EQ(a.stats.internal_write_latency.count(),
+            b.stats.internal_write_latency.count());
+  EXPECT_EQ(a.stats.internal_write_latency.sum(),
+            b.stats.internal_write_latency.sum());
+  EXPECT_EQ(a.stats.counters.all(), b.stats.counters.all());
+  EXPECT_DOUBLE_EQ(a.capacity_overhead, b.capacity_overhead);
+  EXPECT_DOUBLE_EQ(a.energy_read_pj, b.energy_read_pj);
+  EXPECT_DOUBLE_EQ(a.energy_write_pj, b.energy_write_pj);
+  EXPECT_DOUBLE_EQ(a.energy_refresh_pj, b.energy_refresh_pj);
+  EXPECT_DOUBLE_EQ(a.max_line_wear, b.max_line_wear);
+  EXPECT_DOUBLE_EQ(a.mean_line_wear, b.mean_line_wear);
+  EXPECT_EQ(a.fault_injected, b.fault_injected);
+  EXPECT_EQ(a.fault_retries, b.fault_retries);
+  EXPECT_EQ(a.fault_demoted_writes, b.fault_demoted_writes);
+  EXPECT_EQ(a.fault_remapped_rows, b.fault_remapped_rows);
+  EXPECT_EQ(a.fault_dead_rows, b.fault_dead_rows);
+  EXPECT_EQ(a.fault_read_disturbs, b.fault_read_disturbs);
+}
+
+struct KindCase {
+  ArchKind kind;
+  WomOrganization org;
+};
+
+// Every legacy kind, plus the hidden-page organization variant.
+const KindCase kKinds[] = {
+    {ArchKind::kBaseline, WomOrganization::kWideColumn},
+    {ArchKind::kWomPcm, WomOrganization::kWideColumn},
+    {ArchKind::kWomPcm, WomOrganization::kHiddenPage},
+    {ArchKind::kRefreshWomPcm, WomOrganization::kWideColumn},
+    {ArchKind::kWcpcm, WomOrganization::kWideColumn},
+    {ArchKind::kFlipNWrite, WomOrganization::kWideColumn},
+    {ArchKind::kSymmetric, WomOrganization::kWideColumn},
+};
+
+TEST(CompositionEquivalence, LegacyKindsMatchExplicitCompositions) {
+  const WorkloadProfile profile = *find_profile("401.bzip2");
+  for (const KindCase& kc : kKinds) {
+    for (const ScanMode scan : {ScanMode::kIndexed, ScanMode::kReference}) {
+      for (const bool faults : {false, true}) {
+        SimConfig legacy = small_config();
+        legacy.sched.scan_mode = scan;
+        legacy.arch.kind = kc.kind;
+        legacy.arch.organization = kc.org;
+        legacy.arch.code = "rs23-inv";
+        if (faults) {
+          legacy.fault.enabled = true;
+          legacy.fault.seed = 7;
+          legacy.fault.endurance = 400;
+          legacy.fault.sigma = 0.35;
+          legacy.fault.initial_wear = 0.75;
+          legacy.fault.spare_rows = 4;
+          legacy.fault.read_disturb = 0.0005;
+        }
+        SimConfig composed = legacy;
+        composed.arch.composition =
+            canonical_composition(kc.kind, kc.org);
+        const SimResult a = run_benchmark(legacy, profile, 4000, 11);
+        const SimResult b = run_benchmark(composed, profile, 4000, 11);
+        SCOPED_TRACE(std::string(to_string(kc.kind)) + "/" +
+                     to_string(kc.org) + "/scan=" +
+                     std::to_string(static_cast<int>(scan)) +
+                     "/faults=" + (faults ? "on" : "off"));
+        expect_identical(a, b);
+      }
+    }
+  }
+}
+
+TEST(CompositionValidity, RejectsRefreshWithoutAnyWomRegion) {
+  for (const CodingKind main : {CodingKind::kRaw, CodingKind::kFlipNWrite,
+                                CodingKind::kSymmetric}) {
+    Composition c{main, false, CodingKind::kWomWide, RefreshKind::kRat};
+    std::string why;
+    EXPECT_FALSE(composition_valid(c, &why)) << to_string(main);
+    EXPECT_NE(why.find("WOM-coded region"), std::string::npos) << why;
+    EXPECT_THROW(validate_composition(c), std::invalid_argument);
+  }
+  // A WOM-coded cache alone satisfies the refresh requirement.
+  Composition ok{CodingKind::kRaw, true, CodingKind::kWomWide,
+                 RefreshKind::kRat};
+  EXPECT_TRUE(composition_valid(ok));
+}
+
+TEST(CompositionValidity, RejectsHiddenPageCache) {
+  Composition c{CodingKind::kRaw, true, CodingKind::kWomHidden,
+                RefreshKind::kRat};
+  std::string why;
+  EXPECT_FALSE(composition_valid(c, &why));
+  EXPECT_NE(why.find("cache.coding=wom-wide"), std::string::npos) << why;
+  EXPECT_THROW(validate_composition(c), std::invalid_argument);
+}
+
+TEST(CompositionValidity, NormalizesDisabledCacheCoding) {
+  const Composition c = validate_composition(
+      {CodingKind::kWomWide, false, CodingKind::kFlipNWrite,
+       RefreshKind::kNone});
+  EXPECT_EQ(c.cache_coding, CodingKind::kWomWide);
+}
+
+TEST(CompositionSweep, EnumeratesOnlyValidCells) {
+  const std::vector<CodingKind> mains = {
+      CodingKind::kRaw, CodingKind::kWomWide, CodingKind::kWomHidden,
+      CodingKind::kFlipNWrite, CodingKind::kSymmetric};
+  const auto archs = composition_sweep(mains, {false, true},
+                                       {RefreshKind::kNone, RefreshKind::kRat});
+  // 5 x 2 x 2 = 20 cells minus the 3 cacheless non-WOM mains with refresh.
+  EXPECT_EQ(archs.size(), 17u);
+  for (const ArchConfig& a : archs) {
+    ASSERT_TRUE(a.composition.has_value());
+    EXPECT_TRUE(composition_valid(*a.composition));
+    EXPECT_EQ(a.code, "rs23-inv");
+  }
+}
+
+TEST(CompositionSweep, RunsThroughTheSweepHarness) {
+  const auto archs = composition_sweep(
+      {CodingKind::kRaw, CodingKind::kFlipNWrite}, {true},
+      {RefreshKind::kRat});
+  ASSERT_EQ(archs.size(), 2u);
+  const std::vector<WorkloadProfile> profiles = {*find_profile("401.bzip2")};
+  const auto rows = run_arch_sweep(small_config(), archs, profiles, 1500, 3);
+  ASSERT_EQ(rows.size(), 1u);
+  ASSERT_EQ(rows[0].results.size(), 2u);
+  EXPECT_EQ(rows[0].results[0].arch_name, "wcpcm[rs23-inv]");
+  EXPECT_EQ(rows[0].results[1].arch_name,
+            "composed[main=fnw,cache=wom-wide,refresh=rat,code=rs23-inv]");
+}
+
+// The three novel compositions shipped in configs/ run end-to-end from
+// their files (ISSUE: fnw+cache, hidden-page+refresh+cache,
+// symmetric+cache).
+struct NovelCase {
+  const char* file;
+  const char* arch_name;
+};
+
+TEST(NovelCompositions, RunEndToEndFromConfigFiles) {
+  const NovelCase cases[] = {
+      {"/configs/fnw_wom_cache.cfg",
+       "composed[main=fnw,cache=wom-wide,refresh=rat,code=rs23-inv]"},
+      {"/configs/hidden_refresh_cache.cfg",
+       "composed[main=wom-hidden,cache=wom-wide,refresh=rat,code=rs23-inv]"},
+      {"/configs/symmetric_cache.cfg",
+       "composed[main=symmetric,cache=wom-wide,refresh=rat,code=rs23-inv]"},
+  };
+  const WorkloadProfile profile = *find_profile("401.bzip2");
+  for (const NovelCase& nc : cases) {
+    SCOPED_TRACE(nc.file);
+    const SimConfig cfg =
+        load_config_file(paper_config(), WOMPCM_REPO_DIR + std::string(nc.file));
+    const SimResult r = run_benchmark(cfg, profile, 3000, 5);
+    EXPECT_EQ(r.arch_name, nc.arch_name);
+    EXPECT_GT(r.capacity_overhead, 0.0);
+    EXPECT_GT(r.stats.demand_write_latency.count(), 0u);
+    // The cache is in front: demand writes hit the per-rank WOM arrays.
+    EXPECT_GT(r.stats.counters.get("wcpcm.write_hits") +
+                  r.stats.counters.get("wcpcm.write_misses"),
+              0u);
+  }
+}
+
+TEST(NovelCompositions, HiddenMainPlusCacheChargesHiddenExtrasOnMisses) {
+  // Hidden-page main behind a cache still pays the hidden-page extra
+  // accesses when a read misses the cache or a victim lands in main memory.
+  const SimConfig cfg = load_config_file(
+      paper_config(), WOMPCM_REPO_DIR "/configs/hidden_refresh_cache.cfg");
+  const SimResult r = run_benchmark(cfg, *find_profile("401.bzip2"), 3000, 5);
+  // Read misses are served by the hidden-page main array (extra tag read);
+  // victim write-backs program its hidden page as well.
+  EXPECT_GT(r.stats.counters.get("hidden_page.extra_reads"), 0u);
+  EXPECT_GT(r.stats.counters.get("hidden_page.extra_writes"), 0u);
+}
+
+}  // namespace
+}  // namespace wompcm

@@ -189,6 +189,8 @@ TEST(ConfigIo, EveryFieldRoundTripsThroughDescribe) {
   cfg.timing.tag_check_ns = 3;
   cfg.timing.pause_resume_ns = 7;
   cfg.arch.kind = ArchKind::kFlipNWrite;
+  cfg.arch.composition = validate_composition(
+      {CodingKind::kFlipNWrite, true, CodingKind::kWomWide, RefreshKind::kRat});
   cfg.arch.code = "rs23";
   cfg.arch.organization = WomOrganization::kHiddenPage;
   cfg.arch.rat_entries = 9;
@@ -248,6 +250,10 @@ TEST(ConfigIo, EveryFieldRoundTripsThroughDescribe) {
   EXPECT_EQ(back.timing.tag_check_ns, 3u);
   EXPECT_EQ(back.timing.pause_resume_ns, 7u);
   EXPECT_EQ(back.arch.kind, ArchKind::kFlipNWrite);
+  ASSERT_TRUE(back.arch.composition.has_value());
+  EXPECT_EQ(*back.arch.composition,
+            (Composition{CodingKind::kFlipNWrite, true, CodingKind::kWomWide,
+                         RefreshKind::kRat}));
   EXPECT_EQ(back.arch.code, "rs23");
   EXPECT_EQ(back.arch.organization, WomOrganization::kHiddenPage);
   EXPECT_EQ(back.arch.rat_entries, 9u);
@@ -278,6 +284,85 @@ TEST(ConfigIo, EveryFieldRoundTripsThroughDescribe) {
   EXPECT_EQ(back.fault.max_retries, 5u);
   EXPECT_EQ(back.fault.spare_rows, 12u);
   EXPECT_DOUBLE_EQ(back.fault.read_disturb, 0.0625);
+}
+
+TEST(ConfigIo, CompositionKeysBuildOnTheCanonicalComposition) {
+  // refresh=rat on top of arch=wom yields the pcm-refresh composition.
+  const SimConfig cfg = apply_overrides(
+      paper_config(),
+      KeyValueConfig::from_tokens({"arch=wom", "refresh=rat"}));
+  ASSERT_TRUE(cfg.arch.composition.has_value());
+  EXPECT_EQ(cfg.arch.composition->main_coding, CodingKind::kWomWide);
+  EXPECT_FALSE(cfg.arch.composition->cache_enabled);
+  EXPECT_EQ(cfg.arch.composition->refresh, RefreshKind::kRat);
+}
+
+TEST(ConfigIo, CompositionKeysExpressNovelDesigns) {
+  const SimConfig cfg = apply_overrides(
+      paper_config(),
+      KeyValueConfig::from_tokens({"main.coding=fnw", "cache.enabled=true",
+                                   "cache.coding=wom-wide", "refresh=rat"}));
+  ASSERT_TRUE(cfg.arch.composition.has_value());
+  EXPECT_EQ(*cfg.arch.composition,
+            (Composition{CodingKind::kFlipNWrite, true, CodingKind::kWomWide,
+                         RefreshKind::kRat}));
+}
+
+TEST(ConfigIo, DisabledCacheNormalizesItsCoding) {
+  const SimConfig cfg = apply_overrides(
+      paper_config(),
+      KeyValueConfig::from_tokens({"main.coding=wom-hidden",
+                                   "cache.enabled=false", "refresh=none"}));
+  ASSERT_TRUE(cfg.arch.composition.has_value());
+  EXPECT_EQ(cfg.arch.composition->cache_coding, CodingKind::kWomWide);
+}
+
+TEST(ConfigIo, ArchKeyResetsAnExplicitComposition) {
+  // "arch=" always means the kind's canonical composition, even when a
+  // previous override installed an explicit one.
+  SimConfig base = apply_overrides(
+      paper_config(), KeyValueConfig::from_tokens({"main.coding=symmetric"}));
+  ASSERT_TRUE(base.arch.composition.has_value());
+  const SimConfig cfg =
+      apply_overrides(base, KeyValueConfig::from_tokens({"arch=wcpcm"}));
+  EXPECT_FALSE(cfg.arch.composition.has_value());
+  EXPECT_EQ(cfg.arch.kind, ArchKind::kWcpcm);
+}
+
+TEST(ConfigIo, RejectsInvalidCompositionsWithActionableErrors) {
+  // RAT refresh with no WOM-coded region anywhere.
+  try {
+    apply_overrides(paper_config(),
+                    KeyValueConfig::from_tokens({"refresh=rat"}));
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("WOM-coded region"),
+              std::string::npos)
+        << e.what();
+  }
+  // A hidden-page cache has no hidden page region to pair with.
+  try {
+    apply_overrides(
+        paper_config(),
+        KeyValueConfig::from_tokens({"arch=wcpcm",
+                                     "cache.coding=wom-hidden"}));
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("cache.coding=wom-wide"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ConfigIo, RejectsBadCompositionValues) {
+  for (const char* tok :
+       {"main.coding=womwide", "cache.enabled=2", "cache.coding=raw2",
+        "refresh=sometimes"}) {
+    EXPECT_THROW(apply_overrides(paper_config(),
+                                 KeyValueConfig::from_tokens({tok})),
+                 std::invalid_argument)
+        << tok;
+  }
 }
 
 TEST(ConfigIo, BurstKeepsGeometryAndTimingInSync) {

@@ -5,7 +5,6 @@
 #include <memory>
 
 #include "arch/arch.h"
-#include "arch/refresh_wom_pcm.h"
 #include "controller/controller.h"
 
 namespace wompcm {
