@@ -1,0 +1,242 @@
+// Perf harness for sharded single-run execution: a multi-stream "serve"
+// driver. Merges N per-core benchmark streams into one arrival-ordered
+// mix (trace/mix.h), runs it against a multi-channel platform serially
+// and sharded (sim/sharded.h), verifies the results are bit-identical,
+// and reports accesses/sec versus streams x jobs plus each channel
+// shard's bus utilization.
+//
+// Arguments: accesses=N per stream (default 10000), seed=S (42),
+// channels=C (4), jobs=J (4; the sharded run also measures jobs=2 when
+// J != 2), streams=K (0 = the full {1, 2, 4, 8} sweep, otherwise just K),
+// out=FILE (BENCH_serve.json).
+//
+// On a single-hardware-thread host the sharded numbers measure barrier
+// overhead, not parallelism; the JSON carries "degraded_environment":
+// true so downstream tooling can discount them.
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "common/perf.h"
+#include "common/thread_pool.h"
+#include "sim/experiment.h"
+#include "sim/sharded.h"
+#include "stats/metrics.h"
+#include "trace/mix.h"
+#include "trace/synthetic.h"
+
+namespace {
+
+using namespace wompcm;
+
+// Compares the deterministic portion of two results; phase counters are
+// wall-clock and excluded by design (same predicate as perf_sweep).
+bool same_result(const SimResult& a, const SimResult& b, std::string* why) {
+  auto fail = [&](const char* what) {
+    *why = what;
+    return false;
+  };
+  if (a.arch_name != b.arch_name) return fail("arch_name");
+  if (a.end_time != b.end_time) return fail("end_time");
+  if (a.injected_reads != b.injected_reads) return fail("injected_reads");
+  if (a.injected_writes != b.injected_writes) return fail("injected_writes");
+  if (a.deferred_injections != b.deferred_injections) {
+    return fail("deferred_injections");
+  }
+  if (a.refresh_commands != b.refresh_commands) return fail("refresh");
+  if (a.refresh_rows != b.refresh_rows) return fail("refresh_rows");
+  const auto& ra = a.stats.demand_read_latency;
+  const auto& rb = b.stats.demand_read_latency;
+  const auto& wa = a.stats.demand_write_latency;
+  const auto& wb = b.stats.demand_write_latency;
+  if (ra.count() != rb.count() || ra.sum() != rb.sum() ||
+      ra.min() != rb.min() || ra.max() != rb.max()) {
+    return fail("read latency stats");
+  }
+  if (wa.count() != wb.count() || wa.sum() != wb.sum() ||
+      wa.min() != wb.min() || wa.max() != wb.max()) {
+    return fail("write latency stats");
+  }
+  if (a.stats.counters.all() != b.stats.counters.all()) {
+    return fail("counters");
+  }
+  if (a.energy_read_pj != b.energy_read_pj ||
+      a.energy_write_pj != b.energy_write_pj ||
+      a.energy_refresh_pj != b.energy_refresh_pj) {
+    return fail("energy");
+  }
+  if (a.max_line_wear != b.max_line_wear ||
+      a.mean_line_wear != b.mean_line_wear ||
+      a.lifetime_years != b.lifetime_years) {
+    return fail("wear");
+  }
+  return true;
+}
+
+// One serve mix: `streams` synthetic benchmark generators (cycling the
+// paper suite, each on its own seed stream) merged by absolute arrival.
+// Deterministic: rebuilt identically for every measured run.
+std::unique_ptr<TraceSource> make_mix(unsigned streams,
+                                      const MemoryGeometry& geom,
+                                      std::uint64_t accesses,
+                                      std::uint64_t seed) {
+  const std::vector<WorkloadProfile> profiles = benchmark_profiles();
+  std::vector<std::unique_ptr<TraceSource>> parts;
+  parts.reserve(streams);
+  for (unsigned s = 0; s < streams; ++s) {
+    const WorkloadProfile& p = profiles[s % profiles.size()];
+    parts.push_back(std::make_unique<SyntheticTraceSource>(
+        p, geom, seed ^ (0x9e3779b97f4a7c15ULL * (s + 1)), accesses));
+  }
+  return std::make_unique<MixTraceSource>(std::move(parts));
+}
+
+struct Measurement {
+  double wall_s = 0.0;
+  SimResult result;
+};
+
+Measurement measure_serial(const SimConfig& cfg, unsigned streams,
+                           std::uint64_t accesses, std::uint64_t seed) {
+  const auto mix = make_mix(streams, cfg.geom, accesses, seed);
+  Measurement m;
+  const std::uint64_t t0 = perf::now_ns();
+  m.result = Simulator(cfg).run(*mix);
+  m.wall_s = static_cast<double>(perf::now_ns() - t0) * 1e-9;
+  return m;
+}
+
+Measurement measure_sharded(const SimConfig& cfg, unsigned streams,
+                            std::uint64_t accesses, std::uint64_t seed,
+                            unsigned jobs) {
+  const auto mix = make_mix(streams, cfg.geom, accesses, seed);
+  Measurement m;
+  const std::uint64_t t0 = perf::now_ns();
+  m.result = run_single_sharded(cfg, *mix, jobs);
+  m.wall_s = static_cast<double>(perf::now_ns() - t0) * 1e-9;
+  return m;
+}
+
+double accesses_per_sec(const Measurement& m) {
+  const auto injected = m.result.injected_reads + m.result.injected_writes;
+  return m.wall_s > 0.0 ? static_cast<double>(injected) / m.wall_s : 0.0;
+}
+
+// Demand-busy fraction of each channel shard's data bus over the run.
+std::vector<double> shard_utilization(const SimResult& r, unsigned channels) {
+  std::vector<double> util(channels, 0.0);
+  if (r.end_time == 0) return util;
+  for (unsigned c = 0; c < channels; ++c) {
+    util[c] = static_cast<double>(
+                  r.metrics.counter(channel_metric(c, "bus_busy_ns"))) /
+              static_cast<double>(r.end_time);
+  }
+  return util;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const KeyValueConfig args = KeyValueConfig::from_args(argc, argv);
+  const auto accesses =
+      static_cast<std::uint64_t>(args.get_int_or("accesses", 10000));
+  const auto seed = static_cast<std::uint64_t>(args.get_int_or("seed", 42));
+  const auto channels =
+      static_cast<unsigned>(args.get_int_or("channels", 4));
+  const auto jobs = static_cast<unsigned>(args.get_int_or("jobs", 4));
+  const auto one_streams =
+      static_cast<unsigned>(args.get_int_or("streams", 0));
+  const std::string out_path = args.get_string_or("out", "BENCH_serve.json");
+
+  SimConfig cfg = paper_config();
+  cfg.geom.channels = channels;
+  cfg.geom.ranks = std::max(1u, 16 / channels);  // keep total ranks constant
+  cfg.arch.kind = ArchKind::kRefreshWomPcm;
+  cfg.warmup_accesses = 0;
+
+  std::vector<unsigned> stream_counts = {1, 2, 4, 8};
+  if (one_streams != 0) stream_counts = {one_streams};
+  std::vector<unsigned> job_counts = {jobs};
+  if (jobs != 2) job_counts.insert(job_counts.begin(), 2);
+
+  const unsigned hw = ThreadPool::hardware_workers();
+  const bool degraded = hw == 1;
+  std::printf("perf_serve: %u-channel %s, %llu accesses/stream, seed %llu, "
+              "%u hardware thread(s)\n",
+              channels, to_string(cfg.arch.kind),
+              static_cast<unsigned long long>(accesses),
+              static_cast<unsigned long long>(seed), hw);
+  if (degraded) {
+    std::printf("WARNING: single hardware thread — sharded timings measure "
+                "barrier overhead, not parallelism (degraded environment)\n");
+  }
+  std::printf("\n%8s %8s %12s %12s %9s\n", "streams", "jobs", "acc/s",
+              "wall_s", "speedup");
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"perf_serve\",\n");
+  std::fprintf(f, "  \"schema\": 1,\n");
+  std::fprintf(f, "  \"arch\": \"%s\",\n", to_string(cfg.arch.kind));
+  std::fprintf(f, "  \"channels\": %u,\n", channels);
+  std::fprintf(f, "  \"accesses_per_stream\": %llu,\n",
+               static_cast<unsigned long long>(accesses));
+  std::fprintf(f, "  \"seed\": %llu,\n",
+               static_cast<unsigned long long>(seed));
+  std::fprintf(f, "  \"hardware_threads\": %u,\n", hw);
+  std::fprintf(f, "  \"degraded_environment\": %s,\n",
+               degraded ? "true" : "false");
+  std::fprintf(f, "  \"rows\": [\n");
+
+  bool first_row = true;
+  for (const unsigned streams : stream_counts) {
+    const Measurement serial = measure_serial(cfg, streams, accesses, seed);
+    std::printf("%8u %8s %12.0f %12.3f %9s\n", streams, "serial",
+                accesses_per_sec(serial), serial.wall_s, "1.00x");
+
+    for (const unsigned j : job_counts) {
+      const Measurement sharded =
+          measure_sharded(cfg, streams, accesses, seed, j);
+      std::string why;
+      if (!same_result(serial.result, sharded.result, &why)) {
+        std::printf("MISMATCH at streams=%u jobs=%u: %s differs\n", streams,
+                    j, why.c_str());
+        std::fclose(f);
+        return 1;
+      }
+      const double speedup =
+          sharded.wall_s > 0.0 ? serial.wall_s / sharded.wall_s : 0.0;
+      std::printf("%8u %8u %12.0f %12.3f %8.2fx\n", streams, j,
+                  accesses_per_sec(sharded), sharded.wall_s, speedup);
+
+      const std::vector<double> util =
+          shard_utilization(sharded.result, channels);
+      std::fprintf(f, "%s    {\"streams\": %u, \"jobs\": %u, "
+                   "\"serial\": {\"wall_s\": %.6f, \"accesses_per_sec\": "
+                   "%.1f},\n"
+                   "     \"sharded\": {\"wall_s\": %.6f, "
+                   "\"accesses_per_sec\": %.1f},\n"
+                   "     \"speedup\": %.3f, \"bit_identical\": true,\n"
+                   "     \"per_shard_utilization\": [",
+                   first_row ? "" : ",\n", streams, j, serial.wall_s,
+                   accesses_per_sec(serial), sharded.wall_s,
+                   accesses_per_sec(sharded), speedup);
+      for (unsigned c = 0; c < channels; ++c) {
+        std::fprintf(f, "%s%.4f", c == 0 ? "" : ", ", util[c]);
+      }
+      std::fprintf(f, "]}");
+      first_row = false;
+    }
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nresults bit-identical; wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -95,13 +95,20 @@ int main(int argc, char** argv) {
   const std::size_t cells = archs.size() * profiles.size();
 
   const ParallelPolicy par = ParallelPolicy::with_jobs(jobs);
+  const unsigned hw = ThreadPool::hardware_workers();
+  const bool degraded = hw == 1;
   std::printf("perf_sweep: %zu archs x %zu profiles = %zu cells, "
               "%llu accesses/cell, seed %llu, %u worker(s), "
-              "%u hardware thread(s)\n\n",
+              "%u hardware thread(s)\n",
               archs.size(), profiles.size(), cells,
               static_cast<unsigned long long>(accesses),
-              static_cast<unsigned long long>(seed), par.resolved_jobs(),
-              ThreadPool::hardware_workers());
+              static_cast<unsigned long long>(seed), par.resolved_jobs(), hw);
+  if (degraded) {
+    std::printf("WARNING: single hardware thread — the parallel sweep "
+                "cannot beat serial here; speedup figures measure pool "
+                "overhead, not parallelism (degraded environment)\n");
+  }
+  std::printf("\n");
 
   const std::uint64_t t0 = perf::now_ns();
   const auto serial = run_arch_sweep(paper_config(), archs, profiles,
@@ -163,8 +170,9 @@ int main(int argc, char** argv) {
   std::fprintf(f, "  \"profiles\": %zu,\n", profiles.size());
   std::fprintf(f, "  \"cells\": %zu,\n", cells);
   std::fprintf(f, "  \"jobs\": %u,\n", par.resolved_jobs());
-  std::fprintf(f, "  \"hardware_threads\": %u,\n",
-               ThreadPool::hardware_workers());
+  std::fprintf(f, "  \"hardware_threads\": %u,\n", hw);
+  std::fprintf(f, "  \"degraded_environment\": %s,\n",
+               degraded ? "true" : "false");
   std::fprintf(f, "  \"serial\": {\"wall_s\": %.6f, \"cells_per_sec\": %.3f},\n",
                serial_s, static_cast<double>(cells) / serial_s);
   std::fprintf(f,

@@ -148,7 +148,13 @@ Architecture::Architecture(const MemoryGeometry& geom, const PcmTiming& timing)
       mapper_(geom),
       timing_(timing),
       wear_(geom.lines_per_row()),
-      row_key_stride_(geom.rows_per_bank + 1) {}
+      row_key_stride_(geom.rows_per_bank + 1) {
+  // One energy bucket per channel: accumulation order within a channel plus
+  // a channel-ordered fold is what keeps a sharded run's energy bit-equal
+  // to serial (see pcm/energy.h). Single-channel geometries get one bucket
+  // and behave exactly like the plain accumulator.
+  energy_.configure_channels(geom.channels);
+}
 
 unsigned Architecture::num_resources() const { return main_banks(); }
 
@@ -166,7 +172,8 @@ void Architecture::configure_faults(const FaultConfig& fault) {
     throw std::invalid_argument("bad fault config: " + why);
   }
   if (!fault.enabled) return;
-  fault_ = std::make_unique<FaultModel>(fault, geom_.lines_per_row());
+  fault_ =
+      std::make_unique<FaultModel>(fault, geom_.lines_per_row(), geom_.channels);
   // Three physical-row populations per bank: the logical rows, the
   // Start-Gap spare (rows_per_bank), then the fault spares. Widen the
   // wear-key stride so spares never alias the next bank's keys; with
@@ -226,7 +233,7 @@ Architecture::FaultOutcome Architecture::fault_on_write(unsigned keyed_bank,
   // reads it back. A dead line burns the full budget and still fails.
   const bool dead = obs.state == FaultModel::LineState::kDead;
   const unsigned retries =
-      dead ? fault_->config().max_retries : fault_->retry_draw();
+      dead ? fault_->config().max_retries : fault_->retry_draw(channel);
   p->post_ns += retries * (p->program_ns + timing_.col_read_ns);
   tally.retries += retries;
   wear_.on_write_pulses(key, line, retries * kAlphaWearPerCell);
@@ -252,7 +259,7 @@ Architecture::FaultOutcome Architecture::fault_on_write(unsigned keyed_bank,
 
 void Architecture::fault_on_read(unsigned channel, IssuePlan* p) {
   if (fault_ == nullptr) return;
-  if (!fault_->read_disturbed()) return;
+  if (!fault_->read_disturbed(channel)) return;
   FaultTally& tally = fault_by_channel_[channel];
   ++tally.read_disturbs;
   ++tally.injected;
@@ -308,6 +315,26 @@ void Architecture::publish_metrics(MetricsRegistry& reg, Tick end_time) const {
     reg.set_counter("fault.remap_exhausted", sum.exhausted);
     reg.set_counter("fault.spare_rows_per_bank",
                     remap_ == nullptr ? 0 : remap_->spare_rows());
+  }
+}
+
+void Architecture::merge_accounting_from(const Architecture& o) {
+  counters_.merge(o.counters_);
+  energy_.merge_from(o.energy_);
+  wear_.merge_from(o.wear_);
+  if (fault_by_channel_.size() < o.fault_by_channel_.size()) {
+    fault_by_channel_.resize(o.fault_by_channel_.size());
+  }
+  for (std::size_t c = 0; c < o.fault_by_channel_.size(); ++c) {
+    const FaultTally& t = o.fault_by_channel_[c];
+    FaultTally& d = fault_by_channel_[c];
+    d.injected += t.injected;
+    d.retries += t.retries;
+    d.demoted += t.demoted;
+    d.remapped += t.remapped;
+    d.dead_rows += t.dead_rows;
+    d.read_disturbs += t.read_disturbs;
+    d.exhausted += t.exhausted;
   }
 }
 

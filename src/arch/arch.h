@@ -225,6 +225,15 @@ class Architecture {
   // completion instant, needed for the lifetime projection.
   void publish_metrics(MetricsRegistry& reg, Tick end_time) const;
 
+  // Folds another instance's accounting (counters, energy buckets, wear
+  // aggregates, per-channel fault tallies) into this one. The sharded
+  // runner builds one architecture replica per channel — replica c only
+  // ever services channel c — and merges replicas 1..N-1 into replica 0
+  // before the single publish_metrics() call, reproducing the books the
+  // shared serial instance keeps. Call only after the run is complete; the
+  // donor must be built from the same configuration.
+  void merge_accounting_from(const Architecture& o);
+
   // Enables Start-Gap wear leveling on the main-memory banks. Must be
   // called before the first plan().
   void enable_start_gap(unsigned interval);

@@ -85,14 +85,26 @@ class SymmetricCoding final : public CodingPolicy {
 class FnwCoding final : public CodingPolicy {
  public:
   FnwCoding(const RegionContext& ctx, double fast_fraction, std::uint64_t seed)
-      : CodingPolicy(ctx), fast_fraction_(fast_fraction), rng_(seed) {}
+      : CodingPolicy(ctx), fast_fraction_(fast_fraction) {
+    // One generator per channel, so the fast/slow draw sequence each
+    // channel sees depends only on that channel's own write order — not on
+    // cross-channel interleaving (the sharded-run determinism contract,
+    // mirroring FaultModel's per-channel event streams). Channel 0 seeds
+    // exactly as the single shared generator used to, keeping
+    // single-channel runs bit-identical.
+    rngs_.reserve(ctx.channels == 0 ? 1 : ctx.channels);
+    for (unsigned c = 0; c < (ctx.channels == 0 ? 1 : ctx.channels); ++c) {
+      rngs_.emplace_back(seed ^ (0x9e3779b97f4a7c15ULL * c));
+    }
+  }
 
   CodingKind kind() const override { return CodingKind::kFlipNWrite; }
   // One flip bit per data word.
   double overhead() const override { return 1.0 / 64.0; }
 
   WriteBegin begin_write(std::uint64_t, unsigned, IssuePlan* p) override {
-    const bool fast = fast_fraction_ > 0.0 && rng_.next_bool(fast_fraction_);
+    Rng& rng = rngs_[active_channel()];
+    const bool fast = fast_fraction_ > 0.0 && rng.next_bool(fast_fraction_);
     p->write_class = fast ? WriteClass::kResetOnly : WriteClass::kAlpha;
     p->program_ns = ctx_.timing->program_ns(p->write_class);
     return {p->write_class, false};
@@ -118,7 +130,7 @@ class FnwCoding final : public CodingPolicy {
 
  private:
   double fast_fraction_;
-  Rng rng_;
+  std::vector<Rng> rngs_;  // one per channel, indexed by active_channel()
   std::uint64_t* ctr_fast_ = nullptr;
   std::uint64_t* ctr_slow_ = nullptr;
 };

@@ -36,6 +36,15 @@ struct RegionContext {
   EnergyCounters* energy = nullptr;
   WearTracker* wear = nullptr;
   std::uint64_t line_bits = 0;  // uncoded bits per line
+  // Channel of the access currently being planned (aliases the owning
+  // architecture's cursor, kept current across plan()/perform_refresh()).
+  // Stochastic policies draw from a per-channel stream keyed by it, so
+  // their draws — like the fault model's — are independent of how the
+  // channels' issue streams interleave (the sharded-run determinism
+  // contract). Null means "always channel 0" (single-region tests).
+  const unsigned* channel = nullptr;
+  // Number of channels, for sizing per-channel streams.
+  unsigned channels = 1;
 };
 
 class CodingPolicy {
@@ -105,6 +114,11 @@ class CodingPolicy {
   void bump(std::uint64_t*& slot, const char* name, std::uint64_t by = 1) {
     if (slot == nullptr) slot = ctx_.counters->slot(name);
     *slot += by;
+  }
+
+  // Channel of the access being planned (0 when the owner wired no cursor).
+  unsigned active_channel() const {
+    return ctx_.channel == nullptr ? 0u : *ctx_.channel;
   }
 
   RegionContext ctx_;

@@ -13,8 +13,9 @@ ComposedArchitecture::ComposedArchitecture(const MemoryGeometry& geom,
       (comp_.cache_enabled && is_wom_coding(comp_.cache_coding))) {
     code_ = resolve_inverted_wom_code(cfg.code);
   }
-  const RegionContext ctx{&timing_, &counters_, &energy_, &wear_,
-                          line_bits()};
+  RegionContext ctx{&timing_, &counters_, &energy_, &wear_, line_bits()};
+  ctx.channel = &active_channel_;
+  ctx.channels = geom.channels;
   main_coding_ =
       make_coding_policy(comp_.main_coding, ctx, code_, geom.lines_per_row(),
                          /*erased_start=*/false, cfg.fnw_fast_fraction,
@@ -200,6 +201,10 @@ IssuePlan ComposedArchitecture::plan_cache_write(const DecodedAddr& dec,
 IssuePlan ComposedArchitecture::plan(const DecodedAddr& dec, AccessType type,
                                      bool internal, Tick now) {
   (void)now;
+  // Key every per-channel accounting stream for this access (see the
+  // active_channel_ declaration).
+  active_channel_ = dec.channel;
+  energy_.select_channel(dec.channel);
   IssuePlan p;
   p.row = dec.row;
 
@@ -273,6 +278,9 @@ Architecture::RefreshWork ComposedArchitecture::perform_refresh(
     const std::function<bool(unsigned)>& unit_ready) {
   RefreshWork work;
   if (main_rat_ == nullptr && cache_rat_ == nullptr) return work;
+  // Refresh energy (and any policy draws) charge this rank's channel.
+  active_channel_ = channel;
+  energy_.select_channel(channel);
   if (main_rat_ != nullptr) {
     const unsigned base =
         (channel * geom_.ranks + rank) * geom_.banks_per_rank;

@@ -93,6 +93,13 @@ class ComposedArchitecture final : public Architecture {
   IssuePlan plan_cache_write(const DecodedAddr& dec, IssuePlan p);
 
   Composition comp_;
+  // Channel of the access currently being planned (or rank being
+  // refreshed). Set at the top of plan()/perform_refresh() and aliased by
+  // the coding policies' RegionContext::channel, it keys every per-channel
+  // stream — energy buckets, the FNW draw RNGs — so per-channel accounting
+  // stays exact whether channels run interleaved (serial) or each on its
+  // own worker against its own replica (sharded).
+  unsigned active_channel_ = 0;
   WomCodePtr code_;  // shared by the WOM-coded regions; null when none
   std::unique_ptr<CodingPolicy> main_coding_;
   std::unique_ptr<CacheLayer> cache_;             // null = no front end

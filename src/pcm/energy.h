@@ -11,9 +11,18 @@
 // estimated from the write class: a RESET-only write touches on average
 // half of the coded bits with RESET pulses; an alpha or conventional write
 // sets half and resets half of the bits it programs.
+//
+// Accumulation is bucketed per channel (select_channel() picks the bucket
+// each access charges) and the getters fold the buckets in channel order.
+// Floating-point addition does not commute, so a fixed per-channel
+// accumulation order plus a fixed fold order is what makes a sharded run —
+// where each channel accumulates on its own worker — bit-identical to the
+// serial event loop. A single-channel (or unconfigured) instance has one
+// bucket and reads exactly like the plain accumulator it replaces.
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "common/types.h"
 
@@ -27,7 +36,15 @@ struct EnergyParams {
 
 class EnergyCounters {
  public:
-  explicit EnergyCounters(EnergyParams params = {}) : p_(params) {}
+  explicit EnergyCounters(EnergyParams params = {})
+      : p_(params), buckets_(1) {}
+
+  // Sizes one accumulation bucket per channel. Call before any accounting;
+  // resets every bucket and the cursor.
+  void configure_channels(unsigned channels);
+  // Selects the bucket subsequent on_read/on_write/on_refresh/add_pulses
+  // calls charge. No-op cheap; called once per planned access.
+  void select_channel(unsigned channel) { cur_ = channel; }
 
   // Demand accesses program/read `bits` array bits.
   void on_read(std::uint64_t bits);
@@ -39,20 +56,32 @@ class EnergyCounters {
   // Exact-pulse interface for callers that know the real counts (PageCodec).
   void add_pulses(std::uint64_t set_pulses, std::uint64_t reset_pulses);
 
-  double total_pj() const { return read_pj_ + write_pj_ + refresh_pj_; }
-  double read_pj() const { return read_pj_; }
-  double write_pj() const { return write_pj_; }
-  double refresh_pj() const { return refresh_pj_; }
-  std::uint64_t set_pulses() const { return set_pulses_; }
-  std::uint64_t reset_pulses() const { return reset_pulses_; }
+  // Folds the per-channel buckets in channel order (see header comment).
+  double total_pj() const { return read_pj() + write_pj() + refresh_pj(); }
+  double read_pj() const;
+  double write_pj() const;
+  double refresh_pj() const;
+  std::uint64_t set_pulses() const;
+  std::uint64_t reset_pulses() const;
+
+  // Adds `o`'s buckets element-wise into this instance's (bucket counts
+  // must match). Used to fold per-channel architecture replicas back into
+  // one set of books after a sharded run; replica c only ever charged
+  // bucket c, so the merged buckets equal the serial run's exactly.
+  void merge_from(const EnergyCounters& o);
 
  private:
+  struct Bucket {
+    double read_pj = 0;
+    double write_pj = 0;
+    double refresh_pj = 0;
+    std::uint64_t set_pulses = 0;
+    std::uint64_t reset_pulses = 0;
+  };
+
   EnergyParams p_;
-  double read_pj_ = 0;
-  double write_pj_ = 0;
-  double refresh_pj_ = 0;
-  std::uint64_t set_pulses_ = 0;
-  std::uint64_t reset_pulses_ = 0;
+  std::vector<Bucket> buckets_;
+  unsigned cur_ = 0;
 };
 
 }  // namespace wompcm

@@ -44,8 +44,11 @@ bool FaultConfig::valid(std::string* why) const {
   return true;
 }
 
-FaultModel::FaultModel(const FaultConfig& cfg, unsigned lines_per_row)
-    : cfg_(cfg), lines_(lines_per_row == 0 ? 1 : lines_per_row) {
+FaultModel::FaultModel(const FaultConfig& cfg, unsigned lines_per_row,
+                       unsigned channels)
+    : cfg_(cfg),
+      lines_(lines_per_row == 0 ? 1 : lines_per_row),
+      events_(channels == 0 ? 1 : channels, 0) {
   state_.reserve(1 << 12);
 }
 
@@ -85,15 +88,26 @@ FaultModel::Observation FaultModel::observe_write(RowKey row, unsigned line,
   return obs;
 }
 
-unsigned FaultModel::retry_draw() {
-  const std::uint64_t h = mix64(cfg_.seed ^ mix64(++events_ ^ kEventDomain));
-  return 1 + static_cast<unsigned>(h % cfg_.max_retries);
+std::uint64_t FaultModel::next_event_hash(unsigned channel) {
+  // Per-channel event streams: the channel index is folded into the domain
+  // tag above the 32-bit "evnt" constant, so streams never collide and
+  // channel 0's stream is bit-for-bit the legacy global one. Keying the
+  // draw by (channel, per-channel count) instead of one global count makes
+  // it independent of how the channels' issue streams interleave — the
+  // property the sharded runner's bit-identity rests on.
+  const std::uint64_t domain =
+      kEventDomain + (static_cast<std::uint64_t>(channel) << 32);
+  return mix64(cfg_.seed ^ mix64(++events_[channel] ^ domain));
 }
 
-bool FaultModel::read_disturbed() {
+unsigned FaultModel::retry_draw(unsigned channel) {
+  return 1 + static_cast<unsigned>(next_event_hash(channel) %
+                                   cfg_.max_retries);
+}
+
+bool FaultModel::read_disturbed(unsigned channel) {
   if (cfg_.read_disturb <= 0.0) return false;
-  const std::uint64_t h = mix64(cfg_.seed ^ mix64(++events_ ^ kEventDomain));
-  return to_unit(h) <= cfg_.read_disturb;
+  return to_unit(next_event_hash(channel)) <= cfg_.read_disturb;
 }
 
 }  // namespace wompcm

@@ -19,14 +19,20 @@
 // Determinism contract: every draw is a pure function of the fault seed.
 // Per-line endurance uses a stateless hash of the line's identity, so it is
 // independent of access order; per-event draws (verify retries, transient
-// read disturb) use a sequential event counter, which is reproducible
-// because the controller's issue order is itself deterministic and
-// scan-mode invariant. Two runs with the same seed — under either scan
-// mode, or inside a jobs=N sweep — observe identical faults.
+// read disturb) use one sequential event counter *per channel*, which is
+// reproducible because each channel controller's issue order is itself
+// deterministic and scan-mode invariant. Keying the stream by channel —
+// rather than one global counter — is what makes the draws independent of
+// cross-channel interleaving, so a sharded run (each channel on its own
+// worker) observes exactly the faults the serial event loop does. Channel
+// 0's stream is the legacy global stream, so single-channel runs are
+// unchanged. Two runs with the same seed — under either scan mode, at any
+// jobs count, or inside a jobs=N sweep — observe identical faults.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/flat_map.h"
 #include "common/types.h"
@@ -71,7 +77,11 @@ class FaultModel {
     bool transitioned = false;  // state advanced on this observation
   };
 
-  FaultModel(const FaultConfig& cfg, unsigned lines_per_row);
+  // `channels` sizes the per-channel event-draw streams (see the
+  // determinism contract above); callers drawing without a channel use
+  // stream 0, which is the legacy global stream.
+  FaultModel(const FaultConfig& cfg, unsigned lines_per_row,
+             unsigned channels = 1);
 
   // Deterministic per-line endurance budget (pulses per cell): a pure
   // function of (seed, row, line), independent of access order.
@@ -84,11 +94,12 @@ class FaultModel {
                             bool pre_aged);
 
   // Verify retries consumed by a write to a degraded line, in
-  // [1, max_retries]. Sequential-event draw.
-  unsigned retry_draw();
+  // [1, max_retries]. Sequential-event draw on `channel`'s stream.
+  unsigned retry_draw(unsigned channel = 0);
 
-  // One transient read-disturb Bernoulli draw. Sequential-event draw.
-  bool read_disturbed();
+  // One transient read-disturb Bernoulli draw. Sequential-event draw on
+  // `channel`'s stream.
+  bool read_disturbed(unsigned channel = 0);
 
   const FaultConfig& config() const { return cfg_; }
 
@@ -98,11 +109,12 @@ class FaultModel {
   }
   LineState classify(RowKey row, unsigned line, double wear,
                      bool pre_aged) const;
+  std::uint64_t next_event_hash(unsigned channel);
 
   FaultConfig cfg_;
   unsigned lines_;
   FlatMap64<std::uint8_t> state_;  // line key -> last recorded LineState
-  std::uint64_t events_ = 0;       // sequential per-event draw counter
+  std::vector<std::uint64_t> events_;  // per-channel event-draw counters
 };
 
 }  // namespace wompcm

@@ -5,7 +5,8 @@
 
 #include "common/thread_pool.h"
 #include "sim/parallel_sweep.h"
-#include "trace/file_source.h"
+#include "sim/sharded.h"
+#include "trace/binary_source.h"
 #include "trace/synthetic.h"
 
 namespace wompcm {
@@ -66,7 +67,9 @@ std::unique_ptr<TraceSource> TraceSpec::open(const MemoryGeometry& geom,
                                                     accesses_);
     }
     case Kind::kFile:
-      return std::make_unique<FileTraceSource>(name_);
+      // Format-dispatching: binary traces get the zero-copy mmap reader,
+      // text traces the buffered parser (trace/binary_source.h).
+      return open_trace(name_);
   }
   throw std::invalid_argument("run: bad TraceSpec kind");
 }
@@ -107,6 +110,11 @@ SimResult run(const RunRequest& req) {
   }
   const std::unique_ptr<TraceSource> trace =
       req.trace.open(cfg.geom, req.options.seed);
+  // Serial-fallback rule (see RunOptions::jobs): shard only on an explicit
+  // jobs > 1 with a multi-channel geometry; results are bit-identical.
+  if (req.options.jobs.jobs > 1 && cfg.geom.channels > 1) {
+    return run_single_sharded(cfg, *trace, req.options.jobs.jobs);
+  }
   Simulator sim(cfg);
   return sim.run(*trace);
 }

@@ -95,7 +95,14 @@ struct RunOptions {
   // Scheduler scan mode override (indexed/reference are bit-identical; the
   // override exists for cross-checking exactly that).
   std::optional<ScanMode> scan_mode;
-  // Worker policy for run_sweep(); single runs ignore it.
+  // Worker policy, for both run_sweep() (cell distribution) and single
+  // runs (channel sharding, sim/sharded.h). Serial-fallback rule: a single
+  // run shards only when jobs is explicitly > 1 AND the config has more
+  // than one channel; jobs = 1, jobs = 0 ("automatic"), or a one-channel
+  // geometry take the exact legacy serial path. Automatic stays serial on
+  // purpose: run() is also called per cell inside parallel sweeps, and
+  // auto-sharding there would nest channel workers inside sweep workers.
+  // Sharded and serial results are bit-identical either way.
   ParallelPolicy jobs{};
   // Base trace seed (mixed per benchmark, see TraceSpec::mixed_seed).
   std::uint64_t seed = 42;

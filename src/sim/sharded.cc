@@ -1,0 +1,327 @@
+#include "sim/sharded.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/event_queue.h"
+#include "common/perf.h"
+#include "common/thread_pool.h"
+#include "controller/controller.h"
+
+namespace wompcm {
+
+namespace {
+
+inline void cpu_pause() {
+#if defined(__x86_64__)
+  __builtin_ia32_pause();
+#else
+  std::this_thread::yield();
+#endif
+}
+
+// One channel's shard: a private controller, architecture replica, and
+// stats sink. Replica c only ever services channel c, so the lanes share
+// no mutable state — the barrier below is the only synchronization.
+struct Lane {
+  std::unique_ptr<Architecture> arch;
+  SimStats stats;
+  std::unique_ptr<MemoryController> ctl;
+};
+
+// The gang barrier. A round is: coordinator publishes `now` and bumps
+// `epoch` (release); each worker acquires the bump, steps its due lanes,
+// and bumps `done` (release); the coordinator spins on `done` (acquire).
+// Those two edges carry every lane-state handoff: anything an executor
+// wrote to a lane before its release is visible to whichever executor
+// touches that lane after the matching acquire — which is also why the
+// coordinator may step a worker-owned lane inline between rounds.
+struct Barrier {
+  std::atomic<std::uint64_t> epoch{0};
+  std::atomic<unsigned> done{0};
+  std::atomic<Tick> now{0};
+  std::atomic<bool> stop{false};
+};
+
+// Adaptive wait for the next round: spin briefly (instants are usually
+// microseconds apart), then yield, then sleep with a capped backoff so an
+// idle worker costs nothing while the coordinator runs inline fast-paths.
+// Yielding early matters on oversubscribed machines (including a
+// single-core host): the peer the waiter depends on may need this very
+// CPU, and a full quantum of pure spinning would serialize every round at
+// scheduler-tick granularity.
+void wait_for_epoch(const Barrier& bar, std::uint64_t seen) {
+  unsigned spins = 0;
+  std::uint32_t sleep_us = 1;
+  while (bar.epoch.load(std::memory_order_acquire) == seen) {
+    ++spins;
+    if (spins < 128) {
+      cpu_pause();
+    } else if (spins < 1024) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
+      sleep_us = std::min<std::uint32_t>(sleep_us * 2, 100);
+    }
+  }
+}
+
+// The coordinator's end-of-round wait: same spin-then-yield shape, but no
+// sleep backoff — workers finish a round in bounded time, and the
+// coordinator is on the critical path of every round.
+void wait_for_done(const Barrier& bar, unsigned workers) {
+  unsigned spins = 0;
+  while (bar.done.load(std::memory_order_acquire) != workers) {
+    if (++spins < 128) {
+      cpu_pause();
+    } else {
+      std::this_thread::yield();
+    }
+  }
+}
+
+}  // namespace
+
+SimResult run_single_sharded(const SimConfig& cfg, TraceSource& trace,
+                             unsigned jobs) {
+  const unsigned channels = cfg.geom.channels;
+  if (jobs < 2 || channels < 2) {
+    throw std::invalid_argument(
+        "run_single_sharded: needs jobs >= 2 and channels >= 2 (callers "
+        "fall back to the serial path otherwise)");
+  }
+  const unsigned executors = std::min(jobs, channels);
+  const bool dispatch_all = cfg.sched.scan_mode == ScanMode::kReference;
+
+  // Build the lanes: per-channel replicas of the architecture, each wired
+  // to a controller scoped to exactly that channel. Lane c's replica sees
+  // only channel c's accesses, and every stochastic or order-sensitive
+  // accounting stream is keyed per channel, so the union of the lanes'
+  // books equals the one shared instance the serial run keeps.
+  std::vector<std::unique_ptr<Lane>> lanes;
+  lanes.reserve(channels);
+  for (unsigned c = 0; c < channels; ++c) {
+    auto lane = std::make_unique<Lane>();
+    lane->arch = make_architecture(cfg.arch, cfg.geom, cfg.timing, cfg.fault);
+    ControllerConfig ccfg;
+    ccfg.geom = cfg.geom;
+    ccfg.timing = cfg.timing;
+    ccfg.sched = cfg.sched;
+    ccfg.refresh = cfg.refresh;
+    ccfg.row_policy = cfg.row_policy;
+    ccfg.channel = c;
+    ccfg.queue_capacity = cfg.queue_capacity;
+    ccfg.read_forwarding = cfg.read_forwarding;
+    lane->ctl =
+        std::make_unique<MemoryController>(ccfg, *lane->arch, lane->stats);
+    lanes.push_back(std::move(lane));
+  }
+
+  // Lane c belongs to executor c % executors; the coordinator (this
+  // thread) is executor 0, workers are 1..executors-1.
+  Barrier bar;
+  const unsigned workers = executors - 1;
+  ThreadPool pool(workers);
+  std::vector<std::future<std::uint64_t>> worker_codec;
+  worker_codec.reserve(workers);
+  for (unsigned w = 1; w <= workers; ++w) {
+    std::vector<MemoryController*> mine;
+    for (unsigned c = w; c < channels; c += executors) {
+      mine.push_back(lanes[c]->ctl.get());
+    }
+    worker_codec.push_back(pool.submit([&bar, dispatch_all,
+                                        mine = std::move(mine)]() {
+      // Report the codec time this worker's shards accumulate (it lands in
+      // the pool thread's thread-local counter, invisible to the caller).
+      const std::uint64_t codec_start = perf::codec_ns();
+      std::uint64_t seen = 0;
+      for (;;) {
+        wait_for_epoch(bar, seen);
+        ++seen;
+        if (bar.stop.load(std::memory_order_acquire)) break;
+        const Tick now = bar.now.load(std::memory_order_relaxed);
+        for (MemoryController* ctl : mine) {
+          if (dispatch_all || ctl->pending_event() <= now) ctl->tick(now);
+        }
+        bar.done.fetch_add(1, std::memory_order_release);
+      }
+      return perf::codec_ns() - codec_start;
+    }));
+  }
+
+  SimResult result;
+  result.arch_name = lanes[0]->arch->name();
+  AddressMapper mapper(cfg.geom);
+
+  Clock clock;
+  Tick trace_clock = 0;
+  std::uint64_t next_id = 1;
+  const std::uint64_t warmup = cfg.warmup_accesses.value_or(0);
+  std::optional<Transaction> pending;
+
+  std::uint64_t injected_reads = 0;
+  std::uint64_t injected_writes = 0;
+  std::vector<std::uint64_t> deferred(channels, 0);
+
+  std::uint64_t trace_gen_ticks = 0;
+  const std::uint64_t codec_ns_start = perf::codec_ns();
+  const std::uint64_t loop_start_ns = perf::now_ns();
+
+  // Identical to the serial fetch (sim/simulator.cc): the trace is read,
+  // decoded, and numbered on the coordinator, in trace order.
+  auto fetch = [&]() -> std::optional<Transaction> {
+    const std::uint64_t t0 = perf::now_ticks();
+    const auto rec = trace.next();
+    if (!rec) {
+      trace_gen_ticks += perf::now_ticks() - t0;
+      return std::nullopt;
+    }
+    trace_clock += rec->gap;
+    Transaction tx;
+    tx.id = next_id++;
+    tx.addr = rec->addr;
+    tx.dec = mapper.decode(rec->addr);
+    tx.type = rec->type;
+    tx.arrival = trace_clock;
+    tx.record = tx.id > warmup;
+    trace_gen_ticks += perf::now_ticks() - t0;
+    return tx;
+  };
+
+  auto drained = [&]() {
+    for (const auto& lane : lanes) {
+      if (!lane->ctl->drained()) return false;
+    }
+    return true;
+  };
+  auto next_event_after = [&](Tick now) {
+    Tick t = kNeverTick;
+    for (const auto& lane : lanes) {
+      t = earliest(t, lane->ctl->next_event_after(now));
+    }
+    return t;
+  };
+
+  pending = fetch();
+
+  // The serial event loop, verbatim, with the tick fanned out. The clock
+  // advance and the injection while-loop are byte-for-byte the serial
+  // ones, so the (instant, arrivals, due-lanes) sequence matches exactly.
+  while (pending.has_value() || !drained()) {
+    Tick t_arrival = kNeverTick;
+    if (pending.has_value() && lanes[pending->dec.channel]->ctl->can_accept()) {
+      t_arrival = std::max(pending->arrival, clock.now());
+    }
+    if (!clock.advance({t_arrival, next_event_after(clock.now())})) {
+      break;  // quiescent: nothing can ever happen
+    }
+    const Tick now = clock.now();
+
+    while (pending.has_value() &&
+           lanes[pending->dec.channel]->ctl->can_accept() &&
+           pending->arrival <= now) {
+      Transaction tx = *pending;
+      if (tx.arrival < now) {
+        ++deferred[tx.dec.channel];
+        tx.arrival = now;
+      }
+      if (tx.type == AccessType::kRead) {
+        ++injected_reads;
+      } else {
+        ++injected_writes;
+      }
+      lanes[tx.dec.channel]->ctl->enqueue(tx);
+      pending = fetch();
+    }
+
+    // Step the shards due at `now`. Most instants wake a single channel:
+    // step it inline and skip the barrier round entirely (safe — every
+    // prior worker write to the lane is ordered before the coordinator's
+    // last `done` acquire, and this write before the next epoch release).
+    unsigned due = 0;
+    unsigned only_due = 0;
+    for (unsigned c = 0; c < channels; ++c) {
+      if (dispatch_all || lanes[c]->ctl->pending_event() <= now) {
+        ++due;
+        only_due = c;
+      }
+    }
+    if (due == 0) continue;
+    if (due == 1) {
+      lanes[only_due]->ctl->tick(now);
+      continue;
+    }
+    bar.now.store(now, std::memory_order_relaxed);
+    bar.done.store(0, std::memory_order_relaxed);
+    bar.epoch.fetch_add(1, std::memory_order_release);
+    for (unsigned c = 0; c < channels; c += executors) {
+      if (dispatch_all || lanes[c]->ctl->pending_event() <= now) {
+        lanes[c]->ctl->tick(now);
+      }
+    }
+    wait_for_done(bar, workers);
+  }
+
+  // Retire the workers and collect the codec time their shards spent.
+  bar.stop.store(true, std::memory_order_release);
+  bar.epoch.fetch_add(1, std::memory_order_release);
+  std::uint64_t worker_codec_ns = 0;
+  for (auto& f : worker_codec) worker_codec_ns += f.get();
+
+  result.phases.total_ns = perf::now_ns() - loop_start_ns;
+  result.phases.trace_gen_ns = perf::ticks_to_ns(trace_gen_ticks);
+  result.phases.codec_ns =
+      (perf::codec_ns() - codec_ns_start) + worker_codec_ns;
+  const std::uint64_t accounted =
+      result.phases.trace_gen_ns + result.phases.codec_ns;
+  result.phases.controller_ns =
+      result.phases.total_ns > accounted ? result.phases.total_ns - accounted
+                                         : 0;
+
+  // Fold the lanes back, in channel order, into the books the serial run
+  // keeps: publish the same registry entries, merge the architecture
+  // replicas into replica 0, and merge the per-lane stats sinks.
+  Tick end_time = 0;
+  for (const auto& lane : lanes) {
+    end_time = std::max(end_time, lane->ctl->last_completion());
+  }
+
+  MetricsRegistry reg;
+  reg.set_counter("sim.injected_reads", injected_reads);
+  reg.set_counter("sim.injected_writes", injected_writes);
+  std::uint64_t deferred_total = 0;
+  for (unsigned c = 0; c < channels; ++c) {
+    reg.set_counter(channel_metric(c, "deferred_injections"), deferred[c]);
+    deferred_total += deferred[c];
+  }
+  reg.set_counter("sim.deferred_injections", deferred_total);
+  reg.set_counter("sim.end_time", end_time);
+  for (const auto& lane : lanes) lane->ctl->publish_metrics(reg);
+  for (unsigned c = 1; c < channels; ++c) {
+    lanes[0]->arch->merge_accounting_from(*lanes[c]->arch);
+  }
+  lanes[0]->arch->publish_metrics(reg, end_time);
+  result.collect(reg);
+
+  for (const auto& lane : lanes) result.stats.merge_from(lane->stats);
+  result.stats.counters.merge(lanes[0]->arch->counters());
+
+  const Architecture& arch0 = *lanes[0]->arch;
+  result.banks.reserve(arch0.num_resources());
+  for (unsigned r = 0; r < arch0.num_resources(); ++r) {
+    const Bank& b = lanes[arch0.resource_channel(r)]->ctl->bank(r);
+    result.banks.push_back(SimResult::BankUtilization{
+        b.busy_time(), b.ops(), b.row_hits(), b.pauses(),
+        arch0.is_cache_resource(r)});
+  }
+  return result;
+}
+
+}  // namespace wompcm

@@ -1,0 +1,43 @@
+// Sharded single-run execution: one worker thread per channel group.
+//
+// run_single_sharded() executes one trace-driven run with each channel's
+// controller stepped on its own executor, synchronized by a deterministic
+// cross-channel time barrier:
+//
+//   1. advance all channels to the global next-event time,
+//   2. inject the arrivals due at that instant in trace order,
+//   3. step the due channel shards concurrently.
+//
+// The coordinator (the calling thread, executor 0) runs the exact serial
+// event loop of sim/Simulator — clock advance, trace fetch/decode, and
+// injection all stay serial and in trace order — so the sequence of
+// (instant, injected transactions, due channels) is identical to the
+// serial run by construction. Only step 3 fans out: each lane owns a
+// private MemoryController, Architecture replica, and SimStats sink, and
+// every cross-channel accounting stream (energy buckets, fault event
+// draws, Flip-N-Write RNGs) is already keyed per channel, so stepping the
+// shards concurrently and folding the lanes back in channel order at end
+// of run reproduces the serial books bit for bit. See DESIGN.md
+// "Sharded execution & the time barrier" for the full argument.
+//
+// Synchronization is a gang barrier over three atomics (round epoch, done
+// count, shared now); every lane-state handoff between executors rides an
+// acquire/release pair on them, so the runner is clean under TSan.
+//
+// Callers gate on jobs > 1 && channels > 1 (sim/run.h documents the
+// serial-fallback rule); with a single channel there is nothing to shard.
+#pragma once
+
+#include "sim/simulator.h"
+#include "trace/trace.h"
+
+namespace wompcm {
+
+// Runs `trace` against `cfg` with min(jobs, cfg.geom.channels) executors.
+// Results are bit-identical to Simulator(cfg).run(trace) under every scan
+// mode, composition, and fault seed. Requires jobs >= 2 and
+// cfg.geom.channels >= 2.
+SimResult run_single_sharded(const SimConfig& cfg, TraceSource& trace,
+                             unsigned jobs);
+
+}  // namespace wompcm

@@ -21,6 +21,15 @@ void CounterSet::merge(const CounterSet& o) {
   for (const auto& [k, v] : o.all()) map_[k] += v;
 }
 
+void SimStats::merge_from(const SimStats& o) {
+  demand_read_latency.merge(o.demand_read_latency);
+  demand_write_latency.merge(o.demand_write_latency);
+  internal_write_latency.merge(o.internal_write_latency);
+  read_latency_hist.merge(o.read_latency_hist);
+  write_latency_hist.merge(o.write_latency_hist);
+  counters.merge(o.counters);
+}
+
 double SimStats::read_hit_rate(const std::string& hits,
                                const std::string& misses) const {
   const auto h = counters.get(hits);

@@ -64,6 +64,14 @@ struct SimStats {
   Log2Histogram write_latency_hist;
   CounterSet counters;
 
+  // Folds another run-slice's stats into this one: per-channel SimStats
+  // sinks from a sharded run merge back (in channel order) into the one
+  // record the serial loop would have produced. Latency sums are doubles
+  // over integer tick samples, exact up to 2^53, so the fold order cannot
+  // change any reported value; counts, extrema, histogram buckets and
+  // counters are integers.
+  void merge_from(const SimStats& o);
+
   double read_hit_rate(const std::string& hits,
                        const std::string& misses) const;
 };

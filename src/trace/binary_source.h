@@ -1,0 +1,70 @@
+// Zero-copy ingestion of binary trace files.
+//
+// MmapTraceSource maps a binary-format trace (8-byte "WOMPCMT1" magic +
+// packed little-endian { u64 gap, u8 type, u64 addr } records, the same
+// format FileTraceSource reads and TraceWriter writes) straight into the
+// address space and decodes records in place: no read syscalls, no buffer
+// copies, no refill bookkeeping on the fetch path. On multi-gigabyte
+// recorded traces this removes the dominant trace_gen cost and lets the
+// page cache serve repeated runs of the same trace.
+//
+// On non-POSIX hosts (no <sys/mman.h>) the constructor falls back to
+// reading the whole file into memory once; the decode path is identical.
+//
+// open_trace() is the format-dispatching entry point: binary files get
+// the mmap reader, text files the buffered parser. TraceSpec::file() goes
+// through it, so recorded-trace runs pick the fast path automatically.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace wompcm {
+
+// True when `path` starts with the binary trace magic. Throws
+// std::runtime_error if the file cannot be opened.
+bool is_binary_trace(const std::string& path);
+
+class MmapTraceSource final : public TraceSource {
+ public:
+  // Maps (or, on the fallback path, loads) the file. Throws
+  // std::runtime_error when the file cannot be opened, is not a binary
+  // trace, or ends mid-record.
+  explicit MmapTraceSource(const std::string& path);
+  ~MmapTraceSource() override;
+
+  MmapTraceSource(const MmapTraceSource&) = delete;
+  MmapTraceSource& operator=(const MmapTraceSource&) = delete;
+
+  std::optional<TraceRecord> next() override;
+
+  // Total records in the file (known up front, unlike the stream reader).
+  std::uint64_t records() const { return records_; }
+  // True when the file is memory-mapped, false on the read-whole-file
+  // fallback.
+  bool mapped() const { return mapped_; }
+
+  // Restarts the trace from the first record (multi-pass drivers).
+  void rewind() { pos_ = 0; }
+
+ private:
+  const std::uint8_t* base_ = nullptr;  // first record (past the magic)
+  std::uint64_t records_ = 0;
+  std::uint64_t pos_ = 0;  // next record index
+  bool mapped_ = false;
+  void* map_addr_ = nullptr;  // mmap base (page-aligned), when mapped_
+  std::size_t map_len_ = 0;
+  std::vector<std::uint8_t> fallback_;  // file contents, when !mapped_
+};
+
+// Opens a trace file with the right reader for its format: MmapTraceSource
+// for binary traces, FileTraceSource for text. Throws std::runtime_error
+// on an unreadable file.
+std::unique_ptr<TraceSource> open_trace(const std::string& path);
+
+}  // namespace wompcm
