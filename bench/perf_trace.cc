@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/config.h"
+#include "common/thread_pool.h"
 #include "sim/experiment.h"
 
 namespace {
@@ -114,10 +115,20 @@ int main(int argc, char** argv) {
     baseline_json = ss.str();
   }
 
+  // This bench is single-threaded, but a one-thread host still means the
+  // wall-clock shares its core with everything else on the machine: flag
+  // the numbers rather than let a trend chart silently mix them in.
+  const unsigned hw = ThreadPool::hardware_workers();
+  const bool degraded = hw == 1;
+
   std::printf("perf_trace: %llu accesses of %s per platform, seed %llu, "
               "best of %d\n\n",
               static_cast<unsigned long long>(accesses), profile_name.c_str(),
               static_cast<unsigned long long>(seed), repeats);
+  if (degraded) {
+    std::printf("WARNING: single hardware thread: wall-clock contends with "
+                "the rest of the host (degraded environment)\n\n");
+  }
 
   std::vector<std::pair<std::string, RunSample>> rows;
   for (const Platform& p : platforms()) {
@@ -159,6 +170,9 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(seed));
   std::fprintf(f, "  \"profile\": \"%s\",\n", profile_name.c_str());
   std::fprintf(f, "  \"repeats\": %d,\n", repeats);
+  std::fprintf(f, "  \"hardware_threads\": %u,\n", hw);
+  std::fprintf(f, "  \"degraded_environment\": %s,\n",
+               degraded ? "true" : "false");
   std::fprintf(f, "  \"runs\": {\n");
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const auto& [name, s] = rows[i];

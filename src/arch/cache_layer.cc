@@ -6,26 +6,37 @@ CacheLayer::CacheLayer(const MemoryGeometry& geom,
                        std::unique_ptr<CodingPolicy> coding)
     : ranks_(geom.ranks),
       rows_per_bank_(geom.rows_per_bank),
-      coding_(std::move(coding)),
-      tags_(geom.channels * geom.ranks,
-            std::vector<TagEntry>(geom.rows_per_bank)) {}
+      lines_per_row_(geom.lines_per_row()),
+      coding_(std::move(coding)) {
+  const unsigned arrays = geom.channels * geom.ranks;
+  tags_.reserve(arrays);
+  for (unsigned i = 0; i < arrays; ++i) {
+    tags_.emplace_back(
+        geom.rows_per_bank, /*ways=*/1,
+        make_replacement_policy(ReplacementKind::kBankTag, geom.rows_per_bank,
+                                /*ways=*/1, /*seed=*/0));
+  }
+  lines_.assign(arrays, std::vector<LineBits>(geom.rows_per_bank));
+}
 
 bool CacheLayer::probe_read_hit(const DecodedAddr& dec) const {
-  const TagEntry& e = tags_[index(dec.channel, dec.rank)][dec.row];
-  return e.valid && e.bank == dec.bank && get_line(e, dec.col);
+  const unsigned ci = index(dec.channel, dec.rank);
+  return tags_[ci].valid(dec.row, 0) &&
+         tags_[ci].tag(dec.row, 0) == dec.bank &&
+         line_set(ci, dec.row, dec.col);
 }
 
-void CacheLayer::set_line(TagEntry& e, unsigned line,
-                          unsigned lines_per_row) {
-  if (e.line_valid.empty()) {
-    e.line_valid.assign((lines_per_row + 63) / 64, 0);
+void CacheLayer::install(unsigned cache_idx, unsigned row, unsigned bank,
+                         unsigned line) {
+  TagArray& t = tags_[cache_idx];
+  if (t.valid(row, 0) && t.tag(row, 0) == bank) {
+    t.touch(row, 0);
+  } else {
+    t.install(row, 0, bank);
   }
-  e.line_valid[line / 64] |= std::uint64_t{1} << (line % 64);
-}
-
-bool CacheLayer::get_line(const TagEntry& e, unsigned line) {
-  if (e.line_valid.empty()) return false;
-  return (e.line_valid[line / 64] >> (line % 64)) & 1;
+  LineBits& bits = lines_[cache_idx][row];
+  if (bits.empty()) bits.assign((lines_per_row_ + 63) / 64, 0);
+  bits[line / 64] |= std::uint64_t{1} << (line % 64);
 }
 
 }  // namespace wompcm

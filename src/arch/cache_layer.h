@@ -2,10 +2,14 @@
 // array per rank, N_bank-way associative by bank address, with per-line
 // valid bits and a dead-row set for rows retired by the fault model.
 //
-// The layer owns the cache's tag/validity bookkeeping and its CodingPolicy;
-// the access protocol (victim spawning, bypass, fault pipeline, refresh
-// scheduling) lives in ComposedArchitecture, which drives both this layer
-// and the backing main region's policy.
+// Tag/valid/victim bookkeeping lives in a TagArray per (channel, rank) —
+// 1-way sets indexed by row, tagged by bank, under the bank_tag
+// ReplacementPolicy — so the WOM cache is one point in the same tag-array
+// design space as the DRAM front tier. The layer additionally owns the
+// per-line valid bitmaps (the cache row only holds the lines written since
+// the install) and the cache's CodingPolicy; the access protocol (victim
+// spawning, bypass, fault pipeline, refresh scheduling) stays in
+// ComposedArchitecture.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +17,7 @@
 #include <vector>
 
 #include "arch/coding_policy.h"
+#include "arch/tag_array.h"
 #include "common/address.h"
 #include "common/flat_map.h"
 
@@ -20,15 +25,6 @@ namespace wompcm {
 
 class CacheLayer final {
  public:
-  struct TagEntry {
-    bool valid = false;
-    unsigned bank = 0;
-    // Per-line dirty/valid bits: the cache row only holds the lines written
-    // since this bank's row was installed; reads of other lines are served
-    // by PCM main memory (whose copy of those lines is still current).
-    std::vector<std::uint64_t> line_valid;
-  };
-
   CacheLayer(const MemoryGeometry& geom, std::unique_ptr<CodingPolicy> coding);
 
   CodingPolicy& coding() { return *coding_; }
@@ -39,17 +35,40 @@ class CacheLayer final {
     return channel * ranks_ + rank;
   }
 
-  TagEntry& entry(unsigned cache_idx, unsigned row) {
-    return tags_[cache_idx][row];
+  // Tag state of the single way of row-set `row` in array `cache_idx`.
+  bool valid(unsigned cache_idx, unsigned row) const {
+    return tags_[cache_idx].valid(row, 0);
+  }
+  unsigned installed_bank(unsigned cache_idx, unsigned row) const {
+    return static_cast<unsigned>(tags_[cache_idx].tag(row, 0));
+  }
+
+  bool line_set(unsigned cache_idx, unsigned row, unsigned line) const {
+    const LineBits& bits = lines_[cache_idx][row];
+    if (bits.empty()) return false;
+    return (bits[line / 64] >> (line % 64)) & 1;
   }
 
   // A read hits only if this bank's row is installed AND the requested line
   // was written since the install; other lines of the row are still current
-  // in main memory.
+  // in main memory (whose copy of those lines is still current).
   bool probe_read_hit(const DecodedAddr& dec) const;
 
-  static void set_line(TagEntry& e, unsigned line, unsigned lines_per_row);
-  static bool get_line(const TagEntry& e, unsigned line);
+  // Eviction flushed the previous occupant's lines; the tag itself is
+  // rewritten by the install() that follows the fault pipeline.
+  void evict_lines(unsigned cache_idx, unsigned row) {
+    lines_[cache_idx][row].clear();
+  }
+
+  // Dead-row retirement: drop the occupant outright.
+  void invalidate(unsigned cache_idx, unsigned row) {
+    tags_[cache_idx].invalidate(row, 0);
+    lines_[cache_idx][row].clear();
+  }
+
+  // Commit a write of `line`: (re)install `bank` as the row's occupant and
+  // mark the line valid.
+  void install(unsigned cache_idx, unsigned row, unsigned bank, unsigned line);
 
   // Tracker key of a cache row — local to the cache arrays (the wear/fault
   // key space is the owning architecture's row_key_for, disjoint from this).
@@ -73,11 +92,16 @@ class CacheLayer final {
   void note_route_change() { ++route_version_; }
 
  private:
+  using LineBits = std::vector<std::uint64_t>;
+
   unsigned ranks_;
   unsigned rows_per_bank_;
+  unsigned lines_per_row_;
   std::unique_ptr<CodingPolicy> coding_;
-  // tags_[cache_index][row]
-  std::vector<std::vector<TagEntry>> tags_;
+  // One 1-way bank_tag TagArray per (channel, rank) cache array, with the
+  // per-line valid bitmaps as the slot-parallel payload (slot == row).
+  std::vector<TagArray> tags_;
+  std::vector<std::vector<LineBits>> lines_;
   std::uint64_t route_version_ = 0;
   // Keyed like row_key; only ever populated while faults are enabled.
   FlatMap64<std::uint8_t> dead_rows_;

@@ -142,12 +142,14 @@ IssuePlan ComposedArchitecture::plan_cache_write(const DecodedAddr& dec,
     bump(ctr_bypass_writes_, "wcpcm.bypass_writes");
     return p;
   }
-  CacheLayer::TagEntry& e = cache_->entry(ci, dec.row);
-  const bool hit = !e.valid || e.bank == dec.bank;
+  const bool occupied = cache_->valid(ci, dec.row);
+  const unsigned occupant = cache_->installed_bank(ci, dec.row);
+  const bool hit = !occupied || occupant == dec.bank;
   // The mutations below change some queued read's probe outcome exactly
   // when the entry is installed, re-banked, or gains a new valid line; a
   // re-write of an already-valid line leaves every probe unchanged.
-  if (!e.valid || e.bank != dec.bank || !CacheLayer::get_line(e, dec.col)) {
+  if (!occupied || occupant != dec.bank ||
+      !cache_->line_set(ci, dec.row, dec.col)) {
     cache_->note_route_change();
   }
   if (hit) {
@@ -159,10 +161,10 @@ IssuePlan ComposedArchitecture::plan_cache_write(const DecodedAddr& dec,
     // written line valid.
     p.pre_ns += timing_.row_read_ns;
     DecodedAddr victim = dec;
-    victim.bank = e.bank;
+    victim.bank = occupant;
     p.spawned.push_back(SpawnedWrite{victim});
     bump(ctr_victims_, "wcpcm.victims");
-    e.line_valid.clear();
+    cache_->evict_lines(ci, dec.row);
   }
   const std::uint64_t track_key = cache_->row_key(ci, dec.row);
   CodingPolicy& coding = cache_->coding();
@@ -183,8 +185,7 @@ IssuePlan ComposedArchitecture::plan_cache_write(const DecodedAddr& dec,
     // is invalidated outright and the demand line re-queued to main. The
     // dead set makes every later write bypass before touching the tags.
     cache_->note_route_change();  // invalidation can flip a queued probe
-    e.valid = false;
-    e.line_valid.clear();
+    cache_->invalidate(ci, dec.row);
     cache_->mark_dead(ci, dec.row);
     bump(ctr_dead_rows_, "wcpcm.dead_rows");
     p.spawned.push_back(SpawnedWrite{dec});
@@ -192,9 +193,7 @@ IssuePlan ComposedArchitecture::plan_cache_write(const DecodedAddr& dec,
     return p;
   }
   if (at_limit && cache_rat_ != nullptr) cache_rat_->touch(ci, dec.row);
-  e.valid = true;
-  e.bank = dec.bank;
-  CacheLayer::set_line(e, dec.col, geom_.lines_per_row());
+  cache_->install(ci, dec.row, dec.bank, dec.col);
   return p;
 }
 

@@ -1,0 +1,138 @@
+// Generic set-associative tag state with pluggable replacement.
+//
+// A TagArray owns only the tag/valid/dirty bookkeeping of sets x ways
+// frames; payloads live with the caller, keyed by the dense frame index
+// slot(set, way). Victim selection is delegated to a ReplacementPolicy so
+// the same array serves both the paper's N_bank-way bank-tag WOM cache
+// (bank_tag: a 1-way array whose "policy" is the direct-mapped occupant)
+// and the DRAM-timing front tier (lru / fifo / random).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace wompcm {
+
+// Replacement schemes a TagArray can be built with. kBankTag is the WOM
+// cache's legacy scheme: one way per set, the set index is the row and the
+// tag is the bank, so "replacement" is simply overwriting the occupant.
+enum class ReplacementKind : std::uint8_t {
+  kBankTag,
+  kLru,
+  kFifo,
+  kRandom,
+};
+
+const char* to_string(ReplacementKind kind);
+bool replacement_kind_from_string(const std::string& s, ReplacementKind* out);
+
+// Victim-selection strategy for one TagArray. Implementations keep only
+// recency/order metadata; validity and tags stay in the TagArray, which
+// always prefers an invalid way before consulting victim().
+class ReplacementPolicy {
+ public:
+  virtual ~ReplacementPolicy() = default;
+  virtual const char* name() const = 0;
+  // A lookup hit on (set, way).
+  virtual void touch(unsigned set, unsigned way) = 0;
+  // A fill installed a new tag into (set, way).
+  virtual void install(unsigned set, unsigned way) = 0;
+  // The way to evict from a full set. May mutate internal state (the
+  // random policy draws from its RNG), so calls must be deterministic in
+  // program order.
+  virtual unsigned victim(unsigned set) = 0;
+  // (set, way) was invalidated; it will be preferred for the next fill.
+  virtual void invalidate(unsigned set, unsigned way) = 0;
+};
+
+// The seed only matters for kRandom; other kinds ignore it.
+std::unique_ptr<ReplacementPolicy> make_replacement_policy(
+    ReplacementKind kind, unsigned sets, unsigned ways, std::uint64_t seed);
+
+class TagArray final {
+ public:
+  static constexpr unsigned kNoWay = ~0u;
+
+  TagArray(unsigned sets, unsigned ways,
+           std::unique_ptr<ReplacementPolicy> repl);
+
+  unsigned sets() const { return sets_; }
+  unsigned ways() const { return ways_; }
+  const ReplacementPolicy& policy() const { return *repl_; }
+
+  // Dense frame index for caller-side payload vectors.
+  unsigned slot(unsigned set, unsigned way) const { return set * ways_ + way; }
+
+  // Pure probe: the way holding `tag` in `set`, or kNoWay. Does not touch
+  // replacement state — pair with touch() when the probe is a real access.
+  unsigned lookup(unsigned set, std::uint64_t tag) const {
+    const WayState* base = &frames_[static_cast<std::size_t>(set) * ways_];
+    for (unsigned w = 0; w < ways_; ++w) {
+      if (base[w].valid && base[w].tag == tag) return w;
+    }
+    return kNoWay;
+  }
+
+  bool valid(unsigned set, unsigned way) const {
+    return frame(set, way).valid;
+  }
+  std::uint64_t tag(unsigned set, unsigned way) const {
+    return frame(set, way).tag;
+  }
+  bool dirty(unsigned set, unsigned way) const {
+    return frame(set, way).dirty;
+  }
+  void set_dirty(unsigned set, unsigned way, bool dirty) {
+    frame(set, way).dirty = dirty;
+  }
+
+  // The way a fill into `set` will use: the first invalid way if any,
+  // otherwise the policy's victim. Does not mutate tag state (the policy
+  // may advance its RNG); follow with install() once the fill commits.
+  unsigned fill_way(unsigned set);
+
+  // Record a hit on (set, way) with the policy.
+  void touch(unsigned set, unsigned way) { repl_->touch(set, way); }
+
+  // Install `tag` into (set, way), clobbering any previous occupant.
+  void install(unsigned set, unsigned way, std::uint64_t tag) {
+    WayState& f = frame(set, way);
+    f.valid = true;
+    f.tag = tag;
+    f.dirty = false;
+    repl_->install(set, way);
+  }
+
+  void invalidate(unsigned set, unsigned way) {
+    WayState& f = frame(set, way);
+    f.valid = false;
+    f.dirty = false;
+    repl_->invalidate(set, way);
+  }
+
+ private:
+  struct WayState {
+    std::uint64_t tag = 0;
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  WayState& frame(unsigned set, unsigned way) {
+    assert(set < sets_ && way < ways_);
+    return frames_[static_cast<std::size_t>(set) * ways_ + way];
+  }
+  const WayState& frame(unsigned set, unsigned way) const {
+    assert(set < sets_ && way < ways_);
+    return frames_[static_cast<std::size_t>(set) * ways_ + way];
+  }
+
+  unsigned sets_;
+  unsigned ways_;
+  std::unique_ptr<ReplacementPolicy> repl_;
+  std::vector<WayState> frames_;
+};
+
+}  // namespace wompcm

@@ -65,6 +65,10 @@ MemoryController::MemoryController(const ControllerConfig& cfg,
   };
 
   if (refresh_active_) push_event(refresh_.next_check());
+
+  if (cfg_.tier.enabled) {
+    tier_ = std::make_unique<TierFront>(cfg_.tier, cfg_.geom, cfg_.channel);
+  }
 }
 
 bool MemoryController::can_accept() const {
@@ -86,6 +90,41 @@ void MemoryController::enqueue(Transaction tx) {
     push_event(tx.arrival);
     if (bus_free_ > tx.arrival) push_event(bus_free_);
     return;
+  }
+  if (tx.background) {
+    // Tier writeback: demand-routed (it traverses a composed WOM cache on
+    // its way into PCM) but queued with the background write-backs so it
+    // never starves demand traffic.
+    internal_q_.push(tx, local_resource(arch_.route(tx.dec, tx.type, false)));
+    note_queue_depth();
+    push_event(tx.arrival);
+    if (bus_free_ > tx.arrival) push_event(bus_free_);
+    return;
+  }
+  if (tier_ != nullptr) {
+    // The DRAM front tier sits ahead of the PCM queues: a hit completes at
+    // DRAM latency without consuming a queue slot (the same
+    // complete-at-enqueue shape as read forwarding below); a miss falls
+    // through to the PCM path. Either may evict a dirty line into a
+    // background writeback.
+    const TierFront::Result r = tx.type == AccessType::kRead
+                                    ? tier_->on_read(tx.dec, tx.arrival)
+                                    : tier_->on_write(tx.dec, tx.arrival);
+    if (r.writeback) enqueue_tier_writeback(r.victim, tx.arrival, tx.record);
+    if (r.absorbed) {
+      const Tick latency = r.done - tx.arrival;
+      if (tx.record) {
+        if (tx.type == AccessType::kRead) {
+          stats_.demand_read_latency.add(latency);
+          stats_.read_latency_hist.add(latency);
+        } else {
+          stats_.demand_write_latency.add(latency);
+          stats_.write_latency_hist.add(latency);
+        }
+      }
+      if (r.done > last_completion_) last_completion_ = r.done;
+      return;
+    }
   }
   if (tx.type == AccessType::kRead) {
     if (cfg_.read_forwarding && write_q_.contains_line(tx.addr, line_bytes_)) {
@@ -290,7 +329,7 @@ void MemoryController::issue(Transaction tx, Tick now) {
 
   const Tick latency = finish - tx.arrival;
   if (tx.record) {
-    if (tx.internal) {
+    if (tx.internal || tx.background) {
       stats_.internal_write_latency.add(latency);
     } else if (tx.type == AccessType::kRead) {
       stats_.demand_read_latency.add(latency);
@@ -321,6 +360,19 @@ void MemoryController::issue(Transaction tx, Tick now) {
   // with every queue empty the instant is a no-op, and any later arrival
   // that finds the bus held re-schedules it (see enqueue).
   if (reference_ || !drained()) push_event(bus_free_);
+}
+
+void MemoryController::enqueue_tier_writeback(const DecodedAddr& victim,
+                                              Tick now, bool record) {
+  Transaction wb;
+  wb.id = next_internal_id_++;
+  wb.dec = victim;
+  wb.addr = 0;  // background writes are routed by decoded coordinates
+  wb.type = AccessType::kWrite;
+  wb.arrival = now;
+  wb.background = true;
+  wb.record = record;
+  enqueue(wb);
 }
 
 bool MemoryController::refresh_unit_ready(unsigned resource, Tick now) const {
@@ -429,6 +481,26 @@ void MemoryController::publish_metrics(MetricsRegistry& reg) const {
   reg.add_counter("refresh.commands", refresh_.commands());
   reg.add_counter("refresh.rows", refresh_.rows_refreshed());
   reg.add_counter("bus.busy_ns", bus_busy_time_);
+  if (tier_ != nullptr) {
+    const TierFront::Counters& t = tier_->counters();
+    const struct {
+      const char* name;
+      std::uint64_t value;
+    } rows[] = {
+        {"tier.read_hits", t.read_hits},
+        {"tier.read_misses", t.read_misses},
+        {"tier.write_hits", t.write_hits},
+        {"tier.write_misses", t.write_misses},
+        {"tier.fills", t.fills},
+        {"tier.evictions", t.evictions},
+        {"tier.writebacks", t.writebacks},
+        {"tier.dead_frames", t.dead_frames},
+    };
+    for (const auto& row : rows) {
+      reg.set_counter(channel_metric(cfg_.channel, row.name), row.value);
+      reg.add_counter(row.name, row.value);
+    }
+  }
 }
 
 }  // namespace wompcm

@@ -40,8 +40,10 @@
 #include "controller/queues.h"
 #include "controller/refresh_engine.h"
 #include "controller/scheduler.h"
+#include "controller/tier_front.h"
 #include "pcm/bank.h"
 #include "pcm/rank.h"
+#include "pcm/tier_spec.h"
 #include "stats/metrics.h"
 #include "stats/stats.h"
 
@@ -69,6 +71,8 @@ struct ControllerConfig {
   unsigned queue_capacity = 256;
   // Forward reads that hit a queued write (write-to-read forwarding).
   bool read_forwarding = true;
+  // Optional DRAM-timing tier fronting this channel's PCM queues.
+  TierSpec tier;
 };
 
 class MemoryController {
@@ -117,6 +121,8 @@ class MemoryController {
     return banks_[local_resource(global_resource)];
   }
   const RefreshEngine& refresh_engine() const { return refresh_; }
+  // The channel's DRAM front tier, or nullptr when tiering is disabled.
+  const TierFront* tier() const { return tier_.get(); }
 
   // Publishes this channel's counters ("ch<N>." prefix) plus its share of
   // the system-wide refresh totals into the registry.
@@ -171,6 +177,8 @@ class MemoryController {
   bool issue_fcfs(Tick now);
   bool issue_from(TransactionQueue& q, Tick now);
   void issue(Transaction tx, Tick now);
+  void enqueue_tier_writeback(const DecodedAddr& victim, Tick now,
+                              bool record);
   bool refresh_unit_ready(unsigned resource, Tick now) const;
   void run_refresh(Tick now);
   void process_bank_wakes(Tick now);
@@ -202,6 +210,9 @@ class MemoryController {
   // Architecture-generated write-backs (WCPCM victims): drained in the
   // background, only when no demand transaction can issue.
   TransactionQueue internal_q_;
+  // Present only when cfg_.tier.enabled; probed at enqueue time, so the
+  // no-tier hot path pays a single null check.
+  std::unique_ptr<TierFront> tier_;
   // This channel's banks; global resource index -> local slot.
   std::vector<Bank> banks_;
   std::vector<unsigned> global_to_local_;

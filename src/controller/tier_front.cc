@@ -1,0 +1,177 @@
+#include "controller/tier_front.h"
+
+#include <stdexcept>
+
+namespace wompcm {
+
+namespace {
+
+// SplitMix64 finalizer, the same mixer the PCM fault layer seeds with: one
+// draw per frame must be a pure function of (seed, channel, frame).
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+double u01(std::uint64_t x) {
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+TierFront::TierFront(const TierSpec& spec, const MemoryGeometry& geom,
+                     unsigned channel)
+    : spec_(spec),
+      channel_(channel),
+      banks_(geom.banks_per_rank),
+      rows_(geom.rows_per_bank),
+      cols_(geom.lines_per_row()),
+      tags_(spec.sets, spec.ways,
+            make_replacement_policy(
+                spec.replacement, spec.sets, spec.ways,
+                // Distinct deterministic victim stream per channel.
+                splitmix64(spec.fault.seed ^
+                           (static_cast<std::uint64_t>(channel) + 1)))) {
+  std::string why;
+  if (!spec.valid(&why)) {
+    throw std::invalid_argument("TierFront: " + why);
+  }
+  resident_.assign(static_cast<std::size_t>(spec.sets) * spec.ways, 0);
+  if (spec.fault.enabled) {
+    frame_state_.assign(resident_.size(), 0);
+  }
+}
+
+TierFront::Placement TierFront::place(const DecodedAddr& dec) const {
+  const std::uint64_t id = line_id(dec);
+  return Placement{static_cast<unsigned>(id % spec_.sets), id / spec_.sets};
+}
+
+std::uint64_t TierFront::line_id(const DecodedAddr& dec) const {
+  return ((static_cast<std::uint64_t>(dec.rank) * banks_ + dec.bank) * rows_ +
+          dec.row) *
+             cols_ +
+         dec.col;
+}
+
+DecodedAddr TierFront::decode_line(std::uint64_t id) const {
+  DecodedAddr d;
+  d.channel = channel_;
+  d.col = static_cast<unsigned>(id % cols_);
+  id /= cols_;
+  d.row = static_cast<unsigned>(id % rows_);
+  id /= rows_;
+  d.bank = static_cast<unsigned>(id % banks_);
+  d.rank = static_cast<unsigned>(id / banks_);
+  return d;
+}
+
+Tick TierFront::occupy_port(Tick now, Tick service_ns) {
+  const Tick start = now > port_free_ ? now : port_free_;
+  port_free_ = start + spec_.timing.port_ns;
+  return start + service_ns;
+}
+
+bool TierFront::frame_dead(unsigned slot) {
+  if (!spec_.fault.enabled) return false;
+  std::uint8_t& s = frame_state_[slot];
+  if (s == 0) {
+    const std::uint64_t h = splitmix64(
+        spec_.fault.seed ^
+        (static_cast<std::uint64_t>(channel_) * 0x9e3779b97f4a7c15ULL) ^
+        (static_cast<std::uint64_t>(slot) * 0xbf58476d1ce4e5b9ULL));
+    s = u01(h) < spec_.fault.frame_fail_rate ? 2 : 1;
+    if (s == 2) ++ctr_.dead_frames;
+  }
+  return s == 2;
+}
+
+bool TierFront::fill(const Placement& pl, const DecodedAddr& dec, Result* r,
+                     unsigned* way) {
+  // Prefer an invalid healthy frame; count retired frames so a fully dead
+  // set degrades to a pure bypass instead of looping below.
+  unsigned w = TagArray::kNoWay;
+  unsigned dead = 0;
+  for (unsigned i = 0; i < spec_.ways; ++i) {
+    if (frame_dead(tags_.slot(pl.set, i))) {
+      ++dead;
+      continue;
+    }
+    if (w == TagArray::kNoWay && !tags_.valid(pl.set, i)) w = i;
+  }
+  if (dead == spec_.ways) return false;
+  if (w == TagArray::kNoWay) {
+    // Every healthy frame is occupied. A policy victim landing on a
+    // retired frame (retired frames stay invalid, so stale recency metadata
+    // can still name them) is advanced circularly to the next healthy way.
+    w = tags_.fill_way(pl.set);
+    while (frame_dead(tags_.slot(pl.set, w))) w = (w + 1) % spec_.ways;
+  }
+  const unsigned slot = tags_.slot(pl.set, w);
+  if (tags_.valid(pl.set, w)) {
+    ++ctr_.evictions;
+    if (tags_.dirty(pl.set, w)) {
+      r->writeback = true;
+      r->victim = decode_line(resident_[slot]);
+      ++ctr_.writebacks;
+    }
+  }
+  tags_.install(pl.set, w, pl.tag);
+  resident_[slot] = line_id(dec);
+  ++ctr_.fills;
+  *way = w;
+  return true;
+}
+
+TierFront::Result TierFront::on_read(const DecodedAddr& dec, Tick now) {
+  Result r;
+  const Placement pl = place(dec);
+  const unsigned w = tags_.lookup(pl.set, pl.tag);
+  if (w != TagArray::kNoWay) {
+    ++ctr_.read_hits;
+    tags_.touch(pl.set, w);
+    r.absorbed = true;
+    r.done = occupy_port(now, spec_.timing.hit_read_ns);
+    return r;
+  }
+  ++ctr_.read_misses;
+  // Write-allocate on the miss: the PCM read that services the demand also
+  // streams the line into the tier (a clean install; a dead frame just
+  // leaves the line uncached).
+  unsigned fw = 0;
+  fill(pl, dec, &r, &fw);
+  return r;
+}
+
+TierFront::Result TierFront::on_write(const DecodedAddr& dec, Tick now) {
+  Result r;
+  const Placement pl = place(dec);
+  unsigned w = tags_.lookup(pl.set, pl.tag);
+  const bool hit = w != TagArray::kNoWay;
+  if (hit) {
+    ++ctr_.write_hits;
+  } else {
+    ++ctr_.write_misses;
+  }
+  if (spec_.write_policy == TierWritePolicy::kWritethrough) {
+    // The resident copy (if any) is refreshed in place and stays clean;
+    // the write itself always programs PCM.
+    if (hit) tags_.touch(pl.set, w);
+    return r;
+  }
+  if (hit) {
+    tags_.touch(pl.set, w);
+  } else if (!fill(pl, dec, &r, &w)) {
+    // Retired frame: this line cannot be absorbed, so the write latches
+    // through to PCM exactly like the WOM cache's dead-row bypass.
+    return r;
+  }
+  tags_.set_dirty(pl.set, w, true);
+  r.absorbed = true;
+  r.done = occupy_port(now, spec_.timing.hit_write_ns);
+  return r;
+}
+
+}  // namespace wompcm

@@ -15,6 +15,9 @@ struct Transaction {
   AccessType type = AccessType::kRead;
   Tick arrival = 0;     // when the transaction entered the controller
   bool internal = false;  // controller-generated (e.g. WCPCM victim flush)
+  // Tier writeback: planned and routed like a demand write (so it traverses
+  // a composed WOM cache) but drained at background priority.
+  bool background = false;
   bool record = true;     // false during warmup: simulate but keep no stats
 };
 

@@ -25,6 +25,9 @@ constexpr const char* kKnownKeys[] = {
     "fault.enabled", "fault.seed", "fault.endurance", "fault.sigma",
     "fault.initial_wear", "fault.max_retries", "fault.spare_rows",
     "fault.read_disturb",
+    "tier.enabled", "tier.sets", "tier.ways", "tier.replacement",
+    "tier.write_policy", "tier.hit_read", "tier.hit_write", "tier.port",
+    "tier.fault.enabled", "tier.fault.seed", "tier.fault.rate",
 };
 
 // Classic two-row Levenshtein distance; the keys are short, so this is
@@ -286,6 +289,63 @@ SimConfig apply_overrides(SimConfig cfg, const KeyValueConfig& kv,
     cfg.fault.read_disturb = *v;
   }
 
+  // DRAM front tier.
+  if (kv.has("tier.enabled")) {
+    const auto v = kv.get_bool("tier.enabled");
+    if (!v) bad("tier.enabled", kv.get_string_or("tier.enabled", ""));
+    cfg.tier.enabled = *v;
+  }
+  cfg.tier.sets = get_unsigned(kv, "tier.sets", cfg.tier.sets);
+  if (cfg.tier.sets == 0) bad("tier.sets", "0");
+  cfg.tier.ways = get_unsigned(kv, "tier.ways", cfg.tier.ways);
+  if (cfg.tier.ways == 0) bad("tier.ways", "0");
+  if (kv.has("tier.replacement")) {
+    const std::string v = kv.get_string_or("tier.replacement", "");
+    if (!replacement_kind_from_string(v, &cfg.tier.replacement)) {
+      bad("tier.replacement", v);
+    }
+    if (cfg.tier.replacement == ReplacementKind::kBankTag) {
+      throw std::invalid_argument(
+          "config: tier.replacement=bank_tag is the WOM cache's row/bank "
+          "scheme (select it with cache.enabled=true); the tier takes lru, "
+          "fifo or random");
+    }
+  }
+  if (kv.has("tier.write_policy")) {
+    const std::string v = kv.get_string_or("tier.write_policy", "");
+    if (!tier_write_policy_from_string(v, &cfg.tier.write_policy)) {
+      bad("tier.write_policy", v);
+    }
+  }
+  cfg.tier.timing.hit_read_ns =
+      get_tick(kv, "tier.hit_read", cfg.tier.timing.hit_read_ns);
+  cfg.tier.timing.hit_write_ns =
+      get_tick(kv, "tier.hit_write", cfg.tier.timing.hit_write_ns);
+  if (kv.has("tier.port")) {
+    const auto v = kv.get_int("tier.port");
+    if (!v || *v < 0) bad("tier.port", kv.get_string_or("tier.port", ""));
+    cfg.tier.timing.port_ns = static_cast<Tick>(*v);
+  }
+  if (kv.has("tier.fault.enabled")) {
+    const auto v = kv.get_bool("tier.fault.enabled");
+    if (!v) {
+      bad("tier.fault.enabled", kv.get_string_or("tier.fault.enabled", ""));
+    }
+    cfg.tier.fault.enabled = *v;
+  }
+  if (kv.has("tier.fault.seed")) {
+    const auto v = kv.get_int("tier.fault.seed");
+    if (!v) bad("tier.fault.seed", kv.get_string_or("tier.fault.seed", ""));
+    cfg.tier.fault.seed = static_cast<std::uint64_t>(*v);
+  }
+  if (kv.has("tier.fault.rate")) {
+    const auto v = kv.get_double("tier.fault.rate");
+    if (!v || *v < 0.0 || *v > 1.0) {
+      bad("tier.fault.rate", kv.get_string_or("tier.fault.rate", ""));
+    }
+    cfg.tier.fault.frame_fail_rate = *v;
+  }
+
   // Controller.
   if (kv.has("policy")) {
     const std::string p = kv.get_string_or("policy", "");
@@ -445,7 +505,19 @@ std::string describe(const SimConfig& cfg) {
      << "fault.initial_wear=" << cfg.fault.initial_wear << "\n"
      << "fault.max_retries=" << cfg.fault.max_retries << "\n"
      << "fault.spare_rows=" << cfg.fault.spare_rows << "\n"
-     << "fault.read_disturb=" << cfg.fault.read_disturb << "\n";
+     << "fault.read_disturb=" << cfg.fault.read_disturb << "\n"
+     << "tier.enabled=" << (cfg.tier.enabled ? "true" : "false") << "\n"
+     << "tier.sets=" << cfg.tier.sets << "\n"
+     << "tier.ways=" << cfg.tier.ways << "\n"
+     << "tier.replacement=" << to_string(cfg.tier.replacement) << "\n"
+     << "tier.write_policy=" << to_string(cfg.tier.write_policy) << "\n"
+     << "tier.hit_read=" << cfg.tier.timing.hit_read_ns << "\n"
+     << "tier.hit_write=" << cfg.tier.timing.hit_write_ns << "\n"
+     << "tier.port=" << cfg.tier.timing.port_ns << "\n"
+     << "tier.fault.enabled=" << (cfg.tier.fault.enabled ? "true" : "false")
+     << "\n"
+     << "tier.fault.seed=" << cfg.tier.fault.seed << "\n"
+     << "tier.fault.rate=" << cfg.tier.fault.frame_fail_rate << "\n";
   if (cfg.warmup_accesses.has_value()) {
     os << "warmup=" << *cfg.warmup_accesses << "\n";
   }

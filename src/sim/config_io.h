@@ -31,6 +31,10 @@ namespace wompcm {
 //       fault.enabled fault.seed fault.endurance fault.sigma
 //       fault.initial_wear fault.max_retries fault.spare_rows
 //       fault.read_disturb
+//       tier.enabled tier.sets tier.ways tier.replacement (lru|fifo|random)
+//       tier.write_policy (writeback|writethrough) tier.hit_read
+//       tier.hit_write tier.port tier.fault.enabled tier.fault.seed
+//       tier.fault.rate
 SimConfig apply_overrides(SimConfig base, const KeyValueConfig& kv,
                           const std::vector<std::string>& harness_keys = {});
 

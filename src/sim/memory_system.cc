@@ -19,6 +19,7 @@ MemorySystem::MemorySystem(const MemorySystemConfig& cfg, Architecture& arch,
     ccfg.channel = c;
     ccfg.queue_capacity = cfg.queue_capacity;
     ccfg.read_forwarding = cfg.read_forwarding;
+    ccfg.tier = cfg.tier;
     channels_.push_back(
         std::make_unique<MemoryController>(ccfg, arch, stats));
   }

@@ -34,6 +34,9 @@ struct MemorySystemConfig {
   // the paper's single-channel configuration is unchanged).
   unsigned queue_capacity = 256;
   bool read_forwarding = true;
+  // Optional DRAM-timing tier in front of the PCM backend (one TierFront
+  // per channel; see pcm/tier_spec.h).
+  TierSpec tier;
 };
 
 class MemorySystem {

@@ -119,6 +119,7 @@ SimResult run_single_sharded(const SimConfig& cfg, TraceSource& trace,
     ccfg.channel = c;
     ccfg.queue_capacity = cfg.queue_capacity;
     ccfg.read_forwarding = cfg.read_forwarding;
+    ccfg.tier = cfg.tier;
     lane->ctl =
         std::make_unique<MemoryController>(ccfg, *lane->arch, lane->stats);
     lanes.push_back(std::move(lane));

@@ -26,6 +26,7 @@ SimResult Simulator::run(TraceSource& trace) {
   mcfg.row_policy = cfg_.row_policy;
   mcfg.queue_capacity = cfg_.queue_capacity;
   mcfg.read_forwarding = cfg_.read_forwarding;
+  mcfg.tier = cfg_.tier;
 
   MemorySystem mem(mcfg, *arch, result.stats);
   AddressMapper mapper(cfg_.geom);
@@ -161,6 +162,12 @@ void SimResult::collect(const MetricsRegistry& reg) {
   fault_remapped_rows = reg.counter("fault.remapped_rows");
   fault_dead_rows = reg.counter("fault.dead_rows");
   fault_read_disturbs = reg.counter("fault.read_disturbs");
+  tier_read_hits = reg.counter("tier.read_hits");
+  tier_read_misses = reg.counter("tier.read_misses");
+  tier_write_hits = reg.counter("tier.write_hits");
+  tier_write_misses = reg.counter("tier.write_misses");
+  tier_evictions = reg.counter("tier.evictions");
+  tier_writebacks = reg.counter("tier.writebacks");
 }
 
 namespace {

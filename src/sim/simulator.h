@@ -43,6 +43,10 @@ struct SimConfig {
   // channels * queue_capacity transactions at full load.)
   unsigned queue_capacity = 256;
   bool read_forwarding = true;
+  // Optional DRAM-timing tier fronting the PCM backend (pcm/tier_spec.h).
+  // Disabled by default; a disabled tier leaves runs bit-identical to a
+  // tierless build.
+  TierSpec tier;
   // Number of leading trace accesses to simulate without recording latency
   // stats (steady-state measurement, like a warmed trace window). nullopt
   // means "auto": run_benchmark() resolves it to 20% of the trace length;
@@ -80,6 +84,22 @@ struct SimResult {
   std::uint64_t fault_remapped_rows = 0;
   std::uint64_t fault_dead_rows = 0;
   std::uint64_t fault_read_disturbs = 0;
+  // DRAM front tier outcomes (all zero when tiering is off; same no-gating
+  // registry convention as the fault counters).
+  std::uint64_t tier_read_hits = 0;
+  std::uint64_t tier_read_misses = 0;
+  std::uint64_t tier_write_hits = 0;
+  std::uint64_t tier_write_misses = 0;
+  std::uint64_t tier_evictions = 0;
+  std::uint64_t tier_writebacks = 0;
+
+  // Demand hit fraction of the DRAM front tier (reads + writes pooled).
+  double tier_hit_rate() const {
+    const double h = static_cast<double>(tier_read_hits + tier_write_hits);
+    const double total =
+        h + static_cast<double>(tier_read_misses + tier_write_misses);
+    return total == 0.0 ? 0.0 : h / total;
+  }
 
   // Host-side wall-clock breakdown of the run (nanoseconds). Not part of
   // the simulated state: two runs with identical stats will report

@@ -109,6 +109,54 @@ TEST(CompositionEquivalence, LegacyKindsMatchExplicitCompositions) {
   }
 }
 
+TEST(CompositionEquivalence, BankTagPolicyCachePreservesGoldens) {
+  // PR 7 re-expressed the WOM cache's per-rank row/bank tag scheme as the
+  // bank_tag ReplacementPolicy behind arch/tag_array.h. The WCPCM cell —
+  // the composition that actually exercises tag lookups, victim selection
+  // and invalidation — must still produce one result: identical across
+  // scan modes interchanged for each other, faults on/off handled
+  // consistently, and serial vs sharded (jobs = 2 on two channels)
+  // bit-identical. The paper-scale golden snapshot itself is pinned by
+  // GoldenEquivalence in test_reproduction.cc; this case pins the cache
+  // path on a sharded platform.
+  const WorkloadProfile profile = *find_profile("401.bzip2");
+  for (const ScanMode scan : {ScanMode::kIndexed, ScanMode::kReference}) {
+    for (const bool faults : {false, true}) {
+      SimConfig cfg = small_config();
+      cfg.geom.channels = 2;
+      cfg.sched.scan_mode = scan;
+      cfg.arch.kind = ArchKind::kWcpcm;
+      cfg.arch.code = "rs23-inv";
+      if (faults) {
+        cfg.fault.enabled = true;
+        cfg.fault.seed = 7;
+        cfg.fault.endurance = 400;
+        cfg.fault.sigma = 0.35;
+        cfg.fault.initial_wear = 0.75;
+        cfg.fault.spare_rows = 4;
+        cfg.fault.read_disturb = 0.0005;
+      }
+      SCOPED_TRACE(std::string("scan=") +
+                   std::to_string(static_cast<int>(scan)) + "/faults=" +
+                   (faults ? "on" : "off"));
+
+      RunRequest req;
+      req.config = cfg;
+      req.trace = TraceSpec::profile(profile, 4000);
+      req.options = RunOptions::with_seed(11);
+      req.options.jobs = ParallelPolicy::with_jobs(1);
+      const SimResult serial = run(req);
+      req.options.jobs = ParallelPolicy::with_jobs(2);
+      const SimResult sharded = run(req);
+      expect_identical(serial, sharded);
+
+      // The cache is genuinely in play, not silently bypassed.
+      const auto& counters = serial.stats.counters.all();
+      EXPECT_NE(counters.find("wcpcm.write_misses"), counters.end());
+    }
+  }
+}
+
 TEST(CompositionValidity, RejectsRefreshWithoutAnyWomRegion) {
   for (const CodingKind main : {CodingKind::kRaw, CodingKind::kFlipNWrite,
                                 CodingKind::kSymmetric}) {

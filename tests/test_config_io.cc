@@ -123,6 +123,55 @@ TEST(ConfigIo, FaultKeysRejectBadValues) {
   }
 }
 
+TEST(ConfigIo, TierKeysParse) {
+  const auto kv = KeyValueConfig::from_tokens(
+      {"tier.enabled=true", "tier.sets=512", "tier.ways=4",
+       "tier.replacement=fifo", "tier.write_policy=writethrough",
+       "tier.hit_read=12", "tier.hit_write=18", "tier.port=2",
+       "tier.fault.enabled=true", "tier.fault.seed=77",
+       "tier.fault.rate=0.125"});
+  const SimConfig cfg = apply_overrides(paper_config(), kv);
+  EXPECT_TRUE(cfg.tier.enabled);
+  EXPECT_EQ(cfg.tier.sets, 512u);
+  EXPECT_EQ(cfg.tier.ways, 4u);
+  EXPECT_EQ(cfg.tier.replacement, ReplacementKind::kFifo);
+  EXPECT_EQ(cfg.tier.write_policy, TierWritePolicy::kWritethrough);
+  EXPECT_EQ(cfg.tier.timing.hit_read_ns, 12u);
+  EXPECT_EQ(cfg.tier.timing.hit_write_ns, 18u);
+  EXPECT_EQ(cfg.tier.timing.port_ns, 2u);
+  EXPECT_TRUE(cfg.tier.fault.enabled);
+  EXPECT_EQ(cfg.tier.fault.seed, 77u);
+  EXPECT_DOUBLE_EQ(cfg.tier.fault.frame_fail_rate, 0.125);
+}
+
+TEST(ConfigIo, TierKeysRejectBadValues) {
+  for (const char* tok :
+       {"tier.enabled=2", "tier.sets=0", "tier.ways=0",
+        "tier.replacement=plru", "tier.write_policy=writearound",
+        "tier.hit_read=0", "tier.hit_write=0", "tier.port=-1",
+        "tier.fault.rate=1.5", "tier.fault.rate=-0.1"}) {
+    EXPECT_THROW(apply_overrides(paper_config(),
+                                 KeyValueConfig::from_tokens({tok})),
+                 std::invalid_argument)
+        << tok;
+  }
+}
+
+TEST(ConfigIo, TierRejectsBankTagReplacement) {
+  // bank_tag is the WOM cache's row/bank scheme, owned by the cache
+  // composition; the tier must point the user there instead of accepting a
+  // policy that cannot index a multi-way set.
+  try {
+    apply_overrides(paper_config(), KeyValueConfig::from_tokens(
+                                        {"tier.replacement=bank_tag"}));
+    FAIL() << "bank_tag accepted as a tier policy";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("cache.enabled=true"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(ConfigIo, BadValuesThrow) {
   EXPECT_THROW(apply_overrides(paper_config(),
                                KeyValueConfig::from_tokens({"arch=dram"})),
@@ -220,6 +269,17 @@ TEST(ConfigIo, EveryFieldRoundTripsThroughDescribe) {
   cfg.fault.max_retries = 5;
   cfg.fault.spare_rows = 12;
   cfg.fault.read_disturb = 0.0625;
+  cfg.tier.enabled = true;
+  cfg.tier.sets = 512;
+  cfg.tier.ways = 4;
+  cfg.tier.replacement = ReplacementKind::kRandom;
+  cfg.tier.write_policy = TierWritePolicy::kWritethrough;
+  cfg.tier.timing.hit_read_ns = 13;
+  cfg.tier.timing.hit_write_ns = 17;
+  cfg.tier.timing.port_ns = 6;
+  cfg.tier.fault.enabled = true;
+  cfg.tier.fault.seed = 271828;
+  cfg.tier.fault.frame_fail_rate = 0.03125;
 
   const auto path = (std::filesystem::temp_directory_path() /
                      "womcode_pcm_cfg_every_field.cfg")
@@ -284,6 +344,17 @@ TEST(ConfigIo, EveryFieldRoundTripsThroughDescribe) {
   EXPECT_EQ(back.fault.max_retries, 5u);
   EXPECT_EQ(back.fault.spare_rows, 12u);
   EXPECT_DOUBLE_EQ(back.fault.read_disturb, 0.0625);
+  EXPECT_TRUE(back.tier.enabled);
+  EXPECT_EQ(back.tier.sets, 512u);
+  EXPECT_EQ(back.tier.ways, 4u);
+  EXPECT_EQ(back.tier.replacement, ReplacementKind::kRandom);
+  EXPECT_EQ(back.tier.write_policy, TierWritePolicy::kWritethrough);
+  EXPECT_EQ(back.tier.timing.hit_read_ns, 13u);
+  EXPECT_EQ(back.tier.timing.hit_write_ns, 17u);
+  EXPECT_EQ(back.tier.timing.port_ns, 6u);
+  EXPECT_TRUE(back.tier.fault.enabled);
+  EXPECT_EQ(back.tier.fault.seed, 271828u);
+  EXPECT_DOUBLE_EQ(back.tier.fault.frame_fail_rate, 0.03125);
 }
 
 TEST(ConfigIo, CompositionKeysBuildOnTheCanonicalComposition) {
