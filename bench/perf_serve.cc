@@ -150,6 +150,9 @@ int main(int argc, char** argv) {
   const auto one_streams =
       static_cast<unsigned>(args.get_int_or("streams", 0));
   const std::string out_path = args.get_string_or("out", "BENCH_serve.json");
+  // Free-form provenance string recorded in the JSON (e.g. whether the
+  // run was interleaved A/B against a baseline binary).
+  const std::string note = args.get_string_or("note", "");
 
   SimConfig cfg = paper_config();
   cfg.geom.channels = channels;
@@ -193,6 +196,9 @@ int main(int argc, char** argv) {
   std::fprintf(f, "  \"hardware_threads\": %u,\n", hw);
   std::fprintf(f, "  \"degraded_environment\": %s,\n",
                degraded ? "true" : "false");
+  if (!note.empty()) {
+    std::fprintf(f, "  \"note\": \"%s\",\n", note.c_str());
+  }
   std::fprintf(f, "  \"rows\": [\n");
 
   bool first_row = true;

@@ -88,6 +88,9 @@ int main(int argc, char** argv) {
   const auto nprofiles =
       static_cast<std::size_t>(args.get_int_or("profiles", 8));
   const std::string out_path = args.get_string_or("out", "BENCH_sweep.json");
+  // Free-form provenance string recorded in the JSON (e.g. whether the
+  // run was interleaved A/B against a baseline binary).
+  const std::string note = args.get_string_or("note", "");
 
   const auto archs = paper_architectures();
   std::vector<WorkloadProfile> profiles = benchmark_profiles();
@@ -173,6 +176,9 @@ int main(int argc, char** argv) {
   std::fprintf(f, "  \"hardware_threads\": %u,\n", hw);
   std::fprintf(f, "  \"degraded_environment\": %s,\n",
                degraded ? "true" : "false");
+  if (!note.empty()) {
+    std::fprintf(f, "  \"note\": \"%s\",\n", note.c_str());
+  }
   std::fprintf(f, "  \"serial\": {\"wall_s\": %.6f, \"cells_per_sec\": %.3f},\n",
                serial_s, static_cast<double>(cells) / serial_s);
   std::fprintf(f,

@@ -9,7 +9,10 @@
 // ("401.bzip2"), repeats=R (3; wall-clock is the best of R), out=FILE
 // (BENCH_singlerun.json), baseline=FILE (optional: a previous output of
 // this bench whose per-config rates are embedded as the "baseline" section
-// and used for the speedup figures), baseline_note=TEXT.
+// and used for the speedup figures), baseline_note=TEXT,
+// interleaved_ab=true (record in the JSON that the baseline file was
+// produced in the same session, alternating baseline-binary and
+// current-binary runs, so both sides saw the same host conditions).
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -95,6 +98,8 @@ int main(int argc, char** argv) {
       args.get_string_or("out", "BENCH_singlerun.json");
   const std::string baseline_path = args.get_string_or("baseline", "");
   const std::string baseline_note = args.get_string_or("baseline_note", "");
+  const bool interleaved_ab =
+      args.get_string_or("interleaved_ab", "false") == "true";
 
   const auto profile = find_profile(profile_name);
   if (!profile.has_value()) {
@@ -173,6 +178,8 @@ int main(int argc, char** argv) {
   std::fprintf(f, "  \"hardware_threads\": %u,\n", hw);
   std::fprintf(f, "  \"degraded_environment\": %s,\n",
                degraded ? "true" : "false");
+  std::fprintf(f, "  \"interleaved_ab\": %s,\n",
+               interleaved_ab ? "true" : "false");
   std::fprintf(f, "  \"runs\": {\n");
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const auto& [name, s] = rows[i];

@@ -11,10 +11,8 @@ CacheLayer::CacheLayer(const MemoryGeometry& geom,
   const unsigned arrays = geom.channels * geom.ranks;
   tags_.reserve(arrays);
   for (unsigned i = 0; i < arrays; ++i) {
-    tags_.emplace_back(
-        geom.rows_per_bank, /*ways=*/1,
-        make_replacement_policy(ReplacementKind::kBankTag, geom.rows_per_bank,
-                                /*ways=*/1, /*seed=*/0));
+    tags_.emplace_back(geom.rows_per_bank, /*ways=*/1,
+                       ReplacementKind::kBankTag);
   }
   lines_.assign(arrays, std::vector<LineBits>(geom.rows_per_bank));
 }

@@ -1,5 +1,7 @@
 #include "arch/composed.h"
 
+#include "arch/coding_dispatch.h"
+
 namespace wompcm {
 
 ComposedArchitecture::ComposedArchitecture(const MemoryGeometry& geom,
@@ -113,7 +115,7 @@ IssuePlan ComposedArchitecture::plan_main_write(const DecodedAddr& dec,
                                                 bool internal, IssuePlan p) {
   std::uint64_t key = row_key_for(p.resource, p.row);
   const CodingPolicy::WriteBegin rec =
-      main_coding_->begin_write(key, dec.col, &p);
+      coding_begin_write(comp_.main_coding, *main_coding_, key, dec.col, &p);
   const FaultOutcome f =
       fault_on_write(p.resource, dec.channel, dec.col, /*allow_remap=*/true,
                      &p);
@@ -121,10 +123,11 @@ IssuePlan ComposedArchitecture::plan_main_write(const DecodedAddr& dec,
     // The row moved to a fresh spare: start its generation there so the
     // rewrite budget tracks the cells actually being programmed.
     key = row_key_for(p.resource, p.row);
-    main_coding_->note_remap(key, dec.col);
+    coding_note_remap(comp_.main_coding, *main_coding_, key, dec.col);
   }
-  const bool at_limit = main_coding_->finish_write(rec, f.demoted, key, key,
-                                                   dec.col, internal, &p);
+  const bool at_limit =
+      coding_finish_write(comp_.main_coding, *main_coding_, rec, f.demoted,
+                          key, key, dec.col, internal, &p);
   if (at_limit && main_rat_ != nullptr) main_rat_->touch(p.resource, key);
   return p;
 }
@@ -169,14 +172,14 @@ IssuePlan ComposedArchitecture::plan_cache_write(const DecodedAddr& dec,
   const std::uint64_t track_key = cache_->row_key(ci, dec.row);
   CodingPolicy& coding = cache_->coding();
   const CodingPolicy::WriteBegin rec =
-      coding.begin_write(track_key, dec.col, &p);
+      coding_begin_write(comp_.cache_coding, coding, track_key, dec.col, &p);
   // No spare pool behind the cache array: a dead verdict is handled below
   // by invalidate-and-bypass.
   const FaultOutcome f = fault_on_write(main_banks() + ci, dec.channel,
                                         dec.col, /*allow_remap=*/false, &p);
   const bool at_limit =
-      coding.finish_write(rec, f.demoted, track_key,
-                          cache_wear_key(ci, dec.row), dec.col,
+      coding_finish_write(comp_.cache_coding, coding, rec, f.demoted,
+                          track_key, cache_wear_key(ci, dec.row), dec.col,
                           /*internal=*/false, &p);
   if (f.dead_unmapped) {
     // The row can no longer be programmed reliably: retire it from cache
@@ -224,16 +227,16 @@ IssuePlan ComposedArchitecture::plan(const DecodedAddr& dec, AccessType type,
     if (cache_->probe_read_hit(dec)) {
       bump(ctr_read_hits_, "wcpcm.read_hits");
       p.resource = main_banks() + cache_->index(dec.channel, dec.rank);
-      cache_->coding().read_energy(&p);
+      coding_read_energy(comp_.cache_coding, cache_->coding(), &p);
       fault_on_read(dec.channel, &p);
-      cache_->coding().read_extras(&p);
+      coding_read_extras(comp_.cache_coding, cache_->coding(), &p);
     } else {
       bump(ctr_read_misses_, "wcpcm.read_misses");
       p.resource = flat_bank(dec);
       p.row = resolved_row(p.resource, dec.row);
-      main_coding_->read_energy(&p);
+      coding_read_energy(comp_.main_coding, *main_coding_, &p);
       fault_on_read(dec.channel, &p);
-      main_coding_->read_extras(&p);
+      coding_read_extras(comp_.main_coding, *main_coding_, &p);
     }
     return p;
   }
@@ -246,9 +249,9 @@ IssuePlan ComposedArchitecture::plan(const DecodedAddr& dec, AccessType type,
     return plan_main_write(dec, internal, std::move(p));
   }
   bump(ctr_reads_, "reads");
-  main_coding_->read_energy(&p);
+  coding_read_energy(comp_.main_coding, *main_coding_, &p);
   fault_on_read(dec.channel, &p);
-  main_coding_->read_extras(&p);
+  coding_read_extras(comp_.main_coding, *main_coding_, &p);
   return p;
 }
 

@@ -3,8 +3,6 @@
 #include <algorithm>
 #include <stdexcept>
 
-#include "common/rng.h"
-
 namespace wompcm {
 
 const char* to_string(ReplacementKind kind) {
@@ -37,6 +35,14 @@ bool replacement_kind_from_string(const std::string& s, ReplacementKind* out) {
 }
 
 namespace {
+
+void require_bank_tag_one_way(ReplacementKind kind, unsigned ways) {
+  if (kind == ReplacementKind::kBankTag && ways != 1) {
+    throw std::invalid_argument(
+        "bank_tag replacement requires 1-way sets (the set index is the "
+        "row and the tag is the bank)");
+  }
+}
 
 // The WOM cache's scheme: 1-way sets indexed by row, tagged by bank. The
 // only possible victim is the occupant, so every hook is a no-op.
@@ -129,11 +135,7 @@ std::unique_ptr<ReplacementPolicy> make_replacement_policy(
     ReplacementKind kind, unsigned sets, unsigned ways, std::uint64_t seed) {
   switch (kind) {
     case ReplacementKind::kBankTag:
-      if (ways != 1) {
-        throw std::invalid_argument(
-            "bank_tag replacement requires 1-way sets (the set index is the "
-            "row and the tag is the bank)");
-      }
+      require_bank_tag_one_way(kind, ways);
       return std::make_unique<BankTagPolicy>();
     case ReplacementKind::kLru:
       return std::make_unique<LruPolicy>(sets, ways);
@@ -145,12 +147,24 @@ std::unique_ptr<ReplacementPolicy> make_replacement_policy(
   throw std::invalid_argument("unknown replacement kind");
 }
 
-TagArray::TagArray(unsigned sets, unsigned ways,
-                   std::unique_ptr<ReplacementPolicy> repl)
-    : sets_(sets), ways_(ways), repl_(std::move(repl)) {
+ReplacementState::ReplacementState(ReplacementKind kind, unsigned sets,
+                                   unsigned ways, std::uint64_t seed)
+    : kind_(kind), ways_(ways), rng_(seed) {
+  require_bank_tag_one_way(kind, ways);
+  if (kind == ReplacementKind::kLru || kind == ReplacementKind::kFifo) {
+    stamp_.assign(static_cast<std::size_t>(sets) * ways, 0);
+  }
+}
+
+TagArray::TagArray(unsigned sets, unsigned ways, ReplacementKind repl,
+                   std::uint64_t seed)
+    : sets_(sets), ways_(ways), repl_(repl, sets, ways, seed) {
   if (sets_ == 0 || ways_ == 0) {
     throw std::invalid_argument("TagArray: sets and ways must be positive");
   }
+#if defined(WOMPCM_REFERENCE_DISPATCH)
+  ref_ = make_replacement_policy(repl, sets, ways, seed);
+#endif
   frames_.resize(static_cast<std::size_t>(sets_) * ways_);
 }
 
@@ -159,7 +173,11 @@ unsigned TagArray::fill_way(unsigned set) {
   for (unsigned w = 0; w < ways_; ++w) {
     if (!base[w].valid) return w;
   }
-  return repl_->victim(set);
+#if defined(WOMPCM_REFERENCE_DISPATCH)
+  return ref_->victim(set);
+#else
+  return repl_.victim(set);
+#endif
 }
 
 }  // namespace wompcm

@@ -2,10 +2,20 @@
 //
 // A TagArray owns only the tag/valid/dirty bookkeeping of sets x ways
 // frames; payloads live with the caller, keyed by the dense frame index
-// slot(set, way). Victim selection is delegated to a ReplacementPolicy so
+// slot(set, way). Victim selection is delegated to a replacement scheme so
 // the same array serves both the paper's N_bank-way bank-tag WOM cache
 // (bank_tag: a 1-way array whose "policy" is the direct-mapped occupant)
 // and the DRAM-timing front tier (lru / fifo / random).
+//
+// Dispatch strategy: the replacement schemes form a *closed* set, so the
+// hot hooks (touch / install / victim / invalidate) are an enum-switch over
+// inline state (ReplacementState) that the compiler flattens into the
+// callers — TagArray probes inline into CacheLayer and TierFront with no
+// indirect call per access. The virtual ReplacementPolicy interface below
+// is kept as the straight-line reference implementation: construction-time
+// factory, the dispatch-equivalence suite, and WOMPCM_REFERENCE_DISPATCH
+// builds (which route every TagArray hook through the virtuals, mirroring
+// the scan_mode=reference pattern) are its only callers.
 #pragma once
 
 #include <cassert>
@@ -13,6 +23,8 @@
 #include <memory>
 #include <string>
 #include <vector>
+
+#include "common/rng.h"
 
 namespace wompcm {
 
@@ -29,7 +41,8 @@ enum class ReplacementKind : std::uint8_t {
 const char* to_string(ReplacementKind kind);
 bool replacement_kind_from_string(const std::string& s, ReplacementKind* out);
 
-// Victim-selection strategy for one TagArray. Implementations keep only
+// Victim-selection strategy for one TagArray: the reference (virtual)
+// implementation of the closed scheme set. Implementations keep only
 // recency/order metadata; validity and tags stay in the TagArray, which
 // always prefers an invalid way before consulting victim().
 class ReplacementPolicy {
@@ -48,20 +61,88 @@ class ReplacementPolicy {
   virtual void invalidate(unsigned set, unsigned way) = 0;
 };
 
-// The seed only matters for kRandom; other kinds ignore it.
+// Reference factory. The seed only matters for kRandom; other kinds ignore
+// it. Throws std::invalid_argument for bank_tag with ways != 1.
 std::unique_ptr<ReplacementPolicy> make_replacement_policy(
     ReplacementKind kind, unsigned sets, unsigned ways, std::uint64_t seed);
+
+// The monomorphized replacement state: one value type closed over the four
+// schemes, dispatched by enum-switch so every hook inlines into the tag
+// probe that calls it. Call-for-call identical to the ReplacementPolicy
+// reference classes (tests/test_dispatch_equivalence.cc drives both with
+// the same sequences and compares victim streams).
+class ReplacementState {
+ public:
+  // Throws std::invalid_argument for bank_tag with ways != 1 (the set
+  // index is the row and the tag is the bank; there is nothing to choose).
+  ReplacementState(ReplacementKind kind, unsigned sets, unsigned ways,
+                   std::uint64_t seed);
+
+  ReplacementKind kind() const { return kind_; }
+  const char* name() const { return to_string(kind_); }
+
+  void touch(unsigned set, unsigned way) {
+    // Only exact LRU refreshes a line's position on a hit.
+    if (kind_ == ReplacementKind::kLru) mark(set, way);
+  }
+
+  void install(unsigned set, unsigned way) {
+    // LRU and FIFO both stamp installs; FIFO simply never re-stamps.
+    if (kind_ == ReplacementKind::kLru || kind_ == ReplacementKind::kFifo) {
+      mark(set, way);
+    }
+  }
+
+  unsigned victim(unsigned set) {
+    switch (kind_) {
+      case ReplacementKind::kBankTag:
+        return 0;  // 1-way: the only possible victim is the occupant
+      case ReplacementKind::kLru:
+      case ReplacementKind::kFifo:
+        return min_stamp_way(set);
+      case ReplacementKind::kRandom:
+        return static_cast<unsigned>(rng_.next_below(ways_));
+    }
+    return 0;
+  }
+
+  void invalidate(unsigned set, unsigned way) {
+    if (kind_ == ReplacementKind::kLru || kind_ == ReplacementKind::kFifo) {
+      stamp_[static_cast<std::size_t>(set) * ways_ + way] = 0;
+    }
+  }
+
+ private:
+  void mark(unsigned set, unsigned way) {
+    stamp_[static_cast<std::size_t>(set) * ways_ + way] = ++clock_;
+  }
+  unsigned min_stamp_way(unsigned set) const {
+    const std::uint64_t* base = &stamp_[static_cast<std::size_t>(set) * ways_];
+    unsigned best = 0;
+    for (unsigned w = 1; w < ways_; ++w) {
+      if (base[w] < base[best]) best = w;
+    }
+    return best;
+  }
+
+  ReplacementKind kind_;
+  unsigned ways_;
+  std::uint64_t clock_ = 0;
+  std::vector<std::uint64_t> stamp_;  // lru/fifo use stamps; empty otherwise
+  Rng rng_;                           // drawn from by random only
+};
 
 class TagArray final {
  public:
   static constexpr unsigned kNoWay = ~0u;
 
-  TagArray(unsigned sets, unsigned ways,
-           std::unique_ptr<ReplacementPolicy> repl);
+  // The seed only matters for ReplacementKind::kRandom.
+  TagArray(unsigned sets, unsigned ways, ReplacementKind repl,
+           std::uint64_t seed = 0);
 
   unsigned sets() const { return sets_; }
   unsigned ways() const { return ways_; }
-  const ReplacementPolicy& policy() const { return *repl_; }
+  ReplacementKind replacement() const { return repl_.kind(); }
 
   // Dense frame index for caller-side payload vectors.
   unsigned slot(unsigned set, unsigned way) const { return set * ways_ + way; }
@@ -95,7 +176,13 @@ class TagArray final {
   unsigned fill_way(unsigned set);
 
   // Record a hit on (set, way) with the policy.
-  void touch(unsigned set, unsigned way) { repl_->touch(set, way); }
+  void touch(unsigned set, unsigned way) {
+#if defined(WOMPCM_REFERENCE_DISPATCH)
+    ref_->touch(set, way);
+#else
+    repl_.touch(set, way);
+#endif
+  }
 
   // Install `tag` into (set, way), clobbering any previous occupant.
   void install(unsigned set, unsigned way, std::uint64_t tag) {
@@ -103,14 +190,22 @@ class TagArray final {
     f.valid = true;
     f.tag = tag;
     f.dirty = false;
-    repl_->install(set, way);
+#if defined(WOMPCM_REFERENCE_DISPATCH)
+    ref_->install(set, way);
+#else
+    repl_.install(set, way);
+#endif
   }
 
   void invalidate(unsigned set, unsigned way) {
     WayState& f = frame(set, way);
     f.valid = false;
     f.dirty = false;
-    repl_->invalidate(set, way);
+#if defined(WOMPCM_REFERENCE_DISPATCH)
+    ref_->invalidate(set, way);
+#else
+    repl_.invalidate(set, way);
+#endif
   }
 
  private:
@@ -131,7 +226,12 @@ class TagArray final {
 
   unsigned sets_;
   unsigned ways_;
-  std::unique_ptr<ReplacementPolicy> repl_;
+  ReplacementState repl_;
+#if defined(WOMPCM_REFERENCE_DISPATCH)
+  // Reference-dispatch builds route every hook through the virtual policy
+  // (repl_ stays untouched), proving the goldens hold on either path.
+  std::unique_ptr<ReplacementPolicy> ref_;
+#endif
   std::vector<WayState> frames_;
 };
 

@@ -44,9 +44,21 @@ void BitVec::set_all(bool value) {
 }
 
 std::size_t BitVec::popcount() const {
-  std::size_t n = 0;
-  for (auto w : words_) n += static_cast<std::size_t>(std::popcount(w));
-  return n;
+  // Four independent accumulators per iteration: breaks the loop-carried
+  // add chain so the popcnt units pipeline instead of serializing on one
+  // sum (codec inner loops call this per codeword).
+  const std::size_t words = words_.size();
+  const std::uint64_t* w = words_.data();
+  std::size_t a = 0, b = 0, c = 0, d = 0;
+  std::size_t i = 0;
+  for (; i + 4 <= words; i += 4) {
+    a += static_cast<std::size_t>(std::popcount(w[i]));
+    b += static_cast<std::size_t>(std::popcount(w[i + 1]));
+    c += static_cast<std::size_t>(std::popcount(w[i + 2]));
+    d += static_cast<std::size_t>(std::popcount(w[i + 3]));
+  }
+  for (; i < words; ++i) a += static_cast<std::size_t>(std::popcount(w[i]));
+  return a + b + c + d;
 }
 
 void BitVec::mask_tail() {
@@ -151,22 +163,42 @@ void BitVec::deposit_word(std::size_t begin, std::size_t len,
 
 std::size_t BitVec::set_transitions_to(const BitVec& next) const {
   assert(nbits_ == next.nbits_);
-  std::size_t n = 0;
-  for (std::size_t i = 0; i < words_.size(); ++i) {
-    n += static_cast<std::size_t>(
-        std::popcount(~words_[i] & next.words_[i]));
+  // Same 4-way accumulator split as popcount(): these two counters are the
+  // write-classing inner loop of every codec comparison.
+  const std::size_t words = words_.size();
+  const std::uint64_t* cur = words_.data();
+  const std::uint64_t* nxt = next.words_.data();
+  std::size_t a = 0, b = 0, c = 0, d = 0;
+  std::size_t i = 0;
+  for (; i + 4 <= words; i += 4) {
+    a += static_cast<std::size_t>(std::popcount(~cur[i] & nxt[i]));
+    b += static_cast<std::size_t>(std::popcount(~cur[i + 1] & nxt[i + 1]));
+    c += static_cast<std::size_t>(std::popcount(~cur[i + 2] & nxt[i + 2]));
+    d += static_cast<std::size_t>(std::popcount(~cur[i + 3] & nxt[i + 3]));
   }
-  return n;
+  for (; i < words; ++i) {
+    a += static_cast<std::size_t>(std::popcount(~cur[i] & nxt[i]));
+  }
+  return a + b + c + d;
 }
 
 std::size_t BitVec::reset_transitions_to(const BitVec& next) const {
   assert(nbits_ == next.nbits_);
-  std::size_t n = 0;
-  for (std::size_t i = 0; i < words_.size(); ++i) {
-    n += static_cast<std::size_t>(
-        std::popcount(words_[i] & ~next.words_[i]));
+  const std::size_t words = words_.size();
+  const std::uint64_t* cur = words_.data();
+  const std::uint64_t* nxt = next.words_.data();
+  std::size_t a = 0, b = 0, c = 0, d = 0;
+  std::size_t i = 0;
+  for (; i + 4 <= words; i += 4) {
+    a += static_cast<std::size_t>(std::popcount(cur[i] & ~nxt[i]));
+    b += static_cast<std::size_t>(std::popcount(cur[i + 1] & ~nxt[i + 1]));
+    c += static_cast<std::size_t>(std::popcount(cur[i + 2] & ~nxt[i + 2]));
+    d += static_cast<std::size_t>(std::popcount(cur[i + 3] & ~nxt[i + 3]));
   }
-  return n;
+  for (; i < words; ++i) {
+    a += static_cast<std::size_t>(std::popcount(cur[i] & ~nxt[i]));
+  }
+  return a + b + c + d;
 }
 
 bool BitVec::monotone_decreasing_to(const BitVec& next) const {

@@ -28,12 +28,10 @@ TierFront::TierFront(const TierSpec& spec, const MemoryGeometry& geom,
       banks_(geom.banks_per_rank),
       rows_(geom.rows_per_bank),
       cols_(geom.lines_per_row()),
-      tags_(spec.sets, spec.ways,
-            make_replacement_policy(
-                spec.replacement, spec.sets, spec.ways,
-                // Distinct deterministic victim stream per channel.
-                splitmix64(spec.fault.seed ^
-                           (static_cast<std::uint64_t>(channel) + 1)))) {
+      tags_(spec.sets, spec.ways, spec.replacement,
+            // Distinct deterministic victim stream per channel.
+            splitmix64(spec.fault.seed ^
+                       (static_cast<std::uint64_t>(channel) + 1))) {
   std::string why;
   if (!spec.valid(&why)) {
     throw std::invalid_argument("TierFront: " + why);

@@ -21,7 +21,8 @@ constexpr const char* kKnownKeys[] = {
     "refresh", "refresh_enabled", "require_empty_queues", "rth",
     "pausing", "fnw_fast", "start_gap", "start_gap_interval", "seed",
     "policy", "write_q_high", "write_q_low", "row_hit_first", "scan_limit",
-    "scan_mode", "row_policy", "queue_capacity", "read_forwarding", "warmup",
+    "scan_mode", "row_policy", "queue_capacity", "read_forwarding",
+    "injection_block", "warmup",
     "fault.enabled", "fault.seed", "fault.endurance", "fault.sigma",
     "fault.initial_wear", "fault.max_retries", "fault.spare_rows",
     "fault.read_disturb",
@@ -389,6 +390,8 @@ SimConfig apply_overrides(SimConfig cfg, const KeyValueConfig& kv,
   }
   cfg.queue_capacity =
       get_unsigned(kv, "queue_capacity", cfg.queue_capacity);
+  cfg.injection_block =
+      get_unsigned(kv, "injection_block", cfg.injection_block);
   if (kv.has("read_forwarding")) {
     const auto v = kv.get_bool("read_forwarding");
     if (!v) bad("read_forwarding", kv.get_string_or("read_forwarding", ""));
@@ -494,6 +497,7 @@ std::string describe(const SimConfig& cfg) {
      << "queue_capacity=" << cfg.queue_capacity << "\n"
      << "read_forwarding=" << (cfg.read_forwarding ? "true" : "false")
      << "\n"
+     << "injection_block=" << cfg.injection_block << "\n"
      << "fnw_fast=" << cfg.arch.fnw_fast_fraction << "\n"
      << "start_gap=" << (cfg.arch.start_gap ? "true" : "false") << "\n"
      << "start_gap_interval=" << cfg.arch.start_gap_interval << "\n"

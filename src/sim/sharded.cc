@@ -14,6 +14,7 @@
 #include "common/perf.h"
 #include "common/thread_pool.h"
 #include "controller/controller.h"
+#include "sim/injector.h"
 
 namespace wompcm {
 
@@ -162,39 +163,14 @@ SimResult run_single_sharded(const SimConfig& cfg, TraceSource& trace,
   AddressMapper mapper(cfg.geom);
 
   Clock clock;
-  Tick trace_clock = 0;
-  std::uint64_t next_id = 1;
   const std::uint64_t warmup = cfg.warmup_accesses.value_or(0);
-  std::optional<Transaction> pending;
 
   std::uint64_t injected_reads = 0;
   std::uint64_t injected_writes = 0;
   std::vector<std::uint64_t> deferred(channels, 0);
 
-  std::uint64_t trace_gen_ticks = 0;
   const std::uint64_t codec_ns_start = perf::codec_ns();
   const std::uint64_t loop_start_ns = perf::now_ns();
-
-  // Identical to the serial fetch (sim/simulator.cc): the trace is read,
-  // decoded, and numbered on the coordinator, in trace order.
-  auto fetch = [&]() -> std::optional<Transaction> {
-    const std::uint64_t t0 = perf::now_ticks();
-    const auto rec = trace.next();
-    if (!rec) {
-      trace_gen_ticks += perf::now_ticks() - t0;
-      return std::nullopt;
-    }
-    trace_clock += rec->gap;
-    Transaction tx;
-    tx.id = next_id++;
-    tx.addr = rec->addr;
-    tx.dec = mapper.decode(rec->addr);
-    tx.type = rec->type;
-    tx.arrival = trace_clock;
-    tx.record = tx.id > warmup;
-    trace_gen_ticks += perf::now_ticks() - t0;
-    return tx;
-  };
 
   auto drained = [&]() {
     for (const auto& lane : lanes) {
@@ -210,14 +186,18 @@ SimResult run_single_sharded(const SimConfig& cfg, TraceSource& trace,
     return t;
   };
 
-  pending = fetch();
+  // Identical to the serial front end (sim/simulator.cc): the trace is
+  // read, decoded, and numbered on the coordinator, in trace order, a
+  // block at a time.
+  TraceInjector inj(trace, mapper, warmup, cfg.injection_block);
+  const Transaction* pending = inj.peek();
 
   // The serial event loop, verbatim, with the tick fanned out. The clock
   // advance and the injection while-loop are byte-for-byte the serial
   // ones, so the (instant, arrivals, due-lanes) sequence matches exactly.
-  while (pending.has_value() || !drained()) {
+  while (pending != nullptr || !drained()) {
     Tick t_arrival = kNeverTick;
-    if (pending.has_value() && lanes[pending->dec.channel]->ctl->can_accept()) {
+    if (pending != nullptr && lanes[pending->dec.channel]->ctl->can_accept()) {
       t_arrival = std::max(pending->arrival, clock.now());
     }
     if (!clock.advance({t_arrival, next_event_after(clock.now())})) {
@@ -225,7 +205,7 @@ SimResult run_single_sharded(const SimConfig& cfg, TraceSource& trace,
     }
     const Tick now = clock.now();
 
-    while (pending.has_value() &&
+    while (pending != nullptr &&
            lanes[pending->dec.channel]->ctl->can_accept() &&
            pending->arrival <= now) {
       Transaction tx = *pending;
@@ -239,7 +219,8 @@ SimResult run_single_sharded(const SimConfig& cfg, TraceSource& trace,
         ++injected_writes;
       }
       lanes[tx.dec.channel]->ctl->enqueue(tx);
-      pending = fetch();
+      inj.pop();
+      pending = inj.peek();
     }
 
     // Step the shards due at `now`. Most instants wake a single channel:
@@ -277,7 +258,7 @@ SimResult run_single_sharded(const SimConfig& cfg, TraceSource& trace,
   for (auto& f : worker_codec) worker_codec_ns += f.get();
 
   result.phases.total_ns = perf::now_ns() - loop_start_ns;
-  result.phases.trace_gen_ns = perf::ticks_to_ns(trace_gen_ticks);
+  result.phases.trace_gen_ns = perf::ticks_to_ns(inj.trace_gen_ticks());
   result.phases.codec_ns =
       (perf::codec_ns() - codec_ns_start) + worker_codec_ns;
   const std::uint64_t accounted =

@@ -6,6 +6,7 @@
 
 #include "common/event_queue.h"
 #include "common/perf.h"
+#include "sim/injector.h"
 
 namespace wompcm {
 
@@ -32,47 +33,23 @@ SimResult Simulator::run(TraceSource& trace) {
   AddressMapper mapper(cfg_.geom);
 
   Clock clock;
-  Tick trace_clock = 0;
-  std::uint64_t next_id = 1;
   const std::uint64_t warmup = cfg_.warmup_accesses.value_or(0);
-  std::optional<Transaction> pending;
 
   std::uint64_t injected_reads = 0;
   std::uint64_t injected_writes = 0;
   std::vector<std::uint64_t> deferred(mem.num_channels(), 0);
 
-  std::uint64_t trace_gen_ticks = 0;
   const std::uint64_t codec_ns_start = perf::codec_ns();
   const std::uint64_t loop_start_ns = perf::now_ns();
 
-  auto fetch = [&]() -> std::optional<Transaction> {
-    const std::uint64_t t0 = perf::now_ticks();
-    const auto rec = trace.next();
-    if (!rec) {
-      trace_gen_ticks += perf::now_ticks() - t0;
-      return std::nullopt;
-    }
-    trace_clock += rec->gap;
-    Transaction tx;
-    tx.id = next_id++;
-    tx.addr = rec->addr;
-    tx.dec = mapper.decode(rec->addr);
-    tx.type = rec->type;
-    tx.arrival = trace_clock;
-    // Warmup semantics: the budget counts *transactions*, reads and writes
-    // jointly, in trace order — the first `warmup` accesses of either kind
-    // run unrecorded to reach steady state. run_benchmark() rejects budgets
-    // >= the trace length, which would record nothing.
-    tx.record = tx.id > warmup;
-    trace_gen_ticks += perf::now_ticks() - t0;
-    return tx;
-  };
+  // Batched front end (sim/injector.h): fetch + decode a block of records
+  // at a time; peek()/pop() yield the identical one-at-a-time sequence.
+  TraceInjector inj(trace, mapper, warmup, cfg_.injection_block);
+  const Transaction* pending = inj.peek();
 
-  pending = fetch();
-
-  while (pending.has_value() || !mem.drained()) {
+  while (pending != nullptr || !mem.drained()) {
     Tick t_arrival = kNeverTick;
-    if (pending.has_value() && mem.can_accept(pending->dec)) {
+    if (pending != nullptr && mem.can_accept(pending->dec)) {
       t_arrival = std::max(pending->arrival, clock.now());
     }
     if (!clock.advance({t_arrival, mem.next_event_after(clock.now())})) {
@@ -84,7 +61,7 @@ SimResult Simulator::run(TraceSource& trace) {
     // channel's queue accepts them. An arrival held back by back-pressure
     // is timestamped with its actual acceptance time (the CPU stalled;
     // memory latency starts when the controller sees the request).
-    while (pending.has_value() && mem.can_accept(pending->dec) &&
+    while (pending != nullptr && mem.can_accept(pending->dec) &&
            pending->arrival <= now) {
       Transaction tx = *pending;
       if (tx.arrival < now) {
@@ -97,7 +74,8 @@ SimResult Simulator::run(TraceSource& trace) {
         ++injected_writes;
       }
       mem.enqueue(tx);
-      pending = fetch();
+      inj.pop();
+      pending = inj.peek();
     }
 
     mem.tick(now);
@@ -107,7 +85,7 @@ SimResult Simulator::run(TraceSource& trace) {
   // time accumulates in a thread-local counter (this run stays on one
   // thread), and the controller gets the rest.
   result.phases.total_ns = perf::now_ns() - loop_start_ns;
-  result.phases.trace_gen_ns = perf::ticks_to_ns(trace_gen_ticks);
+  result.phases.trace_gen_ns = perf::ticks_to_ns(inj.trace_gen_ticks());
   result.phases.codec_ns = perf::codec_ns() - codec_ns_start;
   const std::uint64_t accounted =
       result.phases.trace_gen_ns + result.phases.codec_ns;

@@ -43,6 +43,12 @@ struct SimConfig {
   // channels * queue_capacity transactions at full load.)
   unsigned queue_capacity = 256;
   bool read_forwarding = true;
+  // Records fetched + decoded per trace-injection batch (sim/injector.h).
+  // Purely a host-side throughput knob: any value >= 1 produces the
+  // bit-identical injection sequence, larger blocks just amortize more of
+  // the per-record front-end overhead (virtual fetch, address decode,
+  // phase timing). 0 is treated as 1.
+  unsigned injection_block = 64;
   // Optional DRAM-timing tier fronting the PCM backend (pcm/tier_spec.h).
   // Disabled by default; a disabled tier leaves runs bit-identical to a
   // tierless build.

@@ -42,6 +42,7 @@ class MmapTraceSource final : public TraceSource {
   MmapTraceSource& operator=(const MmapTraceSource&) = delete;
 
   std::optional<TraceRecord> next() override;
+  std::size_t next_block(TraceRecord* out, std::size_t max) override;
 
   // Total records in the file (known up front, unlike the stream reader).
   std::uint64_t records() const { return records_; }

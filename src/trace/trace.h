@@ -7,6 +7,8 @@
 // aggregate stream statistics the architectures are sensitive to.
 #pragma once
 
+#include <algorithm>
+#include <cstddef>
 #include <optional>
 #include <vector>
 
@@ -25,6 +27,23 @@ class TraceSource {
   virtual ~TraceSource() = default;
   // Returns the next record, or nullopt at end of trace.
   virtual std::optional<TraceRecord> next() = 0;
+
+  // Bulk fetch: fills `out` with up to `max` records and returns the count
+  // (0 at end of trace). Exactly equivalent to `max` sequential next()
+  // calls — same records, same order — so callers may mix the two freely.
+  // The default loops over next(); sources with cheap in-memory access
+  // override it so the injection front end (sim/injector.h) pays the
+  // virtual call and refill bookkeeping once per block instead of once per
+  // record.
+  virtual std::size_t next_block(TraceRecord* out, std::size_t max) {
+    std::size_t n = 0;
+    while (n < max) {
+      const std::optional<TraceRecord> rec = next();
+      if (!rec) break;
+      out[n++] = *rec;
+    }
+    return n;
+  }
 };
 
 // In-memory trace, mainly for tests.
@@ -36,6 +55,13 @@ class VectorTraceSource final : public TraceSource {
   std::optional<TraceRecord> next() override {
     if (pos_ >= records_.size()) return std::nullopt;
     return records_[pos_++];
+  }
+
+  std::size_t next_block(TraceRecord* out, std::size_t max) override {
+    const std::size_t n = std::min(max, records_.size() - pos_);
+    std::copy_n(records_.begin() + static_cast<std::ptrdiff_t>(pos_), n, out);
+    pos_ += n;
+    return n;
   }
 
  private:

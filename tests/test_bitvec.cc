@@ -211,5 +211,52 @@ TEST_P(BitVecSizeTest, TransitionsPartitionXor) {
 INSTANTIATE_TEST_SUITE_P(Sizes, BitVecSizeTest,
                          ::testing::Values(1, 3, 63, 64, 65, 127, 128, 1000));
 
+// Per-bit reference loops for the unrolled word counters. The production
+// counters process four words per iteration with a scalar remainder tail;
+// these pin them to the bit-at-a-time definition across lengths that
+// exercise every tail shape (0..4 leftover words, partial last word).
+std::size_t scalar_popcount(const BitVec& v) {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < v.size(); ++i) n += v.get(i) ? 1 : 0;
+  return n;
+}
+
+std::pair<std::size_t, std::size_t> scalar_transitions(const BitVec& a,
+                                                       const BitVec& b) {
+  std::size_t sets = 0, resets = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!a.get(i) && b.get(i)) ++sets;
+    if (a.get(i) && !b.get(i)) ++resets;
+  }
+  return {sets, resets};
+}
+
+class BitVecUnrollTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BitVecUnrollTest, PopcountMatchesScalarReference) {
+  const std::size_t n = GetParam();
+  BitVec v(n);
+  for (std::size_t i = 0; i < n; i += 2) v.set(i, true);
+  for (std::size_t i = 0; i < n; i += 7) v.set(i, false);
+  EXPECT_EQ(v.popcount(), scalar_popcount(v));
+}
+
+TEST_P(BitVecUnrollTest, TransitionsMatchScalarReference) {
+  const std::size_t n = GetParam();
+  BitVec a(n), b(n);
+  for (std::size_t i = 0; i < n; i += 2) a.set(i, true);
+  for (std::size_t i = 0; i < n; i += 3) b.set(i, true);
+  for (std::size_t i = 0; i < n; i += 5) b.set(i, false);
+  const auto [sets, resets] = scalar_transitions(a, b);
+  EXPECT_EQ(a.set_transitions_to(b), sets);
+  EXPECT_EQ(a.reset_transitions_to(b), resets);
+}
+
+// Word counts 0..9 in every tail class mod 4, plus odd bit lengths that
+// leave a masked partial last word.
+INSTANTIATE_TEST_SUITE_P(OddLengths, BitVecUnrollTest,
+                         ::testing::Values(1, 31, 64, 65, 129, 191, 256, 257,
+                                           321, 385, 449, 513, 577, 600));
+
 }  // namespace
 }  // namespace wompcm

@@ -16,7 +16,7 @@ namespace {
 
 TagArray make(ReplacementKind kind, unsigned sets, unsigned ways,
               std::uint64_t seed = 1) {
-  return TagArray(sets, ways, make_replacement_policy(kind, sets, ways, seed));
+  return TagArray(sets, ways, kind, seed);
 }
 
 TEST(TagArray, KindStringsRoundTrip) {
