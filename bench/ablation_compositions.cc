@@ -32,8 +32,11 @@ int main(int argc, char** argv) {
   const std::vector<WorkloadProfile> profiles = {*find_profile("401.bzip2"),
                                                  *find_profile("ocean")};
 
-  const auto rows = run_arch_sweep(paper_config(), archs, profiles, accesses,
-                                   seed);
+  RunRequest req;
+  req.config = paper_config();
+  req.trace = TraceSpec::profile(WorkloadProfile{}, accesses);
+  req.options.seed = seed;
+  const auto rows = run_sweep(req, archs, profiles);
 
   std::printf("Composition ablation: %zu valid cells of the "
               "{main} x {cache} x {refresh} cross-product\n"

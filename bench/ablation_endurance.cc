@@ -55,7 +55,8 @@ int main(int argc, char** argv) {
       cfg.arch.kind = v.kind;
       cfg.arch.start_gap = v.start_gap;
       cfg.arch.start_gap_interval = 128;
-      const SimResult r = run_benchmark(cfg, p, accesses, seed);
+      const SimResult r = run({cfg, TraceSpec::profile(p, accesses),
+                               RunOptions::with_seed(seed)});
       t.add_row({v.label, TextTable::fmt(r.max_line_wear, 1),
                  TextTable::fmt(r.mean_line_wear, 2),
                  TextTable::fmt(r.lifetime_years * 365.25 * 24.0, 1),
@@ -91,7 +92,8 @@ int main(int argc, char** argv) {
     cfg.arch.kind = ArchKind::kWomPcm;
     cfg.arch.start_gap = sg;
     cfg.arch.start_gap_interval = 4;
-    const SimResult r = run_benchmark(cfg, hot, accesses / 2, seed);
+    const SimResult r = run({cfg, TraceSpec::profile(hot, accesses / 2),
+                             RunOptions::with_seed(seed)});
     t2.add_row({sg ? "wom-pcm + start-gap" : "wom-pcm",
                 TextTable::fmt(r.max_line_wear, 1),
                 TextTable::fmt(r.mean_line_wear, 2),

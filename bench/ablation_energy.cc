@@ -37,7 +37,8 @@ int main(int argc, char** argv) {
     for (const ArchKind kind : kinds) {
       SimConfig cfg = paper_config();
       cfg.arch.kind = kind;
-      const SimResult r = run_benchmark(cfg, p, accesses, seed);
+      const SimResult r = run({cfg, TraceSpec::profile(p, accesses),
+                               RunOptions::with_seed(seed)});
       const double n =
           static_cast<double>(r.injected_reads + r.injected_writes);
       if (kind == ArchKind::kBaseline) base_w = r.avg_write_ns();

@@ -32,7 +32,8 @@ int main(int argc, char** argv) {
     const auto p = *find_profile(name);
     SimConfig base = paper_config();
     base.arch.kind = ArchKind::kBaseline;
-    const SimResult rb = run_benchmark(base, p, accesses, seed);
+    const SimResult rb = run({base, TraceSpec::profile(p, accesses),
+                              RunOptions::with_seed(seed)});
 
     struct Variant {
       const char* label;
@@ -49,7 +50,8 @@ int main(int argc, char** argv) {
       SimConfig cfg = paper_config();
       cfg.arch.kind = v.kind;
       cfg.arch.fnw_fast_fraction = v.fnw_fast;
-      const SimResult res = run_benchmark(cfg, p, accesses, seed);
+      const SimResult res = run({cfg, TraceSpec::profile(p, accesses),
+                                 RunOptions::with_seed(seed)});
       const double writes = static_cast<double>(res.injected_writes);
       t.add_row({name, v.label,
                  TextTable::fmt(res.avg_write_ns() / rb.avg_write_ns()),

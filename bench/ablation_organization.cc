@@ -35,7 +35,8 @@ int main(int argc, char** argv) {
     const auto p = *find_profile(name);
     SimConfig base = paper_config();
     base.arch.kind = ArchKind::kBaseline;
-    const SimResult rb = run_benchmark(base, p, accesses, seed);
+    const SimResult rb = run({base, TraceSpec::profile(p, accesses),
+                              RunOptions::with_seed(seed)});
 
     double w[2], r[2];
     const WomOrganization orgs[] = {WomOrganization::kWideColumn,
@@ -44,7 +45,8 @@ int main(int argc, char** argv) {
       SimConfig cfg = paper_config();
       cfg.arch.kind = ArchKind::kWomPcm;
       cfg.arch.organization = orgs[i];
-      const SimResult res = run_benchmark(cfg, p, accesses, seed);
+      const SimResult res = run({cfg, TraceSpec::profile(p, accesses),
+                                 RunOptions::with_seed(seed)});
       w[i] = res.avg_write_ns() / rb.avg_write_ns();
       r[i] = res.avg_read_ns() / rb.avg_read_ns();
     }
@@ -65,7 +67,8 @@ int main(int argc, char** argv) {
     for (int i = 0; i < 2; ++i) {
       SimConfig cfg = paper_config();
       cfg.sched.policy = pol[i];
-      const SimResult res = run_benchmark(cfg, p, accesses, seed);
+      const SimResult res = run({cfg, TraceSpec::profile(p, accesses),
+                                 RunOptions::with_seed(seed)});
       w[i] = res.avg_write_ns();
       r[i] = res.avg_read_ns();
     }

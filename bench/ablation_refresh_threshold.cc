@@ -32,7 +32,8 @@ int main(int argc, char** argv) {
     const auto p = *find_profile(name);
     SimConfig base = paper_config();
     base.arch.kind = ArchKind::kBaseline;
-    const SimResult rb = run_benchmark(base, p, accesses, seed);
+    const SimResult rb = run({base, TraceSpec::profile(p, accesses),
+                              RunOptions::with_seed(seed)});
 
     std::vector<std::string> row{name};
     std::uint64_t cmds0 = 0;
@@ -40,14 +41,16 @@ int main(int argc, char** argv) {
       SimConfig cfg = paper_config();
       cfg.arch.kind = ArchKind::kRefreshWomPcm;
       cfg.refresh.threshold = th;
-      const SimResult res = run_benchmark(cfg, p, accesses, seed);
+      const SimResult res = run({cfg, TraceSpec::profile(p, accesses),
+                                 RunOptions::with_seed(seed)});
       if (th == 0.0) cmds0 = res.refresh_commands;
       row.push_back(TextTable::fmt(res.avg_write_ns() / rb.avg_write_ns()));
     }
     SimConfig cfg = paper_config();
     cfg.arch.kind = ArchKind::kRefreshWomPcm;
     cfg.refresh.write_pausing = false;
-    const SimResult nop = run_benchmark(cfg, p, accesses, seed);
+    const SimResult nop = run({cfg, TraceSpec::profile(p, accesses),
+                               RunOptions::with_seed(seed)});
     row.push_back(TextTable::fmt(nop.avg_write_ns() / rb.avg_write_ns()));
     row.push_back(std::to_string(cmds0));
     t.add_row(std::move(row));

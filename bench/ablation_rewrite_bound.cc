@@ -50,12 +50,14 @@ int main(int argc, char** argv) {
     for (const WorkloadProfile* p : {&bench1, &bench2}) {
       SimConfig base = paper_config();
       base.arch.kind = ArchKind::kBaseline;
-      const SimResult rb = run_benchmark(base, *p, accesses, seed);
+      const SimResult rb = run({base, TraceSpec::profile(*p, accesses),
+                                RunOptions::with_seed(seed)});
 
       SimConfig cfg = paper_config();
       cfg.arch.kind = ArchKind::kWomPcm;
       cfg.arch.code = name;
-      const SimResult rw = run_benchmark(cfg, *p, accesses, seed);
+      const SimResult rw = run({cfg, TraceSpec::profile(*p, accesses),
+                                RunOptions::with_seed(seed)});
       wnorm += rw.avg_write_ns() / rb.avg_write_ns() / 2.0;
       rnorm += rw.avg_read_ns() / rb.avg_read_ns() / 2.0;
     }

@@ -35,7 +35,8 @@ int main(int argc, char** argv) {
         SimConfig cfg = paper_config();
         cfg.arch = a;
         cfg.row_policy = policy;
-        results.push_back(run_benchmark(cfg, p, accesses, seed));
+        results.push_back(run({cfg, TraceSpec::profile(p, accesses),
+                               RunOptions::with_seed(seed)}));
       }
       const double base_w = results[0].avg_write_ns();
       t.add_row({name, to_string(policy), TextTable::fmt(base_w, 1),

@@ -89,7 +89,8 @@ int main(int argc, char** argv) {
     std::uint64_t wb = 0;
     double cap = 0.0;
     for (const WorkloadProfile& p : profiles) {
-      const SimResult res = run_benchmark(cell.cfg, p, accesses, seed);
+      const SimResult res = run({cell.cfg, TraceSpec::profile(p, accesses),
+                                 RunOptions::with_seed(seed)});
       w += res.avg_write_ns();
       r += res.avg_read_ns();
       hit += res.tier_hit_rate();

@@ -1,0 +1,134 @@
+// Shared plumbing for the perf_* benches: the BENCH_*.json file prologue
+// (bench name / schema / host environment) and the deterministic-result
+// comparison predicate every bit-identity A/B uses.
+//
+// The JSON schema stays hand-rolled on purpose — each bench owns its body
+// and closing brace; this header only removes the copy-pasted parts. All
+// field helpers emit a trailing comma, so the bench must end its object
+// with at least one field or section it writes itself.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "common/thread_pool.h"
+#include "sim/simulator.h"
+
+namespace wompcm::bench {
+
+// Compares the deterministic portion of two results; phase counters are
+// wall-clock and excluded by design.
+inline bool same_result(const SimResult& a, const SimResult& b,
+                        std::string* why) {
+  auto fail = [&](const char* what) {
+    *why = what;
+    return false;
+  };
+  if (a.arch_name != b.arch_name) return fail("arch_name");
+  if (a.end_time != b.end_time) return fail("end_time");
+  if (a.injected_reads != b.injected_reads) return fail("injected_reads");
+  if (a.injected_writes != b.injected_writes) return fail("injected_writes");
+  if (a.deferred_injections != b.deferred_injections) {
+    return fail("deferred_injections");
+  }
+  if (a.refresh_commands != b.refresh_commands) return fail("refresh");
+  if (a.refresh_rows != b.refresh_rows) return fail("refresh_rows");
+  const auto& ra = a.stats.demand_read_latency;
+  const auto& rb = b.stats.demand_read_latency;
+  const auto& wa = a.stats.demand_write_latency;
+  const auto& wb = b.stats.demand_write_latency;
+  if (ra.count() != rb.count() || ra.sum() != rb.sum() ||
+      ra.min() != rb.min() || ra.max() != rb.max()) {
+    return fail("read latency stats");
+  }
+  if (wa.count() != wb.count() || wa.sum() != wb.sum() ||
+      wa.min() != wb.min() || wa.max() != wb.max()) {
+    return fail("write latency stats");
+  }
+  if (a.stats.counters.all() != b.stats.counters.all()) {
+    return fail("counters");
+  }
+  if (a.energy_read_pj != b.energy_read_pj ||
+      a.energy_write_pj != b.energy_write_pj ||
+      a.energy_refresh_pj != b.energy_refresh_pj) {
+    return fail("energy");
+  }
+  if (a.max_line_wear != b.max_line_wear ||
+      a.mean_line_wear != b.mean_line_wear ||
+      a.lifetime_years != b.lifetime_years) {
+    return fail("wear");
+  }
+  return true;
+}
+
+// Open-brace-to-environment writer for a BENCH_*.json file. Usage:
+//
+//   BenchJson json(out_path, "perf_sweep");
+//   if (!json.valid()) { ...; return 1; }
+//   json.field_u64("accesses", accesses);
+//   json.environment(note);                  // hardware_threads + flags
+//   std::fprintf(json.file(), "  \"rows\": [...]\n}\n");  // bench-owned body
+class BenchJson {
+ public:
+  BenchJson(const std::string& path, const char* bench, int schema = 1)
+      : f_(std::fopen(path.c_str(), "w")) {
+    if (f_ == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(f_, "{\n");
+    field_str("bench", bench);
+    std::fprintf(f_, "  \"schema\": %d,\n", schema);
+  }
+  ~BenchJson() {
+    if (f_ != nullptr) std::fclose(f_);
+  }
+  BenchJson(const BenchJson&) = delete;
+  BenchJson& operator=(const BenchJson&) = delete;
+
+  bool valid() const { return f_ != nullptr; }
+  std::FILE* file() { return f_; }
+
+  void field_u64(const char* key, std::uint64_t v) {
+    std::fprintf(f_, "  \"%s\": %llu,\n", key,
+                 static_cast<unsigned long long>(v));
+  }
+  void field_int(const char* key, long long v) {
+    std::fprintf(f_, "  \"%s\": %lld,\n", key, v);
+  }
+  void field_bool(const char* key, bool v) {
+    std::fprintf(f_, "  \"%s\": %s,\n", key, v ? "true" : "false");
+  }
+  void field_str(const char* key, const std::string& v) {
+    std::fprintf(f_, "  \"%s\": \"%s\",\n", key, v.c_str());
+  }
+
+  // The host-environment block every bench records: hardware_threads and
+  // degraded_environment (single-thread hosts contend with everything else
+  // on the machine; trend tooling discounts such points), plus the
+  // free-form provenance note when one was given.
+  void environment(const std::string& note = "") {
+    const unsigned hw = ThreadPool::hardware_workers();
+    std::fprintf(f_, "  \"hardware_threads\": %u,\n", hw);
+    field_bool("degraded_environment", hw == 1);
+    if (!note.empty()) field_str("note", note);
+  }
+
+  // One "{...phase counters...}" object (no surrounding key, no comma):
+  // shared by the per-run and summed-over-cells phase reports.
+  void phases_object(const SimResult::PhaseCounters& ph) {
+    std::fprintf(f_,
+                 "{\"trace_gen\": %llu, \"controller\": %llu, "
+                 "\"codec\": %llu, \"total\": %llu}",
+                 static_cast<unsigned long long>(ph.trace_gen_ns),
+                 static_cast<unsigned long long>(ph.controller_ns),
+                 static_cast<unsigned long long>(ph.codec_ns),
+                 static_cast<unsigned long long>(ph.total_ns));
+  }
+
+ private:
+  std::FILE* f_ = nullptr;
+};
+
+}  // namespace wompcm::bench

@@ -97,7 +97,8 @@ void BM_SimulateAccesses(benchmark::State& state) {
   for (auto _ : state) {
     SimConfig cfg = paper_config();
     cfg.arch.kind = ArchKind::kRefreshWomPcm;
-    benchmark::DoNotOptimize(run_benchmark(cfg, profile, accesses, 42));
+    benchmark::DoNotOptimize(run({cfg, TraceSpec::profile(profile, accesses),
+                                  RunOptions::with_seed(42)}));
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(accesses));

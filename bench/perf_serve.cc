@@ -1,14 +1,17 @@
-// Perf harness for sharded single-run execution: a multi-stream "serve"
-// driver. Merges N per-core benchmark streams into one arrival-ordered
-// mix (trace/mix.h), runs it against a multi-channel platform serially
-// and sharded (sim/sharded.h), verifies the results are bit-identical,
-// and reports accesses/sec versus streams x jobs plus each channel
+// Perf harness for multi-stream serving. Builds N per-core benchmark
+// streams and runs them against a multi-channel platform three ways:
+// serially over the pre-merged mix (trace/mix.h), sharded over the same
+// mix (sim/sharded.h), and in service mode — N live SimService sessions
+// (sim/service.h) fed chunk by chunk through the streaming submit/step
+// API, under back-pressure. All three are verified bit-identical, and
+// the report shows accesses/sec versus streams x jobs plus each channel
 // shard's bus utilization.
 //
 // Arguments: accesses=N per stream (default 10000), seed=S (42),
-// channels=C (4), jobs=J (4; the sharded run also measures jobs=2 when
-// J != 2), streams=K (0 = the full {1, 2, 4, 8} sweep, otherwise just K),
-// out=FILE (BENCH_serve.json).
+// channels=C (4), jobs=J (4; the sharded/service runs also measure
+// jobs=2 when J != 2), streams=K (0 = the full {1, 2, 4, 8} sweep,
+// otherwise just K), chunk=B (256 records per submit), out=FILE
+// (BENCH_serve.json).
 //
 // On a single-hardware-thread host the sharded numbers measure barrier
 // overhead, not parallelism; the JSON carries "degraded_environment":
@@ -19,10 +22,12 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.h"
 #include "common/config.h"
 #include "common/perf.h"
 #include "common/thread_pool.h"
 #include "sim/experiment.h"
+#include "sim/service.h"
 #include "sim/sharded.h"
 #include "stats/metrics.h"
 #include "trace/mix.h"
@@ -32,48 +37,10 @@ namespace {
 
 using namespace wompcm;
 
-// Compares the deterministic portion of two results; phase counters are
-// wall-clock and excluded by design (same predicate as perf_sweep).
-bool same_result(const SimResult& a, const SimResult& b, std::string* why) {
-  auto fail = [&](const char* what) {
-    *why = what;
-    return false;
-  };
-  if (a.arch_name != b.arch_name) return fail("arch_name");
-  if (a.end_time != b.end_time) return fail("end_time");
-  if (a.injected_reads != b.injected_reads) return fail("injected_reads");
-  if (a.injected_writes != b.injected_writes) return fail("injected_writes");
-  if (a.deferred_injections != b.deferred_injections) {
-    return fail("deferred_injections");
-  }
-  if (a.refresh_commands != b.refresh_commands) return fail("refresh");
-  if (a.refresh_rows != b.refresh_rows) return fail("refresh_rows");
-  const auto& ra = a.stats.demand_read_latency;
-  const auto& rb = b.stats.demand_read_latency;
-  const auto& wa = a.stats.demand_write_latency;
-  const auto& wb = b.stats.demand_write_latency;
-  if (ra.count() != rb.count() || ra.sum() != rb.sum() ||
-      ra.min() != rb.min() || ra.max() != rb.max()) {
-    return fail("read latency stats");
-  }
-  if (wa.count() != wb.count() || wa.sum() != wb.sum() ||
-      wa.min() != wb.min() || wa.max() != wb.max()) {
-    return fail("write latency stats");
-  }
-  if (a.stats.counters.all() != b.stats.counters.all()) {
-    return fail("counters");
-  }
-  if (a.energy_read_pj != b.energy_read_pj ||
-      a.energy_write_pj != b.energy_write_pj ||
-      a.energy_refresh_pj != b.energy_refresh_pj) {
-    return fail("energy");
-  }
-  if (a.max_line_wear != b.max_line_wear ||
-      a.mean_line_wear != b.mean_line_wear ||
-      a.lifetime_years != b.lifetime_years) {
-    return fail("wear");
-  }
-  return true;
+// Per-stream seed recipe shared by the mix and service drivers (and by
+// tools/womd): stream s draws from seed ^ (golden-ratio * (s + 1)).
+std::uint64_t stream_seed(std::uint64_t seed, unsigned s) {
+  return seed ^ (0x9e3779b97f4a7c15ULL * (s + 1));
 }
 
 // One serve mix: `streams` synthetic benchmark generators (cycling the
@@ -89,7 +56,7 @@ std::unique_ptr<TraceSource> make_mix(unsigned streams,
   for (unsigned s = 0; s < streams; ++s) {
     const WorkloadProfile& p = profiles[s % profiles.size()];
     parts.push_back(std::make_unique<SyntheticTraceSource>(
-        p, geom, seed ^ (0x9e3779b97f4a7c15ULL * (s + 1)), accesses));
+        p, geom, stream_seed(seed, s), accesses));
   }
   return std::make_unique<MixTraceSource>(std::move(parts));
 }
@@ -116,6 +83,69 @@ Measurement measure_sharded(const SimConfig& cfg, unsigned streams,
   Measurement m;
   const std::uint64_t t0 = perf::now_ns();
   m.result = run_single_sharded(cfg, *mix, jobs);
+  m.wall_s = static_cast<double>(perf::now_ns() - t0) * 1e-9;
+  return m;
+}
+
+// Service mode: every stream is a live session, fed `chunk` records per
+// submit and resubmitting whatever back-pressure bounces — the interactive
+// client path, where the service does the arrival-order merge the batch
+// drivers above get from MixTraceSource.
+Measurement measure_service(const SimConfig& cfg, unsigned streams,
+                            std::uint64_t accesses, std::uint64_t seed,
+                            unsigned jobs, std::size_t chunk) {
+  const std::vector<WorkloadProfile> profiles = benchmark_profiles();
+  struct Feed {
+    std::unique_ptr<TraceSource> src;
+    SessionId id = 0;
+    std::vector<TraceRecord> buf;
+    std::size_t off = 0;  // accepted prefix of buf
+    bool eof = false;
+    bool closed = false;
+  };
+  std::vector<Feed> feeds(streams);
+  for (unsigned s = 0; s < streams; ++s) {
+    feeds[s].src = std::make_unique<SyntheticTraceSource>(
+        profiles[s % profiles.size()], cfg.geom, stream_seed(seed, s),
+        accesses);
+  }
+
+  Measurement m;
+  const std::uint64_t t0 = perf::now_ns();
+  ServiceOptions opts;
+  opts.jobs = jobs;
+  SimService svc(cfg, opts);
+  for (unsigned s = 0; s < streams; ++s) {
+    StreamSpec spec;
+    spec.name = "core" + std::to_string(s);
+    spec.capacity = 4 * chunk;
+    feeds[s].id = svc.open_session(spec);
+  }
+  unsigned live = streams;
+  while (live > 0) {
+    for (Feed& fd : feeds) {
+      if (fd.closed) continue;
+      if (fd.off == fd.buf.size() && !fd.eof) {
+        fd.buf.resize(chunk);
+        const std::size_t n = fd.src->next_block(fd.buf.data(), chunk);
+        fd.buf.resize(n);
+        fd.off = 0;
+        fd.eof = n < chunk;
+      }
+      if (fd.off < fd.buf.size()) {
+        fd.off +=
+            svc.submit(fd.id, fd.buf.data() + fd.off, fd.buf.size() - fd.off)
+                .accepted;
+      }
+      if (fd.eof && fd.off == fd.buf.size()) {
+        svc.close_session(fd.id);
+        fd.closed = true;
+        --live;
+      }
+    }
+    svc.step();
+  }
+  m.result = svc.drain();
   m.wall_s = static_cast<double>(perf::now_ns() - t0) * 1e-9;
   return m;
 }
@@ -149,6 +179,8 @@ int main(int argc, char** argv) {
   const auto jobs = static_cast<unsigned>(args.get_int_or("jobs", 4));
   const auto one_streams =
       static_cast<unsigned>(args.get_int_or("streams", 0));
+  const auto chunk =
+      static_cast<std::size_t>(args.get_int_or("chunk", 256));
   const std::string out_path = args.get_string_or("out", "BENCH_serve.json");
   // Free-form provenance string recorded in the JSON (e.g. whether the
   // run was interleaved A/B against a baseline binary).
@@ -176,51 +208,50 @@ int main(int argc, char** argv) {
     std::printf("WARNING: single hardware thread — sharded timings measure "
                 "barrier overhead, not parallelism (degraded environment)\n");
   }
-  std::printf("\n%8s %8s %12s %12s %9s\n", "streams", "jobs", "acc/s",
-              "wall_s", "speedup");
+  std::printf("\n%8s %8s %8s %12s %12s %9s\n", "streams", "mode", "jobs",
+              "acc/s", "wall_s", "speedup");
 
-  std::FILE* f = std::fopen(out_path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
-    return 1;
-  }
-  std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"bench\": \"perf_serve\",\n");
-  std::fprintf(f, "  \"schema\": 1,\n");
-  std::fprintf(f, "  \"arch\": \"%s\",\n", to_string(cfg.arch.kind));
-  std::fprintf(f, "  \"channels\": %u,\n", channels);
-  std::fprintf(f, "  \"accesses_per_stream\": %llu,\n",
-               static_cast<unsigned long long>(accesses));
-  std::fprintf(f, "  \"seed\": %llu,\n",
-               static_cast<unsigned long long>(seed));
-  std::fprintf(f, "  \"hardware_threads\": %u,\n", hw);
-  std::fprintf(f, "  \"degraded_environment\": %s,\n",
-               degraded ? "true" : "false");
-  if (!note.empty()) {
-    std::fprintf(f, "  \"note\": \"%s\",\n", note.c_str());
-  }
+  bench::BenchJson json(out_path, "perf_serve", /*schema=*/2);
+  if (!json.valid()) return 1;
+  json.field_str("arch", to_string(cfg.arch.kind));
+  json.field_u64("channels", channels);
+  json.field_u64("accesses_per_stream", accesses);
+  json.field_u64("seed", seed);
+  json.field_u64("chunk", chunk);
+  json.environment(note);
+  std::FILE* f = json.file();
   std::fprintf(f, "  \"rows\": [\n");
 
   bool first_row = true;
   for (const unsigned streams : stream_counts) {
     const Measurement serial = measure_serial(cfg, streams, accesses, seed);
-    std::printf("%8u %8s %12.0f %12.3f %9s\n", streams, "serial",
+    std::printf("%8u %8s %8s %12.0f %12.3f %9s\n", streams, "batch", "1",
                 accesses_per_sec(serial), serial.wall_s, "1.00x");
 
     for (const unsigned j : job_counts) {
       const Measurement sharded =
           measure_sharded(cfg, streams, accesses, seed, j);
+      const Measurement service =
+          measure_service(cfg, streams, accesses, seed, j, chunk);
       std::string why;
-      if (!same_result(serial.result, sharded.result, &why)) {
-        std::printf("MISMATCH at streams=%u jobs=%u: %s differs\n", streams,
-                    j, why.c_str());
-        std::fclose(f);
+      if (!bench::same_result(serial.result, sharded.result, &why)) {
+        std::printf("MISMATCH (sharded) at streams=%u jobs=%u: %s differs\n",
+                    streams, j, why.c_str());
+        return 1;
+      }
+      if (!bench::same_result(serial.result, service.result, &why)) {
+        std::printf("MISMATCH (service) at streams=%u jobs=%u: %s differs\n",
+                    streams, j, why.c_str());
         return 1;
       }
       const double speedup =
           sharded.wall_s > 0.0 ? serial.wall_s / sharded.wall_s : 0.0;
-      std::printf("%8u %8u %12.0f %12.3f %8.2fx\n", streams, j,
-                  accesses_per_sec(sharded), sharded.wall_s, speedup);
+      const double svc_speedup =
+          service.wall_s > 0.0 ? serial.wall_s / service.wall_s : 0.0;
+      std::printf("%8u %8s %8u %12.0f %12.3f %8.2fx\n", streams, "sharded",
+                  j, accesses_per_sec(sharded), sharded.wall_s, speedup);
+      std::printf("%8u %8s %8u %12.0f %12.3f %8.2fx\n", streams, "service",
+                  j, accesses_per_sec(service), service.wall_s, svc_speedup);
 
       const std::vector<double> util =
           shard_utilization(sharded.result, channels);
@@ -229,11 +260,14 @@ int main(int argc, char** argv) {
                    "%.1f},\n"
                    "     \"sharded\": {\"wall_s\": %.6f, "
                    "\"accesses_per_sec\": %.1f},\n"
+                   "     \"service\": {\"wall_s\": %.6f, "
+                   "\"accesses_per_sec\": %.1f, \"speedup\": %.3f},\n"
                    "     \"speedup\": %.3f, \"bit_identical\": true,\n"
                    "     \"per_shard_utilization\": [",
                    first_row ? "" : ",\n", streams, j, serial.wall_s,
                    accesses_per_sec(serial), sharded.wall_s,
-                   accesses_per_sec(sharded), speedup);
+                   accesses_per_sec(sharded), service.wall_s,
+                   accesses_per_sec(service), svc_speedup, speedup);
       for (unsigned c = 0; c < channels; ++c) {
         std::fprintf(f, "%s%.4f", c == 0 ? "" : ", ", util[c]);
       }
@@ -242,7 +276,7 @@ int main(int argc, char** argv) {
     }
   }
   std::fprintf(f, "\n  ]\n}\n");
-  std::fclose(f);
-  std::printf("\nresults bit-identical; wrote %s\n", out_path.c_str());
+  std::printf("\nresults bit-identical (sharded and service); wrote %s\n",
+              out_path.c_str());
   return 0;
 }

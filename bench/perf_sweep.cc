@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.h"
 #include "common/config.h"
 #include "common/perf.h"
 #include "common/thread_pool.h"
@@ -19,50 +20,6 @@
 namespace {
 
 using namespace wompcm;
-
-// Compares the deterministic portion of two results; phase counters are
-// wall-clock and excluded by design.
-bool same_result(const SimResult& a, const SimResult& b, std::string* why) {
-  auto fail = [&](const char* what) {
-    *why = what;
-    return false;
-  };
-  if (a.arch_name != b.arch_name) return fail("arch_name");
-  if (a.end_time != b.end_time) return fail("end_time");
-  if (a.injected_reads != b.injected_reads) return fail("injected_reads");
-  if (a.injected_writes != b.injected_writes) return fail("injected_writes");
-  if (a.deferred_injections != b.deferred_injections) {
-    return fail("deferred_injections");
-  }
-  if (a.refresh_commands != b.refresh_commands) return fail("refresh");
-  if (a.refresh_rows != b.refresh_rows) return fail("refresh_rows");
-  const auto& ra = a.stats.demand_read_latency;
-  const auto& rb = b.stats.demand_read_latency;
-  const auto& wa = a.stats.demand_write_latency;
-  const auto& wb = b.stats.demand_write_latency;
-  if (ra.count() != rb.count() || ra.sum() != rb.sum() ||
-      ra.min() != rb.min() || ra.max() != rb.max()) {
-    return fail("read latency stats");
-  }
-  if (wa.count() != wb.count() || wa.sum() != wb.sum() ||
-      wa.min() != wb.min() || wa.max() != wb.max()) {
-    return fail("write latency stats");
-  }
-  if (a.stats.counters.all() != b.stats.counters.all()) {
-    return fail("counters");
-  }
-  if (a.energy_read_pj != b.energy_read_pj ||
-      a.energy_write_pj != b.energy_write_pj ||
-      a.energy_refresh_pj != b.energy_refresh_pj) {
-    return fail("energy");
-  }
-  if (a.max_line_wear != b.max_line_wear ||
-      a.mean_line_wear != b.mean_line_wear ||
-      a.lifetime_years != b.lifetime_years) {
-    return fail("wear");
-  }
-  return true;
-}
 
 SimResult::PhaseCounters sum_phases(const std::vector<SweepRow>& rows) {
   SimResult::PhaseCounters total;
@@ -113,19 +70,25 @@ int main(int argc, char** argv) {
   }
   std::printf("\n");
 
+  RunRequest req;
+  req.config = paper_config();
+  req.trace = TraceSpec::profile(WorkloadProfile{}, accesses);
+  req.options.seed = seed;
+
   const std::uint64_t t0 = perf::now_ns();
-  const auto serial = run_arch_sweep(paper_config(), archs, profiles,
-                                     accesses, seed, ParallelPolicy::serial());
+  req.options.jobs = ParallelPolicy::serial();
+  const auto serial = run_sweep(req, archs, profiles);
   const std::uint64_t t1 = perf::now_ns();
-  const auto parallel =
-      run_arch_sweep(paper_config(), archs, profiles, accesses, seed, par);
+  req.options.jobs = par;
+  const auto parallel = run_sweep(req, archs, profiles);
   const std::uint64_t t2 = perf::now_ns();
 
   // Bit-identical check: every cell, every deterministic field.
   for (std::size_t i = 0; i < serial.size(); ++i) {
     for (std::size_t j = 0; j < serial[i].results.size(); ++j) {
       std::string why;
-      if (!same_result(serial[i].results[j], parallel[i].results[j], &why)) {
+      if (!bench::same_result(serial[i].results[j], parallel[i].results[j],
+                              &why)) {
         std::printf("MISMATCH at (%s, %s): %s differs\n",
                     serial[i].benchmark.c_str(),
                     serial[i].results[j].arch_name.c_str(), why.c_str());
@@ -157,28 +120,16 @@ int main(int argc, char** argv) {
 
   // Machine-readable mirror of the report above (schema in README.md),
   // feeding the BENCH_*.json trajectory alongside perf_trace.
-  std::FILE* f = std::fopen(out_path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
-    return 1;
-  }
-  std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"bench\": \"perf_sweep\",\n");
-  std::fprintf(f, "  \"schema\": 1,\n");
-  std::fprintf(f, "  \"accesses\": %llu,\n",
-               static_cast<unsigned long long>(accesses));
-  std::fprintf(f, "  \"seed\": %llu,\n",
-               static_cast<unsigned long long>(seed));
-  std::fprintf(f, "  \"archs\": %zu,\n", archs.size());
-  std::fprintf(f, "  \"profiles\": %zu,\n", profiles.size());
-  std::fprintf(f, "  \"cells\": %zu,\n", cells);
-  std::fprintf(f, "  \"jobs\": %u,\n", par.resolved_jobs());
-  std::fprintf(f, "  \"hardware_threads\": %u,\n", hw);
-  std::fprintf(f, "  \"degraded_environment\": %s,\n",
-               degraded ? "true" : "false");
-  if (!note.empty()) {
-    std::fprintf(f, "  \"note\": \"%s\",\n", note.c_str());
-  }
+  bench::BenchJson json(out_path, "perf_sweep");
+  if (!json.valid()) return 1;
+  json.field_u64("accesses", accesses);
+  json.field_u64("seed", seed);
+  json.field_u64("archs", archs.size());
+  json.field_u64("profiles", profiles.size());
+  json.field_u64("cells", cells);
+  json.field_u64("jobs", par.resolved_jobs());
+  json.environment(note);
+  std::FILE* f = json.file();
   std::fprintf(f, "  \"serial\": {\"wall_s\": %.6f, \"cells_per_sec\": %.3f},\n",
                serial_s, static_cast<double>(cells) / serial_s);
   std::fprintf(f,
@@ -186,14 +137,9 @@ int main(int argc, char** argv) {
                parallel_s, static_cast<double>(cells) / parallel_s);
   std::fprintf(f, "  \"speedup\": %.3f,\n", serial_s / parallel_s);
   std::fprintf(f, "  \"bit_identical\": true,\n");
-  std::fprintf(f, "  \"serial_phases_ns\": {\"trace_gen\": %llu, "
-               "\"controller\": %llu, \"codec\": %llu, \"total\": %llu}\n",
-               static_cast<unsigned long long>(ph.trace_gen_ns),
-               static_cast<unsigned long long>(ph.controller_ns),
-               static_cast<unsigned long long>(ph.codec_ns),
-               static_cast<unsigned long long>(ph.total_ns));
-  std::fprintf(f, "}\n");
-  std::fclose(f);
+  std::fprintf(f, "  \"serial_phases_ns\": ");
+  json.phases_object(ph);
+  std::fprintf(f, "\n}\n");
   std::printf("\nwrote %s\n", out_path.c_str());
   return 0;
 }

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.h"
 #include "common/config.h"
 #include "common/thread_pool.h"
 #include "sim/experiment.h"
@@ -139,7 +140,8 @@ int main(int argc, char** argv) {
   for (const Platform& p : platforms()) {
     RunSample best;
     for (int r = 0; r < repeats; ++r) {
-      const SimResult res = run_benchmark(p.cfg, *profile, accesses, seed);
+      const SimResult res = run({p.cfg, TraceSpec::profile(*profile, accesses),
+                                 RunOptions::with_seed(seed)});
       const double wall =
           static_cast<double>(res.phases.total_ns) * 1e-9;
       if (r == 0 || wall < best.wall_s) {
@@ -161,25 +163,15 @@ int main(int argc, char** argv) {
     rows.emplace_back(p.name, best);
   }
 
-  std::FILE* f = std::fopen(out_path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
-    return 1;
-  }
-  std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"bench\": \"perf_trace\",\n");
-  std::fprintf(f, "  \"schema\": 1,\n");
-  std::fprintf(f, "  \"accesses\": %llu,\n",
-               static_cast<unsigned long long>(accesses));
-  std::fprintf(f, "  \"seed\": %llu,\n",
-               static_cast<unsigned long long>(seed));
-  std::fprintf(f, "  \"profile\": \"%s\",\n", profile_name.c_str());
-  std::fprintf(f, "  \"repeats\": %d,\n", repeats);
-  std::fprintf(f, "  \"hardware_threads\": %u,\n", hw);
-  std::fprintf(f, "  \"degraded_environment\": %s,\n",
-               degraded ? "true" : "false");
-  std::fprintf(f, "  \"interleaved_ab\": %s,\n",
-               interleaved_ab ? "true" : "false");
+  bench::BenchJson json(out_path, "perf_trace");
+  if (!json.valid()) return 1;
+  std::FILE* f = json.file();
+  json.field_u64("accesses", accesses);
+  json.field_u64("seed", seed);
+  json.field_str("profile", profile_name);
+  json.field_int("repeats", repeats);
+  json.environment();
+  json.field_bool("interleaved_ab", interleaved_ab);
   std::fprintf(f, "  \"runs\": {\n");
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const auto& [name, s] = rows[i];
@@ -188,13 +180,9 @@ int main(int argc, char** argv) {
     std::fprintf(f, "      \"wall_s\": %.6f,\n", s.wall_s);
     std::fprintf(f, "      \"accesses_per_sec\": %.1f,\n",
                  s.accesses_per_sec);
-    std::fprintf(f, "      \"phases_ns\": {\"trace_gen\": %llu, "
-                 "\"controller\": %llu, \"codec\": %llu, \"total\": %llu}\n",
-                 static_cast<unsigned long long>(s.phases.trace_gen_ns),
-                 static_cast<unsigned long long>(s.phases.controller_ns),
-                 static_cast<unsigned long long>(s.phases.codec_ns),
-                 static_cast<unsigned long long>(s.phases.total_ns));
-    std::fprintf(f, "    }%s\n", i + 1 < rows.size() ? "," : "");
+    std::fprintf(f, "      \"phases_ns\": ");
+    json.phases_object(s.phases);
+    std::fprintf(f, "\n    }%s\n", i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  }%s\n", baseline_json.empty() ? "" : ",");
   if (!baseline_json.empty()) {
@@ -214,7 +202,6 @@ int main(int argc, char** argv) {
     std::fprintf(f, "  }\n");
   }
   std::fprintf(f, "}\n");
-  std::fclose(f);
   std::printf("\nwrote %s\n", out_path.c_str());
   return 0;
 }

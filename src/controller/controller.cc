@@ -121,6 +121,13 @@ void MemoryController::enqueue(Transaction tx) {
           stats_.demand_write_latency.add(latency);
           stats_.write_latency_hist.add(latency);
         }
+        if (tx.stream != 0) {
+          SimStats::StreamSlice& slice = stats_.stream_slice(tx.stream);
+          ++slice.tier_absorbed;
+          (tx.type == AccessType::kRead ? slice.read_latency
+                                        : slice.write_latency)
+              .add(latency);
+        }
       }
       if (r.done > last_completion_) last_completion_ = r.done;
       return;
@@ -135,6 +142,11 @@ void MemoryController::enqueue(Transaction tx) {
         stats_.demand_read_latency.add(latency);
         stats_.read_latency_hist.add(latency);
         bump(ctr_reads_forwarded_, "ctrl.reads_forwarded");
+        if (tx.stream != 0) {
+          SimStats::StreamSlice& slice = stats_.stream_slice(tx.stream);
+          ++slice.reads_forwarded;
+          slice.read_latency.add(latency);
+        }
       }
       if (tx.arrival + latency > last_completion_) {
         last_completion_ = tx.arrival + latency;
@@ -337,6 +349,12 @@ void MemoryController::issue(Transaction tx, Tick now) {
     } else {
       stats_.demand_write_latency.add(latency);
       stats_.write_latency_hist.add(latency);
+    }
+    if (tx.stream != 0 && !tx.internal && !tx.background) {
+      (tx.type == AccessType::kRead
+           ? stats_.stream_slice(tx.stream).read_latency
+           : stats_.stream_slice(tx.stream).write_latency)
+          .add(latency);
     }
   }
 

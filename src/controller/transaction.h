@@ -19,6 +19,11 @@ struct Transaction {
   // a composed WOM cache) but drained at background priority.
   bool background = false;
   bool record = true;     // false during warmup: simulate but keep no stats
+  // Originating service session + 1 (sim/service.h); 0 means untagged (the
+  // batch path and all internally-spawned transactions). A nonzero tag
+  // routes recorded demand latencies into the per-stream slice of that
+  // session on top of the aggregate books — it never changes scheduling.
+  std::uint32_t stream = 0;
 };
 
 }  // namespace wompcm

@@ -46,27 +46,6 @@ std::vector<ArchConfig> composition_sweep(
   return out;
 }
 
-SimResult run_benchmark(const SimConfig& cfg, const WorkloadProfile& profile,
-                        std::uint64_t accesses, std::uint64_t seed) {
-  RunRequest req;
-  req.config = cfg;
-  req.trace = TraceSpec::profile(profile, accesses);
-  req.options.seed = seed;
-  return run(req);
-}
-
-std::vector<SweepRow> run_arch_sweep(
-    const SimConfig& base, const std::vector<ArchConfig>& archs,
-    const std::vector<WorkloadProfile>& profiles, std::uint64_t accesses,
-    std::uint64_t seed, ParallelPolicy policy) {
-  RunRequest req;
-  req.config = base;
-  req.trace = TraceSpec::profile(WorkloadProfile{}, accesses);
-  req.options.seed = seed;
-  req.options.jobs = policy;
-  return run_sweep(req, archs, profiles);
-}
-
 double column_mean(const std::vector<std::vector<double>>& m, std::size_t c) {
   if (m.empty()) return 0.0;
   double sum = 0.0;

@@ -27,33 +27,12 @@ std::vector<ArchConfig> paper_architectures();
 // {refresh kinds}, silently skipping combinations composition_valid()
 // rejects (e.g. refresh=rat with no WOM-coded region). Every returned
 // ArchConfig carries an explicit validated composition plus `code` for its
-// WOM regions, ready to feed run_arch_sweep().
+// WOM regions, ready to feed run_sweep() (sim/run.h).
 std::vector<ArchConfig> composition_sweep(
     const std::vector<CodingKind>& main_codings,
     const std::vector<bool>& cache_options,
     const std::vector<RefreshKind>& refresh_options,
     const std::string& code = "rs23-inv");
-
-// Runs one benchmark profile on one configuration. A thin wrapper over
-// run() (sim/run.h) — equivalent to a RunRequest with
-// TraceSpec::profile(profile, accesses) and the given seed.
-// Throws std::invalid_argument if the (resolved) warmup budget is not
-// smaller than `accesses`: warmup counts reads and writes jointly, so a
-// budget >= the trace length would silently record no latency samples.
-SimResult run_benchmark(const SimConfig& cfg, const WorkloadProfile& profile,
-                        std::uint64_t accesses, std::uint64_t seed);
-
-// Runs every profile against every architecture (same trace per benchmark:
-// the trace is regenerated with the same seed for each architecture).
-// Cells are distributed per `policy` (default: all hardware threads); the
-// result is independent of the policy. A thin wrapper over run_sweep()
-// (sim/run.h), which ParallelSweepRunner (sim/parallel_sweep.h) backs.
-std::vector<SweepRow> run_arch_sweep(const SimConfig& base,
-                                     const std::vector<ArchConfig>& archs,
-                                     const std::vector<WorkloadProfile>& profiles,
-                                     std::uint64_t accesses,
-                                     std::uint64_t seed,
-                                     ParallelPolicy policy = {});
 
 // Normalizes a metric against column `baseline` (default: first arch).
 // extract(result) must return the metric (e.g. avg write latency).

@@ -79,8 +79,8 @@ class TraceInjector {
       tx.arrival = trace_clock_;
       // Warmup semantics: the budget counts *transactions*, reads and
       // writes jointly, in trace order — the first `warmup` accesses of
-      // either kind run unrecorded to reach steady state. run_benchmark()
-      // rejects budgets >= the trace length, which would record nothing.
+      // either kind run unrecorded to reach steady state. run() rejects
+      // budgets >= the trace length, which would record nothing.
       tx.record = tx.id > warmup_;
       buf_.push_back(tx);
     }

@@ -6,6 +6,23 @@
 
 namespace wompcm {
 
+namespace {
+
+// One (architecture, benchmark) cell: an independent run of `base` with
+// the architecture swapped in.
+SimResult run_cell(const SimConfig& base, const ArchConfig& arch,
+                   const WorkloadProfile& profile, std::uint64_t accesses,
+                   std::uint64_t seed) {
+  RunRequest req;
+  req.config = base;
+  req.config.arch = arch;
+  req.trace = TraceSpec::profile(profile, accesses);
+  req.options.seed = seed;
+  return run(req);
+}
+
+}  // namespace
+
 ParallelSweepRunner::ParallelSweepRunner(ParallelPolicy policy)
     : jobs_(policy.resolved_jobs()) {}
 
@@ -22,9 +39,8 @@ std::vector<SweepRow> ParallelSweepRunner::run(
   if (jobs_ <= 1) {
     for (std::size_t i = 0; i < profiles.size(); ++i) {
       for (std::size_t j = 0; j < archs.size(); ++j) {
-        SimConfig cfg = base;
-        cfg.arch = archs[j];
-        rows[i].results[j] = run_benchmark(cfg, profiles[i], accesses, seed);
+        rows[i].results[j] =
+            run_cell(base, archs[j], profiles[i], accesses, seed);
       }
     }
     return rows;
@@ -37,9 +53,7 @@ std::vector<SweepRow> ParallelSweepRunner::run(
     for (std::size_t j = 0; j < archs.size(); ++j) {
       cells.push_back(pool.submit([&base, &archs, &profiles, accesses, seed, i,
                                    j] {
-        SimConfig cfg = base;
-        cfg.arch = archs[j];
-        return run_benchmark(cfg, profiles[i], accesses, seed);
+        return run_cell(base, archs[j], profiles[i], accesses, seed);
       }));
     }
   }

@@ -9,11 +9,11 @@
 //   req.options.seed = 42;                   // + warmup / jobs / scan_mode
 //   SimResult r = run(req);
 //
-// run_benchmark() and run_arch_sweep() (sim/experiment.h) are thin
-// wrappers over run()/run_sweep(), kept for the existing call sites; new
-// code should build a RunRequest. The request is a plain value: it can be
-// copied, stored, and replayed — two runs of an identical request produce
-// identical SimResults.
+// The request is a plain value: it can be copied, stored, and replayed —
+// two runs of an identical request produce identical SimResults. run()
+// itself is a thin client of SimService (sim/service.h): it opens one
+// session, feeds the whole trace through the submit/step cycle, and
+// drains; interactive clients use the service directly.
 #pragma once
 
 #include <cstdint>

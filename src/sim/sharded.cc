@@ -1,20 +1,14 @@
 #include "sim/sharded.h"
 
 #include <algorithm>
-#include <atomic>
 #include <chrono>
-#include <future>
-#include <memory>
-#include <optional>
 #include <stdexcept>
 #include <thread>
-#include <vector>
+#include <utility>
 
 #include "common/event_queue.h"
 #include "common/perf.h"
-#include "common/thread_pool.h"
-#include "controller/controller.h"
-#include "sim/injector.h"
+#include "sim/service.h"
 
 namespace wompcm {
 
@@ -28,37 +22,17 @@ inline void cpu_pause() {
 #endif
 }
 
-// One channel's shard: a private controller, architecture replica, and
-// stats sink. Replica c only ever services channel c, so the lanes share
-// no mutable state — the barrier below is the only synchronization.
-struct Lane {
-  std::unique_ptr<Architecture> arch;
-  SimStats stats;
-  std::unique_ptr<MemoryController> ctl;
-};
-
-// The gang barrier. A round is: coordinator publishes `now` and bumps
-// `epoch` (release); each worker acquires the bump, steps its due lanes,
-// and bumps `done` (release); the coordinator spins on `done` (acquire).
-// Those two edges carry every lane-state handoff: anything an executor
-// wrote to a lane before its release is visible to whichever executor
-// touches that lane after the matching acquire — which is also why the
-// coordinator may step a worker-owned lane inline between rounds.
-struct Barrier {
-  std::atomic<std::uint64_t> epoch{0};
-  std::atomic<unsigned> done{0};
-  std::atomic<Tick> now{0};
-  std::atomic<bool> stop{false};
-};
+}  // namespace
 
 // Adaptive wait for the next round: spin briefly (instants are usually
 // microseconds apart), then yield, then sleep with a capped backoff so an
-// idle worker costs nothing while the coordinator runs inline fast-paths.
+// idle worker costs nothing while the coordinator runs inline fast-paths
+// — or while a long-lived service waits for client input between steps.
 // Yielding early matters on oversubscribed machines (including a
 // single-core host): the peer the waiter depends on may need this very
 // CPU, and a full quantum of pure spinning would serialize every round at
 // scheduler-tick granularity.
-void wait_for_epoch(const Barrier& bar, std::uint64_t seen) {
+void ShardedBackend::wait_for_epoch(const Barrier& bar, std::uint64_t seen) {
   unsigned spins = 0;
   std::uint32_t sleep_us = 1;
   while (bar.epoch.load(std::memory_order_acquire) == seen) {
@@ -77,7 +51,7 @@ void wait_for_epoch(const Barrier& bar, std::uint64_t seen) {
 // The coordinator's end-of-round wait: same spin-then-yield shape, but no
 // sleep backoff — workers finish a round in bounded time, and the
 // coordinator is on the critical path of every round.
-void wait_for_done(const Barrier& bar, unsigned workers) {
+void ShardedBackend::wait_for_done(const Barrier& bar, unsigned workers) {
   unsigned spins = 0;
   while (bar.done.load(std::memory_order_acquire) != workers) {
     if (++spins < 128) {
@@ -88,26 +62,22 @@ void wait_for_done(const Barrier& bar, unsigned workers) {
   }
 }
 
-}  // namespace
-
-SimResult run_single_sharded(const SimConfig& cfg, TraceSource& trace,
-                             unsigned jobs) {
+ShardedBackend::ShardedBackend(const SimConfig& cfg, unsigned jobs) {
   const unsigned channels = cfg.geom.channels;
   if (jobs < 2 || channels < 2) {
     throw std::invalid_argument(
-        "run_single_sharded: needs jobs >= 2 and channels >= 2 (callers "
-        "fall back to the serial path otherwise)");
+        "ShardedBackend: needs jobs >= 2 and channels >= 2 (callers fall "
+        "back to the serial path otherwise)");
   }
-  const unsigned executors = std::min(jobs, channels);
-  const bool dispatch_all = cfg.sched.scan_mode == ScanMode::kReference;
+  executors_ = std::min(jobs, channels);
+  dispatch_all_ = cfg.sched.scan_mode == ScanMode::kReference;
 
   // Build the lanes: per-channel replicas of the architecture, each wired
   // to a controller scoped to exactly that channel. Lane c's replica sees
   // only channel c's accesses, and every stochastic or order-sensitive
   // accounting stream is keyed per channel, so the union of the lanes'
-  // books equals the one shared instance the serial run keeps.
-  std::vector<std::unique_ptr<Lane>> lanes;
-  lanes.reserve(channels);
+  // books equals the one shared instance the serial backend keeps.
+  lanes_.reserve(channels);
   for (unsigned c = 0; c < channels; ++c) {
     auto lane = std::make_unique<Lane>();
     lane->arch = make_architecture(cfg.arch, cfg.geom, cfg.timing, cfg.fault);
@@ -123,187 +93,164 @@ SimResult run_single_sharded(const SimConfig& cfg, TraceSource& trace,
     ccfg.tier = cfg.tier;
     lane->ctl =
         std::make_unique<MemoryController>(ccfg, *lane->arch, lane->stats);
-    lanes.push_back(std::move(lane));
+    lanes_.push_back(std::move(lane));
   }
+  arch_name_ = lanes_[0]->arch->name();
 
-  // Lane c belongs to executor c % executors; the coordinator (this
-  // thread) is executor 0, workers are 1..executors-1.
-  Barrier bar;
-  const unsigned workers = executors - 1;
-  ThreadPool pool(workers);
-  std::vector<std::future<std::uint64_t>> worker_codec;
-  worker_codec.reserve(workers);
+  // Lane c belongs to executor c % executors; the coordinator (the thread
+  // calling tick()) is executor 0, workers are 1..executors-1.
+  const unsigned workers = executors_ - 1;
+  pool_ = std::make_unique<ThreadPool>(workers);
+  worker_codec_.reserve(workers);
+  const bool dispatch_all = dispatch_all_;
   for (unsigned w = 1; w <= workers; ++w) {
     std::vector<MemoryController*> mine;
-    for (unsigned c = w; c < channels; c += executors) {
-      mine.push_back(lanes[c]->ctl.get());
+    for (unsigned c = w; c < channels; c += executors_) {
+      mine.push_back(lanes_[c]->ctl.get());
     }
-    worker_codec.push_back(pool.submit([&bar, dispatch_all,
-                                        mine = std::move(mine)]() {
+    worker_codec_.push_back(pool_->submit([this, dispatch_all,
+                                           mine = std::move(mine)]() {
       // Report the codec time this worker's shards accumulate (it lands in
       // the pool thread's thread-local counter, invisible to the caller).
       const std::uint64_t codec_start = perf::codec_ns();
       std::uint64_t seen = 0;
       for (;;) {
-        wait_for_epoch(bar, seen);
+        wait_for_epoch(bar_, seen);
         ++seen;
-        if (bar.stop.load(std::memory_order_acquire)) break;
-        const Tick now = bar.now.load(std::memory_order_relaxed);
+        if (bar_.stop.load(std::memory_order_acquire)) break;
+        const Tick now = bar_.now.load(std::memory_order_relaxed);
         for (MemoryController* ctl : mine) {
           if (dispatch_all || ctl->pending_event() <= now) ctl->tick(now);
         }
-        bar.done.fetch_add(1, std::memory_order_release);
+        bar_.done.fetch_add(1, std::memory_order_release);
       }
       return perf::codec_ns() - codec_start;
     }));
   }
+}
 
-  SimResult result;
-  result.arch_name = lanes[0]->arch->name();
-  AddressMapper mapper(cfg.geom);
+ShardedBackend::~ShardedBackend() { retire_workers(); }
 
-  Clock clock;
-  const std::uint64_t warmup = cfg.warmup_accesses.value_or(0);
+void ShardedBackend::retire_workers() {
+  if (retired_) return;
+  retired_ = true;
+  bar_.stop.store(true, std::memory_order_release);
+  bar_.epoch.fetch_add(1, std::memory_order_release);
+  for (auto& f : worker_codec_) worker_codec_ns_ += f.get();
+  pool_.reset();
+}
 
-  std::uint64_t injected_reads = 0;
-  std::uint64_t injected_writes = 0;
-  std::vector<std::uint64_t> deferred(channels, 0);
+bool ShardedBackend::can_accept(const DecodedAddr& dec) const {
+  return lanes_[dec.channel]->ctl->can_accept();
+}
 
-  const std::uint64_t codec_ns_start = perf::codec_ns();
-  const std::uint64_t loop_start_ns = perf::now_ns();
+void ShardedBackend::enqueue(const Transaction& tx) {
+  lanes_[tx.dec.channel]->ctl->enqueue(tx);
+}
 
-  auto drained = [&]() {
-    for (const auto& lane : lanes) {
-      if (!lane->ctl->drained()) return false;
-    }
-    return true;
-  };
-  auto next_event_after = [&](Tick now) {
-    Tick t = kNeverTick;
-    for (const auto& lane : lanes) {
-      t = earliest(t, lane->ctl->next_event_after(now));
-    }
-    return t;
-  };
-
-  // Identical to the serial front end (sim/simulator.cc): the trace is
-  // read, decoded, and numbered on the coordinator, in trace order, a
-  // block at a time.
-  TraceInjector inj(trace, mapper, warmup, cfg.injection_block);
-  const Transaction* pending = inj.peek();
-
-  // The serial event loop, verbatim, with the tick fanned out. The clock
-  // advance and the injection while-loop are byte-for-byte the serial
-  // ones, so the (instant, arrivals, due-lanes) sequence matches exactly.
-  while (pending != nullptr || !drained()) {
-    Tick t_arrival = kNeverTick;
-    if (pending != nullptr && lanes[pending->dec.channel]->ctl->can_accept()) {
-      t_arrival = std::max(pending->arrival, clock.now());
-    }
-    if (!clock.advance({t_arrival, next_event_after(clock.now())})) {
-      break;  // quiescent: nothing can ever happen
-    }
-    const Tick now = clock.now();
-
-    while (pending != nullptr &&
-           lanes[pending->dec.channel]->ctl->can_accept() &&
-           pending->arrival <= now) {
-      Transaction tx = *pending;
-      if (tx.arrival < now) {
-        ++deferred[tx.dec.channel];
-        tx.arrival = now;
-      }
-      if (tx.type == AccessType::kRead) {
-        ++injected_reads;
-      } else {
-        ++injected_writes;
-      }
-      lanes[tx.dec.channel]->ctl->enqueue(tx);
-      inj.pop();
-      pending = inj.peek();
-    }
-
-    // Step the shards due at `now`. Most instants wake a single channel:
-    // step it inline and skip the barrier round entirely (safe — every
-    // prior worker write to the lane is ordered before the coordinator's
-    // last `done` acquire, and this write before the next epoch release).
-    unsigned due = 0;
-    unsigned only_due = 0;
-    for (unsigned c = 0; c < channels; ++c) {
-      if (dispatch_all || lanes[c]->ctl->pending_event() <= now) {
-        ++due;
-        only_due = c;
-      }
-    }
-    if (due == 0) continue;
-    if (due == 1) {
-      lanes[only_due]->ctl->tick(now);
-      continue;
-    }
-    bar.now.store(now, std::memory_order_relaxed);
-    bar.done.store(0, std::memory_order_relaxed);
-    bar.epoch.fetch_add(1, std::memory_order_release);
-    for (unsigned c = 0; c < channels; c += executors) {
-      if (dispatch_all || lanes[c]->ctl->pending_event() <= now) {
-        lanes[c]->ctl->tick(now);
-      }
-    }
-    wait_for_done(bar, workers);
+Tick ShardedBackend::next_event_after(Tick now) {
+  Tick t = kNeverTick;
+  for (const auto& lane : lanes_) {
+    t = earliest(t, lane->ctl->next_event_after(now));
   }
+  return t;
+}
 
-  // Retire the workers and collect the codec time their shards spent.
-  bar.stop.store(true, std::memory_order_release);
-  bar.epoch.fetch_add(1, std::memory_order_release);
-  std::uint64_t worker_codec_ns = 0;
-  for (auto& f : worker_codec) worker_codec_ns += f.get();
-
-  result.phases.total_ns = perf::now_ns() - loop_start_ns;
-  result.phases.trace_gen_ns = perf::ticks_to_ns(inj.trace_gen_ticks());
-  result.phases.codec_ns =
-      (perf::codec_ns() - codec_ns_start) + worker_codec_ns;
-  const std::uint64_t accounted =
-      result.phases.trace_gen_ns + result.phases.codec_ns;
-  result.phases.controller_ns =
-      result.phases.total_ns > accounted ? result.phases.total_ns - accounted
-                                         : 0;
-
-  // Fold the lanes back, in channel order, into the books the serial run
-  // keeps: publish the same registry entries, merge the architecture
-  // replicas into replica 0, and merge the per-lane stats sinks.
-  Tick end_time = 0;
-  for (const auto& lane : lanes) {
-    end_time = std::max(end_time, lane->ctl->last_completion());
+bool ShardedBackend::drained() const {
+  for (const auto& lane : lanes_) {
+    if (!lane->ctl->drained()) return false;
   }
+  return true;
+}
 
-  MetricsRegistry reg;
-  reg.set_counter("sim.injected_reads", injected_reads);
-  reg.set_counter("sim.injected_writes", injected_writes);
-  std::uint64_t deferred_total = 0;
+Tick ShardedBackend::last_completion() const {
+  Tick t = 0;
+  for (const auto& lane : lanes_) {
+    t = std::max(t, lane->ctl->last_completion());
+  }
+  return t;
+}
+
+void ShardedBackend::tick(Tick now) {
+  // Step the shards due at `now`. Most instants wake a single channel:
+  // step it inline and skip the barrier round entirely (safe — every
+  // prior worker write to the lane is ordered before the coordinator's
+  // last `done` acquire, and this write before the next epoch release).
+  const unsigned channels = num_channels();
+  unsigned due = 0;
+  unsigned only_due = 0;
   for (unsigned c = 0; c < channels; ++c) {
-    reg.set_counter(channel_metric(c, "deferred_injections"), deferred[c]);
-    deferred_total += deferred[c];
+    if (dispatch_all_ || lanes_[c]->ctl->pending_event() <= now) {
+      ++due;
+      only_due = c;
+    }
   }
-  reg.set_counter("sim.deferred_injections", deferred_total);
-  reg.set_counter("sim.end_time", end_time);
-  for (const auto& lane : lanes) lane->ctl->publish_metrics(reg);
+  if (due == 0) return;
+  if (due == 1) {
+    lanes_[only_due]->ctl->tick(now);
+    return;
+  }
+  bar_.now.store(now, std::memory_order_relaxed);
+  bar_.done.store(0, std::memory_order_relaxed);
+  bar_.epoch.fetch_add(1, std::memory_order_release);
+  for (unsigned c = 0; c < channels; c += executors_) {
+    if (dispatch_all_ || lanes_[c]->ctl->pending_event() <= now) {
+      lanes_[c]->ctl->tick(now);
+    }
+  }
+  wait_for_done(bar_, executors_ - 1);
+}
+
+void ShardedBackend::fold_stream(std::uint32_t stream,
+                                 SimStats::StreamSlice& into) const {
+  if (stream == 0) return;
+  for (const auto& lane : lanes_) {
+    if (stream <= lane->stats.streams.size()) {
+      into.merge(lane->stats.streams[stream - 1]);
+    }
+  }
+}
+
+void ShardedBackend::finish(MetricsRegistry& reg, SimResult& result) {
+  // Retire the workers first: after this the lanes are exclusively ours.
+  retire_workers();
+
+  // Fold the lanes back, in channel order, into the books the serial
+  // backend keeps: publish the same registry entries, merge the
+  // architecture replicas into replica 0, and merge the per-lane stats
+  // sinks.
+  const unsigned channels = num_channels();
+  reg.set_counter("sim.end_time", last_completion());
+  for (const auto& lane : lanes_) lane->ctl->publish_metrics(reg);
   for (unsigned c = 1; c < channels; ++c) {
-    lanes[0]->arch->merge_accounting_from(*lanes[c]->arch);
+    lanes_[0]->arch->merge_accounting_from(*lanes_[c]->arch);
   }
-  lanes[0]->arch->publish_metrics(reg, end_time);
-  result.collect(reg);
+  lanes_[0]->arch->publish_metrics(reg, last_completion());
 
-  for (const auto& lane : lanes) result.stats.merge_from(lane->stats);
-  result.stats.counters.merge(lanes[0]->arch->counters());
+  for (const auto& lane : lanes_) result.stats.merge_from(lane->stats);
+  result.stats.counters.merge(lanes_[0]->arch->counters());
 
-  const Architecture& arch0 = *lanes[0]->arch;
+  const Architecture& arch0 = *lanes_[0]->arch;
   result.banks.reserve(arch0.num_resources());
   for (unsigned r = 0; r < arch0.num_resources(); ++r) {
-    const Bank& b = lanes[arch0.resource_channel(r)]->ctl->bank(r);
+    const Bank& b = lanes_[arch0.resource_channel(r)]->ctl->bank(r);
     result.banks.push_back(SimResult::BankUtilization{
         b.busy_time(), b.ops(), b.row_hits(), b.pauses(),
         arch0.is_cache_resource(r)});
   }
-  return result;
+}
+
+SimResult run_single_sharded(const SimConfig& cfg, TraceSource& trace,
+                             unsigned jobs) {
+  if (jobs < 2 || cfg.geom.channels < 2) {
+    throw std::invalid_argument(
+        "run_single_sharded: needs jobs >= 2 and channels >= 2 (callers "
+        "fall back to the serial path otherwise)");
+  }
+  ServiceOptions opts;
+  opts.jobs = jobs;
+  SimService service(cfg, opts);
+  return service.run_to_completion(trace);
 }
 
 }  // namespace wompcm

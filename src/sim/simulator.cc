@@ -1,122 +1,18 @@
 #include "sim/simulator.h"
 
-#include <algorithm>
-#include <memory>
-#include <optional>
-
-#include "common/event_queue.h"
-#include "common/perf.h"
-#include "sim/injector.h"
+#include "sim/service.h"
 
 namespace wompcm {
 
 Simulator::Simulator(const SimConfig& cfg) : cfg_(cfg) {}
 
 SimResult Simulator::run(TraceSource& trace) {
-  std::unique_ptr<Architecture> arch =
-      make_architecture(cfg_.arch, cfg_.geom, cfg_.timing, cfg_.fault);
-
-  SimResult result;
-  result.arch_name = arch->name();
-
-  MemorySystemConfig mcfg;
-  mcfg.geom = cfg_.geom;
-  mcfg.timing = cfg_.timing;
-  mcfg.sched = cfg_.sched;
-  mcfg.refresh = cfg_.refresh;
-  mcfg.row_policy = cfg_.row_policy;
-  mcfg.queue_capacity = cfg_.queue_capacity;
-  mcfg.read_forwarding = cfg_.read_forwarding;
-  mcfg.tier = cfg_.tier;
-
-  MemorySystem mem(mcfg, *arch, result.stats);
-  AddressMapper mapper(cfg_.geom);
-
-  Clock clock;
-  const std::uint64_t warmup = cfg_.warmup_accesses.value_or(0);
-
-  std::uint64_t injected_reads = 0;
-  std::uint64_t injected_writes = 0;
-  std::vector<std::uint64_t> deferred(mem.num_channels(), 0);
-
-  const std::uint64_t codec_ns_start = perf::codec_ns();
-  const std::uint64_t loop_start_ns = perf::now_ns();
-
-  // Batched front end (sim/injector.h): fetch + decode a block of records
-  // at a time; peek()/pop() yield the identical one-at-a-time sequence.
-  TraceInjector inj(trace, mapper, warmup, cfg_.injection_block);
-  const Transaction* pending = inj.peek();
-
-  while (pending != nullptr || !mem.drained()) {
-    Tick t_arrival = kNeverTick;
-    if (pending != nullptr && mem.can_accept(pending->dec)) {
-      t_arrival = std::max(pending->arrival, clock.now());
-    }
-    if (!clock.advance({t_arrival, mem.next_event_after(clock.now())})) {
-      break;  // quiescent: nothing can ever happen
-    }
-    const Tick now = clock.now();
-
-    // Deliver all arrivals due at or before `now` while the target
-    // channel's queue accepts them. An arrival held back by back-pressure
-    // is timestamped with its actual acceptance time (the CPU stalled;
-    // memory latency starts when the controller sees the request).
-    while (pending != nullptr && mem.can_accept(pending->dec) &&
-           pending->arrival <= now) {
-      Transaction tx = *pending;
-      if (tx.arrival < now) {
-        ++deferred[tx.dec.channel];
-        tx.arrival = now;
-      }
-      if (tx.type == AccessType::kRead) {
-        ++injected_reads;
-      } else {
-        ++injected_writes;
-      }
-      mem.enqueue(tx);
-      inj.pop();
-      pending = inj.peek();
-    }
-
-    mem.tick(now);
-  }
-
-  // Attribute the event loop: trace generation is timed directly, codec
-  // time accumulates in a thread-local counter (this run stays on one
-  // thread), and the controller gets the rest.
-  result.phases.total_ns = perf::now_ns() - loop_start_ns;
-  result.phases.trace_gen_ns = perf::ticks_to_ns(inj.trace_gen_ticks());
-  result.phases.codec_ns = perf::codec_ns() - codec_ns_start;
-  const std::uint64_t accounted =
-      result.phases.trace_gen_ns + result.phases.codec_ns;
-  result.phases.controller_ns =
-      result.phases.total_ns > accounted ? result.phases.total_ns - accounted
-                                         : 0;
-
-  // Every layer publishes its end-of-run scalars into one registry; the
-  // result is then collected in a single pass instead of copied field by
-  // field from each component.
-  MetricsRegistry reg;
-  reg.set_counter("sim.injected_reads", injected_reads);
-  reg.set_counter("sim.injected_writes", injected_writes);
-  std::uint64_t deferred_total = 0;
-  for (unsigned c = 0; c < mem.num_channels(); ++c) {
-    reg.set_counter(channel_metric(c, "deferred_injections"), deferred[c]);
-    deferred_total += deferred[c];
-  }
-  reg.set_counter("sim.deferred_injections", deferred_total);
-  mem.publish_metrics(reg);
-  arch->publish_metrics(reg, mem.last_completion());
-  result.collect(reg);
-
-  result.stats.counters.merge(arch->counters());
-  result.banks.reserve(arch->num_resources());
-  for (const MemorySystem::BankSnapshot& s : mem.banks()) {
-    result.banks.push_back(SimResult::BankUtilization{
-        s.bank->busy_time(), s.bank->ops(), s.bank->row_hits(),
-        s.bank->pauses(), s.is_cache});
-  }
-  return result;
+  // A batch run is one service session drained to completion: SimService
+  // (sim/service.h) owns the event loop, back-pressure, and end-of-run
+  // publishing; the serial backend supplies the exact pre-service memory
+  // system wiring.
+  SimService service(cfg_);
+  return service.run_to_completion(trace);
 }
 
 void SimResult::collect(const MetricsRegistry& reg) {

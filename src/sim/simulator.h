@@ -55,8 +55,8 @@ struct SimConfig {
   TierSpec tier;
   // Number of leading trace accesses to simulate without recording latency
   // stats (steady-state measurement, like a warmed trace window). nullopt
-  // means "auto": run_benchmark() resolves it to 20% of the trace length;
-  // a raw Simulator treats it as zero.
+  // means "auto": run() (sim/run.h) resolves it to 20% of the trace
+  // length; a raw Simulator or SimService treats it as zero.
   std::optional<std::uint64_t> warmup_accesses;
 };
 

@@ -38,4 +38,8 @@ std::string channel_metric(unsigned channel, const std::string& name) {
   return "ch" + std::to_string(channel) + "." + name;
 }
 
+std::string stream_metric(unsigned session, const std::string& name) {
+  return "stream" + std::to_string(session) + "." + name;
+}
+
 }  // namespace wompcm

@@ -54,4 +54,8 @@ class MetricsRegistry {
 // "ch<channel>.<name>" — the canonical per-channel metric name.
 std::string channel_metric(unsigned channel, const std::string& name);
 
+// "stream<session>.<name>" — the canonical per-stream metric name for
+// service sessions (sim/service.h).
+std::string stream_metric(unsigned session, const std::string& name);
+
 }  // namespace wompcm

@@ -21,6 +21,13 @@ void CounterSet::merge(const CounterSet& o) {
   for (const auto& [k, v] : o.all()) map_[k] += v;
 }
 
+void SimStats::StreamSlice::merge(const StreamSlice& o) {
+  read_latency.merge(o.read_latency);
+  write_latency.merge(o.write_latency);
+  reads_forwarded += o.reads_forwarded;
+  tier_absorbed += o.tier_absorbed;
+}
+
 void SimStats::merge_from(const SimStats& o) {
   demand_read_latency.merge(o.demand_read_latency);
   demand_write_latency.merge(o.demand_write_latency);
@@ -28,6 +35,9 @@ void SimStats::merge_from(const SimStats& o) {
   read_latency_hist.merge(o.read_latency_hist);
   write_latency_hist.merge(o.write_latency_hist);
   counters.merge(o.counters);
+  for (std::uint32_t s = 0; s < o.streams.size(); ++s) {
+    stream_slice(s + 1).merge(o.streams[s]);
+  }
 }
 
 double SimStats::read_hit_rate(const std::string& hits,

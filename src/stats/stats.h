@@ -5,6 +5,7 @@
 #include <limits>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "common/types.h"
 #include "stats/histogram.h"
@@ -63,6 +64,26 @@ struct SimStats {
   Log2Histogram read_latency_hist;
   Log2Histogram write_latency_hist;
   CounterSet counters;
+
+  // Per-stream latency slice for service sessions (sim/service.h). Indexed
+  // by Transaction::stream - 1; stream 0 (the batch path) keeps no slice.
+  // A slice is recorded *in addition to* the aggregate latencies above, so
+  // tagging never changes the aggregate books.
+  struct StreamSlice {
+    LatencyStats read_latency;
+    LatencyStats write_latency;
+    std::uint64_t reads_forwarded = 0;  // completed from the write queue
+    std::uint64_t tier_absorbed = 0;    // completed in the DRAM front tier
+    void merge(const StreamSlice& o);
+  };
+  std::vector<StreamSlice> streams;
+
+  // The slice for a nonzero stream tag, grown on demand. Growth allocates;
+  // steady-state recording into an existing slice does not.
+  StreamSlice& stream_slice(std::uint32_t stream) {
+    if (streams.size() < stream) streams.resize(stream);
+    return streams[stream - 1];
+  }
 
   // Folds another run-slice's stats into this one: per-channel SimStats
   // sinks from a sharded run merge back (in channel order) into the one

@@ -6,8 +6,10 @@
 //
 // It exports, by layer:
 //   - run entry:   RunRequest / TraceSpec / RunOptions / run / run_sweep
-//                  (sim/run.h), plus the run_benchmark / run_arch_sweep
-//                  wrappers and the paper platform (sim/experiment.h)
+//                  (sim/run.h) and the paper platform (sim/experiment.h)
+//   - service:     SimService session-oriented streaming API
+//                  (sim/service.h): open_session / submit / step / poll /
+//                  close_session / drain over a long-lived memory system
 //   - results:     SimConfig / SimResult (sim/simulator.h)
 //   - config I/O:  apply_overrides / load_config_file / describe
 //                  (sim/config_io.h) and the key=value CLI parsing
@@ -31,6 +33,7 @@
 #include "sim/experiment.h"
 #include "sim/parallel_sweep.h"
 #include "sim/run.h"
+#include "sim/service.h"
 #include "sim/simulator.h"
 #include "stats/histogram.h"
 #include "stats/table.h"

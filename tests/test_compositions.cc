@@ -97,8 +97,10 @@ TEST(CompositionEquivalence, LegacyKindsMatchExplicitCompositions) {
         SimConfig composed = legacy;
         composed.arch.composition =
             canonical_composition(kc.kind, kc.org);
-        const SimResult a = run_benchmark(legacy, profile, 4000, 11);
-        const SimResult b = run_benchmark(composed, profile, 4000, 11);
+        const SimResult a = run({legacy, TraceSpec::profile(profile, 4000),
+                                 RunOptions::with_seed(11)});
+        const SimResult b = run({composed, TraceSpec::profile(profile, 4000),
+                                 RunOptions::with_seed(11)});
         SCOPED_TRACE(std::string(to_string(kc.kind)) + "/" +
                      to_string(kc.org) + "/scan=" +
                      std::to_string(static_cast<int>(scan)) +
@@ -209,7 +211,11 @@ TEST(CompositionSweep, RunsThroughTheSweepHarness) {
       {RefreshKind::kRat});
   ASSERT_EQ(archs.size(), 2u);
   const std::vector<WorkloadProfile> profiles = {*find_profile("401.bzip2")};
-  const auto rows = run_arch_sweep(small_config(), archs, profiles, 1500, 3);
+  RunRequest req;
+  req.config = small_config();
+  req.trace = TraceSpec::profile(WorkloadProfile{}, 1500);
+  req.options.seed = 3;
+  const auto rows = run_sweep(req, archs, profiles);
   ASSERT_EQ(rows.size(), 1u);
   ASSERT_EQ(rows[0].results.size(), 2u);
   EXPECT_EQ(rows[0].results[0].arch_name, "wcpcm[rs23-inv]");
@@ -239,7 +245,8 @@ TEST(NovelCompositions, RunEndToEndFromConfigFiles) {
     SCOPED_TRACE(nc.file);
     const SimConfig cfg =
         load_config_file(paper_config(), WOMPCM_REPO_DIR + std::string(nc.file));
-    const SimResult r = run_benchmark(cfg, profile, 3000, 5);
+    const SimResult r = run(
+        {cfg, TraceSpec::profile(profile, 3000), RunOptions::with_seed(5)});
     EXPECT_EQ(r.arch_name, nc.arch_name);
     EXPECT_GT(r.capacity_overhead, 0.0);
     EXPECT_GT(r.stats.demand_write_latency.count(), 0u);
@@ -255,7 +262,9 @@ TEST(NovelCompositions, HiddenMainPlusCacheChargesHiddenExtrasOnMisses) {
   // accesses when a read misses the cache or a victim lands in main memory.
   const SimConfig cfg = load_config_file(
       paper_config(), WOMPCM_REPO_DIR "/configs/hidden_refresh_cache.cfg");
-  const SimResult r = run_benchmark(cfg, *find_profile("401.bzip2"), 3000, 5);
+  const SimResult r =
+      run({cfg, TraceSpec::profile(*find_profile("401.bzip2"), 3000),
+           RunOptions::with_seed(5)});
   // Read misses are served by the hidden-page main array (extra tag read);
   // victim write-backs program its hidden page as well.
   EXPECT_GT(r.stats.counters.get("hidden_page.extra_reads"), 0u);

@@ -464,12 +464,14 @@ TEST(ConfigIo, SymmetricArchRuns) {
   SimConfig cfg = apply_overrides(
       paper_config(), KeyValueConfig::from_tokens({"arch=symmetric"}));
   const SimResult r =
-      run_benchmark(cfg, *find_profile("401.bzip2"), 4000, 9);
+      run({cfg, TraceSpec::profile(*find_profile("401.bzip2"), 4000),
+           RunOptions::with_seed(9)});
   EXPECT_EQ(r.arch_name, "symmetric-ideal");
   // Every write is RESET-fast: the symmetric ideal beats conventional PCM.
   SimConfig base = paper_config();
   const SimResult rb =
-      run_benchmark(base, *find_profile("401.bzip2"), 4000, 9);
+      run({base, TraceSpec::profile(*find_profile("401.bzip2"), 4000),
+           RunOptions::with_seed(9)});
   EXPECT_LT(r.avg_write_ns(), rb.avg_write_ns());
 }
 

@@ -33,11 +33,14 @@ TEST(Experiment, PaperArchitecturesInPresentationOrder) {
 TEST(Experiment, RunBenchmarkIsDeterministic) {
   const auto p = *find_profile("456.hmmer");
   const SimConfig cfg = paper_config();
-  const SimResult a = run_benchmark(cfg, p, 5000, 7);
-  const SimResult b = run_benchmark(cfg, p, 5000, 7);
+  const SimResult a =
+      run({cfg, TraceSpec::profile(p, 5000), RunOptions::with_seed(7)});
+  const SimResult b =
+      run({cfg, TraceSpec::profile(p, 5000), RunOptions::with_seed(7)});
   EXPECT_DOUBLE_EQ(a.avg_write_ns(), b.avg_write_ns());
   EXPECT_DOUBLE_EQ(a.avg_read_ns(), b.avg_read_ns());
-  const SimResult c = run_benchmark(cfg, p, 5000, 8);
+  const SimResult c =
+      run({cfg, TraceSpec::profile(p, 5000), RunOptions::with_seed(8)});
   EXPECT_NE(a.avg_write_ns(), c.avg_write_ns());
 }
 
@@ -45,8 +48,10 @@ TEST(Experiment, SeedsDifferAcrossBenchmarks) {
   // The benchmark name is folded into the seed, so two profiles with the
   // same parameters still draw different streams.
   const SimConfig cfg = paper_config();
-  const SimResult a = run_benchmark(cfg, *find_profile("water-ns"), 4000, 7);
-  const SimResult b = run_benchmark(cfg, *find_profile("water-sp"), 4000, 7);
+  const SimResult a = run({cfg, TraceSpec::profile(*find_profile("water-ns"), 4000),
+                           RunOptions::with_seed(7)});
+  const SimResult b = run({cfg, TraceSpec::profile(*find_profile("water-sp"), 4000),
+                           RunOptions::with_seed(7)});
   EXPECT_NE(a.avg_write_ns(), b.avg_write_ns());
 }
 
@@ -54,7 +59,11 @@ TEST(Experiment, SweepShape) {
   const auto archs = paper_architectures();
   const std::vector<WorkloadProfile> profiles = {
       *find_profile("456.hmmer"), *find_profile("qsort")};
-  const auto rows = run_arch_sweep(paper_config(), archs, profiles, 4000, 3);
+  RunRequest req;
+  req.config = paper_config();
+  req.trace = TraceSpec::profile(WorkloadProfile{}, 4000);
+  req.options.seed = 3;
+  const auto rows = run_sweep(req, archs, profiles);
   ASSERT_EQ(rows.size(), 2u);
   for (const SweepRow& row : rows) {
     EXPECT_EQ(row.results.size(), 4u);

@@ -21,7 +21,8 @@ SimResult run_with_mode(SimConfig cfg, ScanMode mode,
                         const std::string& profile, std::uint64_t accesses,
                         std::uint64_t seed) {
   cfg.sched.scan_mode = mode;
-  return run_benchmark(cfg, *find_profile(profile), accesses, seed);
+  return run({cfg, TraceSpec::profile(*find_profile(profile), accesses),
+              RunOptions::with_seed(seed)});
 }
 
 // Every deterministic field of two results must be identical. Phase

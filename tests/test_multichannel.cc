@@ -177,7 +177,9 @@ TEST(MultiChannelSim, EndToEndRun) {
   cfg.geom.channels = 2;
   cfg.geom.ranks = 8;  // keep total ranks comparable
   cfg.arch.kind = ArchKind::kRefreshWomPcm;
-  const SimResult r = run_benchmark(cfg, *find_profile("401.bzip2"), 8000, 5);
+  const SimResult r =
+      run({cfg, TraceSpec::profile(*find_profile("401.bzip2"), 8000),
+           RunOptions::with_seed(5)});
   EXPECT_EQ(r.injected_reads + r.injected_writes, 8000u);
   EXPECT_GT(r.refresh_commands, 0u);
   EXPECT_GT(r.avg_write_ns(), 0.0);

@@ -1,5 +1,5 @@
 // Determinism contract of the parallel sweep engine: for the paper
-// configuration, the parallel and serial run_arch_sweep produce identical
+// configuration, the parallel and serial run_sweep produce identical
 // SimResult stats in identical order, regardless of worker count.
 #include <gtest/gtest.h>
 
@@ -63,10 +63,14 @@ std::vector<WorkloadProfile> test_profiles() {
 TEST(ParallelSweep, ParallelMatchesSerialBitForBit) {
   const auto archs = paper_architectures();
   const auto profiles = test_profiles();
-  const auto serial = run_arch_sweep(paper_config(), archs, profiles, 2500,
-                                     42, ParallelPolicy::serial());
-  const auto parallel = run_arch_sweep(paper_config(), archs, profiles, 2500,
-                                       42, ParallelPolicy::with_jobs(4));
+  RunRequest req;
+  req.config = paper_config();
+  req.trace = TraceSpec::profile(WorkloadProfile{}, 2500);
+  req.options.seed = 42;
+  req.options.jobs = ParallelPolicy::serial();
+  const auto serial = run_sweep(req, archs, profiles);
+  req.options.jobs = ParallelPolicy::with_jobs(4);
+  const auto parallel = run_sweep(req, archs, profiles);
   ASSERT_EQ(serial.size(), parallel.size());
   for (std::size_t i = 0; i < serial.size(); ++i) {
     SCOPED_TRACE(serial[i].benchmark);
@@ -107,9 +111,11 @@ TEST(ParallelSweep, RunnerPreservesRowAndColumnOrder) {
 TEST(ParallelSweep, RejectsWarmupAtLeastTraceLength) {
   SimConfig cfg = paper_config();
   cfg.warmup_accesses = 1000;
-  EXPECT_THROW(run_benchmark(cfg, *find_profile("qsort"), 1000, 1),
+  EXPECT_THROW(run({cfg, TraceSpec::profile(*find_profile("qsort"), 1000),
+                    RunOptions::with_seed(1)}),
                std::invalid_argument);
-  EXPECT_NO_THROW(run_benchmark(cfg, *find_profile("qsort"), 1001, 1));
+  EXPECT_NO_THROW(run({cfg, TraceSpec::profile(*find_profile("qsort"), 1001),
+                       RunOptions::with_seed(1)}));
 }
 
 }  // namespace

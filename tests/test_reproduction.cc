@@ -26,8 +26,11 @@ class ReproductionTest : public ::testing::Test {
                                "462.libq", "qsort", "ocean"}) {
         profiles.push_back(*find_profile(name));
       }
-      return run_arch_sweep(paper_config(), paper_architectures(), profiles,
-                            kAccesses, kSeed);
+      RunRequest req;
+      req.config = paper_config();
+      req.trace = TraceSpec::profile(WorkloadProfile{}, kAccesses);
+      req.options.seed = kSeed;
+      return run_sweep(req, paper_architectures(), profiles);
     }();
     return rows;
   }
@@ -162,7 +165,8 @@ TEST(ReproductionFig6, HitRateDropsWithBanksPerRank) {
       cfg.geom.banks_per_rank = banks;
       cfg.geom.rows_per_bank = 32768 * 32 / banks;
       cfg.arch.kind = ArchKind::kWcpcm;
-      const SimResult r = run_benchmark(cfg, p, 30000, 42);
+      const SimResult r = run({cfg, TraceSpec::profile(p, 30000),
+                               RunOptions::with_seed(42)});
       const double h =
           static_cast<double>(r.stats.counters.get("wcpcm.write_hits"));
       const double m =
@@ -221,7 +225,9 @@ TEST(GoldenEquivalence, PaperConfigIsBitIdenticalToPreRefactorSnapshot) {
       load_config_file(paper_config(), WOMPCM_REPO_DIR "/configs/paper.cfg");
   for (const GoldenRun& g : kGolden) {
     SCOPED_TRACE(g.bench);
-    const SimResult r = run_benchmark(cfg, *find_profile(g.bench), 20000, 42);
+    const SimResult r =
+        run({cfg, TraceSpec::profile(*find_profile(g.bench), 20000),
+             RunOptions::with_seed(42)});
     EXPECT_EQ(r.arch_name, "pcm-refresh[rs23-inv,wide-column]");
     EXPECT_EQ(r.end_time, g.end_time);
     EXPECT_EQ(r.injected_reads, g.injected_reads);

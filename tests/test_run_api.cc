@@ -1,6 +1,6 @@
 // The unified run-entry API (sim/run.h): RunRequest/TraceSpec semantics,
-// equivalence with the legacy run_benchmark/run_arch_sweep wrappers, and
-// the womcode.h umbrella header (this file deliberately includes only it).
+// equivalence with the core engine (Simulator / per-cell runs), and the
+// womcode.h umbrella header (this file deliberately includes only it).
 #include <gtest/gtest.h>
 
 #include <cstdio>
@@ -60,13 +60,18 @@ TEST(TraceSpec, MixedSeedFoldsTheName) {
   EXPECT_EQ(f.mixed_seed(8), 8u);
 }
 
-TEST(RunApi, MatchesRunBenchmarkBitForBit) {
-  const SimConfig cfg = small_config();
-  const auto profile = *find_profile("456.hmmer");
-  const SimResult legacy = run_benchmark(cfg, profile, 4000, 9);
-  const SimResult unified = run(
-      {cfg, TraceSpec::profile(profile, 4000), RunOptions::with_seed(9)});
-  expect_identical(legacy, unified);
+TEST(RunApi, MatchesDirectSimulatorBitForBit) {
+  // run() is trace opening + seed mixing + warmup resolution around the
+  // core engine: with warmup pinned, it must reproduce a raw Simulator
+  // over the identically-seeded source bit for bit.
+  SimConfig cfg = small_config();
+  cfg.warmup_accesses = 800;
+  const auto spec = TraceSpec::profile(*find_profile("456.hmmer"), 4000);
+  const auto src = spec.open(cfg.geom, /*seed=*/9);  // mixes internally
+  Simulator sim(cfg);
+  const SimResult direct = sim.run(*src);
+  const SimResult unified = run({cfg, spec, RunOptions::with_seed(9)});
+  expect_identical(direct, unified);
 }
 
 TEST(RunApi, BenchmarkByNameMatchesProfileSpec) {
@@ -149,24 +154,29 @@ TEST(RunApi, MissingTraceFileThrows) {
       std::runtime_error);
 }
 
-TEST(RunSweep, MatchesRunArchSweep) {
+TEST(RunSweep, MatchesPerCellRuns) {
+  // A sweep is nothing but independent cells: each (arch, benchmark) cell
+  // must equal a standalone run() of that configuration.
   const SimConfig base = small_config();
   const std::vector<ArchConfig> archs = paper_architectures();
   const std::vector<WorkloadProfile> profiles = {*find_profile("qsort"),
                                                  *find_profile("mad")};
-  const auto legacy = run_arch_sweep(base, archs, profiles, 3000, 4,
-                                     ParallelPolicy::serial());
   RunOptions opts = RunOptions::with_seed(4);
   opts.jobs = ParallelPolicy::serial();
-  const auto unified = run_sweep(
+  const auto rows = run_sweep(
       {base, TraceSpec::profile(WorkloadProfile{}, 3000), opts}, archs,
       profiles);
-  ASSERT_EQ(legacy.size(), unified.size());
-  for (std::size_t i = 0; i < legacy.size(); ++i) {
-    EXPECT_EQ(legacy[i].benchmark, unified[i].benchmark);
-    ASSERT_EQ(legacy[i].results.size(), unified[i].results.size());
-    for (std::size_t j = 0; j < legacy[i].results.size(); ++j) {
-      expect_identical(legacy[i].results[j], unified[i].results[j]);
+  ASSERT_EQ(rows.size(), profiles.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(rows[i].benchmark, profiles[i].name);
+    ASSERT_EQ(rows[i].results.size(), archs.size());
+    for (std::size_t j = 0; j < archs.size(); ++j) {
+      SimConfig cfg = base;
+      cfg.arch = archs[j];
+      const SimResult cell =
+          run({cfg, TraceSpec::profile(profiles[i], 3000),
+               RunOptions::with_seed(4)});
+      expect_identical(rows[i].results[j], cell);
     }
   }
 }

@@ -33,7 +33,8 @@ TEST_P(SweepSmoke, RunsAndSatisfiesInvariants) {
   cfg.arch.kind = c.kind;
   const auto profile = find_profile(c.benchmark);
   ASSERT_TRUE(profile.has_value());
-  const SimResult r = run_benchmark(cfg, *profile, 3000, 123);
+  const SimResult r = run(
+      {cfg, TraceSpec::profile(*profile, 3000), RunOptions::with_seed(123)});
 
   // Everything injected, everything finished, time moved forward.
   EXPECT_EQ(r.injected_reads + r.injected_writes, 3000u);

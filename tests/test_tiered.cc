@@ -344,7 +344,8 @@ TEST(Tiered, EveryConfigFileRunsEndToEnd) {
     SCOPED_TRACE(entry.path().filename().string());
     const SimConfig cfg =
         load_config_file(paper_config(), entry.path().string());
-    const SimResult r = run_benchmark(cfg, profile, 2000, 7);
+    const SimResult r = run(
+        {cfg, TraceSpec::profile(profile, 2000), RunOptions::with_seed(7)});
     EXPECT_GT(r.end_time, 0u);
     EXPECT_EQ(r.injected_reads + r.injected_writes, 2000u);
     ++count;
