@@ -62,6 +62,52 @@ void BM_PageCodecWrite(benchmark::State& state) {
 }
 BENCHMARK(BM_PageCodecWrite)->Arg(512)->Arg(4096)->Arg(32768);
 
+// The sectioned families behind the same streaming page surface. Two
+// alternating payloads keep consecutive writes from degenerating into
+// no-ops; polar takes the virtual encode path (no LUT at n = 128), tsc
+// layers replica selection over the base code's LUT.
+void BM_PageCodecWriteFamily(benchmark::State& state, const char* name) {
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  PageCodec page(make_block_codec(name), bits);
+  Rng rng(7);
+  BitVec a(bits), b(bits);
+  for (std::size_t i = 0; i < bits; ++i) a.set(i, rng.next_bool(0.5));
+  for (std::size_t i = 0; i < bits; ++i) b.set(i, rng.next_bool(0.5));
+  bool flip = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(page.write(flip ? b : a));
+    flip = !flip;
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bits / 8));
+}
+BENCHMARK_CAPTURE(BM_PageCodecWriteFamily, polar_m7, "polar-m7-inv")
+    ->Arg(512)
+    ->Arg(4096);
+BENCHMARK_CAPTURE(BM_PageCodecWriteFamily, tsc_rs23x4, "tsc-rs23x4-inv")
+    ->Arg(512)
+    ->Arg(4096);
+
+// Generation-aware read path of the replica family (the decode must pick
+// the replica the current generation wrote).
+void BM_PageCodecReadTsc(benchmark::State& state) {
+  const std::size_t bits = 4096;
+  PageCodec page(make_block_codec("tsc-rs23x4-inv"), bits);
+  Rng rng(9);
+  BitVec data(bits);
+  for (std::size_t i = 0; i < bits; ++i) data.set(i, rng.next_bool(0.5));
+  for (int i = 0; i < 3; ++i) page.write(data);  // land inside replica 1
+  BitVec out;
+  page.read_into(out);
+  for (auto _ : state) {
+    page.read_into(out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bits / 8));
+}
+BENCHMARK(BM_PageCodecReadTsc);
+
 void BM_TrackerRecordWrite(benchmark::State& state) {
   WomStateTracker tracker(2, 256);
   Rng rng(11);
@@ -71,6 +117,19 @@ void BM_TrackerRecordWrite(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TrackerRecordWrite);
+
+// Sectioned tracking: one page write updates a whole range of per-section
+// generations (64 sections/line for polar-m7).
+void BM_TrackerRecordWriteRange(benchmark::State& state) {
+  WomStateTracker tracker(8, 256 * 64);
+  Rng rng(13);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tracker.record_write_range(
+        rng.next_below(4096), static_cast<unsigned>(rng.next_below(256)) * 64,
+        64));
+  }
+}
+BENCHMARK(BM_TrackerRecordWriteRange);
 
 void BM_ZipfSample(benchmark::State& state) {
   ZipfSampler zipf(1u << 20, 1.1);

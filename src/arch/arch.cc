@@ -36,6 +36,10 @@ const char* to_string(CodingKind k) {
       return "fnw";
     case CodingKind::kSymmetric:
       return "symmetric";
+    case CodingKind::kPolar:
+      return "polar";
+    case CodingKind::kTsConstrained:
+      return "ts-constrained";
   }
   return "?";
 }
@@ -55,6 +59,10 @@ bool coding_kind_from_string(const std::string& s, CodingKind* out) {
     *out = CodingKind::kFlipNWrite;
   } else if (s == "symmetric") {
     *out = CodingKind::kSymmetric;
+  } else if (s == "polar") {
+    *out = CodingKind::kPolar;
+  } else if (s == "ts-constrained") {
+    *out = CodingKind::kTsConstrained;
   } else {
     return false;
   }

@@ -75,6 +75,8 @@ enum class CodingKind : std::uint8_t {
   kWomHidden,   // inverted WOM code, hidden-page organization (Section 3.1)
   kFlipNWrite,  // Flip-N-Write coding (Cho & Lee, MICRO 2009)
   kSymmetric,   // hypothetical S=1 memory: every write at RESET latency
+  kPolar,       // polar-kernel WOM block code, sectioned (wide columns)
+  kTsConstrained,  // time-space constrained replica rotation, sectioned
 };
 
 enum class RefreshKind : std::uint8_t {
@@ -90,7 +92,8 @@ bool coding_kind_from_string(const std::string& s, CodingKind* out);
 bool refresh_kind_from_string(const std::string& s, RefreshKind* out);
 
 inline bool is_wom_coding(CodingKind k) {
-  return k == CodingKind::kWomWide || k == CodingKind::kWomHidden;
+  return k == CodingKind::kWomWide || k == CodingKind::kWomHidden ||
+         k == CodingKind::kPolar || k == CodingKind::kTsConstrained;
 }
 
 struct Composition {
@@ -125,6 +128,11 @@ struct ArchConfig {
   std::optional<Composition> composition;
   // WOM-code used by every WOM-coded region; must be an inverted code.
   std::string code = "rs23-inv";
+  // Per-region code overrides (config keys main.code= / cache.code=).
+  // Empty means "derive": classic WOM kinds fall back to `code`, the
+  // sectioned families (polar / ts-constrained) to their family default.
+  std::string main_code;
+  std::string cache_code;
   WomOrganization organization = WomOrganization::kWideColumn;
   // Row-address-table capacity per refresh unit (Section 3.2 uses 5).
   unsigned rat_entries = 5;

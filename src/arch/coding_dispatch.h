@@ -38,6 +38,8 @@ inline CodingPolicy::WriteBegin coding_begin_write(CodingKind kind,
       return static_cast<FnwCoding&>(pol).begin_write(track_key, line, p);
     case CodingKind::kWomWide:
     case CodingKind::kWomHidden:
+    case CodingKind::kPolar:
+    case CodingKind::kTsConstrained:
       return static_cast<WomCoding&>(pol).begin_write(track_key, line, p);
   }
   return pol.begin_write(track_key, line, p);  // unreachable
@@ -51,7 +53,7 @@ inline void coding_note_remap(CodingKind kind, CodingPolicy& pol,
   pol.note_remap(track_key, line);
 #else
   // Only the WOM tracker has remap state; the others inherit the no-op.
-  if (kind == CodingKind::kWomWide || kind == CodingKind::kWomHidden) {
+  if (is_wom_coding(kind)) {
     static_cast<WomCoding&>(pol).note_remap(track_key, line);
   }
 #endif
@@ -79,6 +81,8 @@ inline bool coding_finish_write(CodingKind kind, CodingPolicy& pol,
           rec, demoted, track_key, wear_key, line, internal, p);
     case CodingKind::kWomWide:
     case CodingKind::kWomHidden:
+    case CodingKind::kPolar:
+    case CodingKind::kTsConstrained:
       return static_cast<WomCoding&>(pol).finish_write(
           rec, demoted, track_key, wear_key, line, internal, p);
   }
@@ -105,6 +109,8 @@ inline void coding_read_energy(CodingKind kind, CodingPolicy& pol,
       return;
     case CodingKind::kWomWide:
     case CodingKind::kWomHidden:
+    case CodingKind::kPolar:
+    case CodingKind::kTsConstrained:
       static_cast<WomCoding&>(pol).read_energy(p);
       return;
   }
@@ -118,9 +124,10 @@ inline void coding_read_extras(CodingKind kind, CodingPolicy& pol,
   (void)kind;
   pol.read_extras(p);
 #else
-  // Only the hidden-page organization adds read extras; the others inherit
-  // the no-op.
-  if (kind == CodingKind::kWomWide || kind == CodingKind::kWomHidden) {
+  // Only the hidden-page organization adds read extras (WomCoding's hook
+  // early-returns for the non-hidden WOM kinds); the others inherit the
+  // no-op.
+  if (is_wom_coding(kind)) {
     static_cast<WomCoding&>(pol).read_extras(p);
   }
 #endif

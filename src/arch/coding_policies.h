@@ -154,39 +154,68 @@ class FnwCoding final : public CodingPolicy {
 // Inverted WOM-code region (Section 3.1): rewrites within the code's budget
 // are RESET-only; a row at the limit takes the alpha-write. The hidden-page
 // organization pays a dependent second access per demand read and write.
+//
+// One class serves all four WOM kinds. The classic kinds (wide, hidden)
+// budget whole lines: one tracker slot per line, alpha when the line's
+// generation is exhausted. The sectioned kinds (polar, ts-constrained)
+// budget rc.sections_per_line independent sections per line: the tracker
+// holds one slot per section, a line write advances every section's
+// generation, and the write is RESET-only iff *all* touched sections still
+// had budget (partial re-init pays the alpha latency for the whole line —
+// the slow sections gate completion).
 class WomCoding final : public CodingPolicy {
  public:
-  WomCoding(const RegionContext& ctx, WomCodePtr code, bool hidden_page,
+  WomCoding(const RegionContext& ctx, CodingKind kind, RegionCode rc,
             unsigned lines_per_row, bool erased_start)
       : CodingPolicy(ctx),
-        code_(std::move(code)),
-        hidden_(hidden_page),
-        tracker_(code_ != nullptr ? code_->max_writes() : 1, lines_per_row,
+        kind_(kind),
+        code_(std::move(rc.code)),
+        name_(std::move(rc.name)),
+        data_bits_(rc.data_bits),
+        wits_(rc.wits),
+        max_writes_(rc.max_writes),
+        wear_bound_(rc.wear_bound),
+        lut_(rc.lut),
+        spl_(rc.sections_per_line),
+        hidden_(kind == CodingKind::kWomHidden),
+        tracker_(rc.max_writes >= 1 ? rc.max_writes : 1,
+                 lines_per_row * (rc.sections_per_line >= 1
+                                      ? rc.sections_per_line
+                                      : 1),
                  erased_start) {
-    if (code_ == nullptr) throw std::invalid_argument("WomCoding: null code");
-    if (code_->raises_bits()) {
-      throw std::invalid_argument(
-          "WomCoding: code must be inverted (1->0 writes)");
+    if (!is_wom_coding(kind)) {
+      throw std::invalid_argument("WomCoding: non-WOM coding kind");
+    }
+    if (data_bits_ == 0 || wits_ == 0 || max_writes_ == 0 || spl_ == 0) {
+      throw std::invalid_argument("WomCoding: null code");
     }
   }
 
-  CodingKind kind() const override {
-    return hidden_ ? CodingKind::kWomHidden : CodingKind::kWomWide;
+  CodingKind kind() const override { return kind_; }
+  double overhead() const override {
+    return static_cast<double>(wits_) / data_bits_ - 1.0;
   }
-  double overhead() const override { return code_->overhead(); }
   const WomCode* code() const override { return code_.get(); }
+  const std::string& code_name() const { return name_; }
   const WomStateTracker& tracker() const { return tracker_; }
+  unsigned sections_per_line() const { return spl_; }
 
   WriteBegin begin_write(std::uint64_t track_key, unsigned line,
                          IssuePlan* p) override {
-    const auto rec = tracker_.record_write(track_key, line);
+    const auto rec =
+        spl_ == 1 ? tracker_.record_write(track_key, line)
+                  : tracker_.record_write_range(track_key, line * spl_, spl_);
     p->write_class = rec.cls;
     p->program_ns = ctx_.timing->program_ns(rec.cls);
     return {rec.cls, rec.cold};
   }
 
   void note_remap(std::uint64_t track_key, unsigned line) override {
-    tracker_.record_write(track_key, line);
+    if (spl_ == 1) {
+      tracker_.record_write(track_key, line);
+    } else {
+      tracker_.record_write_range(track_key, line * spl_, spl_);
+    }
   }
 
   bool finish_write(const WriteBegin& rec, bool demoted,
@@ -202,8 +231,26 @@ class WomCoding final : public CodingPolicy {
     } else {
       bump(ctr_fast_, "writes.fast");
     }
+    // Every line write runs the encode once per line; publish whether it
+    // took the two-lookup LUT fast path or the per-symbol fallback.
+    if (lut_) {
+      bump(ctr_lut_hits_, "codec.lut_hits");
+    } else {
+      bump(ctr_lut_fallbacks_, "codec.lut_fallbacks");
+    }
     ctx_.energy->on_write(p->write_class, coded_line_bits());
-    ctx_.wear->on_write(wear_key, line, p->write_class);
+    if (wear_bound_ == 1.0) {
+      ctx_.wear->on_write(wear_key, line, p->write_class);
+    } else {
+      // A wear-bounded family (time-space constrained) touches at most
+      // wear_bound_ of the region's cells per write — scale the per-cell
+      // wear rates accordingly.
+      ctx_.wear->on_write_pulses(
+          wear_key, line,
+          (p->write_class == WriteClass::kResetOnly ? kResetOnlyWearPerCell
+                                                    : kAlphaWearPerCell) *
+              wear_bound_);
+    }
     if (hidden_) {
       // The upper half-codeword lives in a hidden page the controller
       // reserves in a parallel bank region, so its program overlaps the
@@ -239,15 +286,25 @@ class WomCoding final : public CodingPolicy {
  private:
   // Coded bits programmed per line write, for the energy model.
   std::uint64_t coded_line_bits() const {
-    return ctx_.line_bits * code_->wits() / code_->data_bits();
+    return ctx_.line_bits * wits_ / data_bits_;
   }
 
-  WomCodePtr code_;
+  CodingKind kind_;
+  WomCodePtr code_;  // symbol code behind the classic kinds; may be null
+  std::string name_;
+  unsigned data_bits_;
+  unsigned wits_;
+  unsigned max_writes_;
+  double wear_bound_;
+  bool lut_;
+  unsigned spl_;  // sections per line (1 for the classic whole-line kinds)
   bool hidden_;
   WomStateTracker tracker_;
   std::uint64_t* ctr_alpha_ = nullptr;
   std::uint64_t* ctr_alpha_cold_ = nullptr;
   std::uint64_t* ctr_fast_ = nullptr;
+  std::uint64_t* ctr_lut_hits_ = nullptr;
+  std::uint64_t* ctr_lut_fallbacks_ = nullptr;
   std::uint64_t* ctr_hidden_writes_ = nullptr;
   std::uint64_t* ctr_hidden_reads_ = nullptr;
 };

@@ -129,11 +129,38 @@ class CodingPolicy {
 // (unknown code / conventional write direction) otherwise.
 WomCodePtr resolve_inverted_wom_code(const std::string& name);
 
-// Policy factory. `code` is required (non-null, inverted) for the WOM
-// kinds and ignored by the others; `erased_start` seeds untouched rows as
-// erased (the boot-formatted WOM-cache) instead of unknown.
+// The resolved code parameters one WOM-coded region runs under. The timing
+// simulator carries no data payloads, so a region needs only the code's
+// section geometry and classification parameters — not the codec itself.
+// `code` is the symbol code behind the classic kinds (and the bit-exact
+// reference codecs); native sectioned families (ts-constrained) have none.
+struct RegionCode {
+  std::string name;
+  unsigned data_bits = 0;    // k per section
+  unsigned wits = 0;         // n per section
+  unsigned max_writes = 0;   // t per section
+  double wear_bound = 1.0;   // fraction of cells an in-budget write touches
+  bool lut = false;          // EncodeLut fast path behind the encode
+  unsigned sections_per_line = 1;  // independently budgeted sections / line
+  WomCodePtr code;           // null for native block families
+};
+
+// Resolves the code a WOM-coded region of `kind` runs: `override_name`
+// (the main.code= / cache.code= key) when set, else `legacy_code` (the
+// code= key) for the classic kinds or the family default for the sectioned
+// ones. Validates family membership, write direction, and that `line_bits`
+// splits into whole sections; throws std::invalid_argument with an
+// actionable message otherwise. Non-WOM kinds return an empty RegionCode.
+RegionCode resolve_region_code(CodingKind kind,
+                               const std::string& override_name,
+                               const std::string& legacy_code,
+                               std::uint64_t line_bits);
+
+// Policy factory. `code` must be resolved (resolve_region_code) for the
+// WOM kinds and is ignored by the others; `erased_start` seeds untouched
+// rows as erased (the boot-formatted WOM-cache) instead of unknown.
 std::unique_ptr<CodingPolicy> make_coding_policy(
-    CodingKind kind, const RegionContext& ctx, WomCodePtr code,
+    CodingKind kind, const RegionContext& ctx, RegionCode code,
     unsigned lines_per_row, bool erased_start, double fnw_fast_fraction,
     std::uint64_t seed);
 

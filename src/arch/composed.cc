@@ -8,25 +8,34 @@ ComposedArchitecture::ComposedArchitecture(const MemoryGeometry& geom,
                                            const PcmTiming& timing,
                                            const ArchConfig& cfg)
     : Architecture(geom, timing), comp_(cfg.resolved_composition()) {
-  // Resolve the WOM code only when a WOM-coded region exists: a raw/fnw
-  // composition must build even with an unresolvable cfg.code, exactly as
-  // the monolithic classes ignored it.
-  if (is_wom_coding(comp_.main_coding) ||
-      (comp_.cache_enabled && is_wom_coding(comp_.cache_coding))) {
-    code_ = resolve_inverted_wom_code(cfg.code);
+  // Resolve each WOM-coded region's code (main.code= / cache.code=
+  // override, else the shared legacy code= key or the family default). A
+  // raw/fnw composition must build even with an unresolvable cfg.code,
+  // exactly as the monolithic classes ignored it — resolve_region_code
+  // returns an empty RegionCode for the non-WOM kinds without looking at
+  // the name.
+  RegionCode main_rc = resolve_region_code(comp_.main_coding, cfg.main_code,
+                                           cfg.code, line_bits());
+  RegionCode cache_rc;
+  if (comp_.cache_enabled) {
+    cache_rc = resolve_region_code(comp_.cache_coding, cfg.cache_code,
+                                   cfg.code, line_bits());
   }
+  main_code_name_ = main_rc.name;
+  cache_code_name_ = cache_rc.name;
+  code_ = main_rc.code != nullptr ? main_rc.code : cache_rc.code;
   RegionContext ctx{&timing_, &counters_, &energy_, &wear_, line_bits()};
   ctx.channel = &active_channel_;
   ctx.channels = geom.channels;
-  main_coding_ =
-      make_coding_policy(comp_.main_coding, ctx, code_, geom.lines_per_row(),
-                         /*erased_start=*/false, cfg.fnw_fast_fraction,
-                         cfg.seed);
+  main_coding_ = make_coding_policy(comp_.main_coding, ctx,
+                                    std::move(main_rc), geom.lines_per_row(),
+                                    /*erased_start=*/false,
+                                    cfg.fnw_fast_fraction, cfg.seed);
   if (comp_.cache_enabled) {
     // The cache's small array is formatted at boot and cycles through
     // refresh continuously, so its untouched rows start erased.
     cache_ = std::make_unique<CacheLayer>(
-        geom, make_coding_policy(comp_.cache_coding, ctx, code_,
+        geom, make_coding_policy(comp_.cache_coding, ctx, std::move(cache_rc),
                                  geom.lines_per_row(), /*erased_start=*/true,
                                  cfg.fnw_fast_fraction, cfg.seed));
   }
@@ -56,6 +65,10 @@ std::string ComposedArchitecture::name() const {
   const char* org = comp_.main_coding == CodingKind::kWomHidden
                         ? to_string(WomOrganization::kHiddenPage)
                         : to_string(WomOrganization::kWideColumn);
+  // The legacy one-region names belong to the classic whole-line kinds; the
+  // sectioned families (polar, ts-constrained) always spell themselves out.
+  const bool classic_main = comp_.main_coding == CodingKind::kWomWide ||
+                            comp_.main_coding == CodingKind::kWomHidden;
   if (cache_ == nullptr) {
     if (comp_.refresh == RefreshKind::kNone) {
       switch (comp_.main_coding) {
@@ -67,14 +80,17 @@ std::string ComposedArchitecture::name() const {
           return "symmetric-ideal";
         case CodingKind::kWomWide:
         case CodingKind::kWomHidden:
-          return std::string("wom-pcm[") + code_->name() + "," + org + "]";
+          return std::string("wom-pcm[") + main_code_name_ + "," + org + "]";
+        case CodingKind::kPolar:
+        case CodingKind::kTsConstrained:
+          break;
       }
-    } else if (is_wom_coding(comp_.main_coding)) {
-      return std::string("pcm-refresh[") + code_->name() + "," + org + "]";
+    } else if (classic_main) {
+      return std::string("pcm-refresh[") + main_code_name_ + "," + org + "]";
     }
   } else if (comp_ == Composition{CodingKind::kRaw, true, CodingKind::kWomWide,
                                   RefreshKind::kRat}) {
-    return std::string("wcpcm[") + code_->name() + "]";
+    return std::string("wcpcm[") + cache_code_name_ + "]";
   }
   // Novel compositions spell themselves out.
   std::string s = std::string("composed[main=") + to_string(comp_.main_coding);
@@ -82,7 +98,14 @@ std::string ComposedArchitecture::name() const {
     s += std::string(",cache=") + to_string(comp_.cache_coding);
   }
   s += std::string(",refresh=") + to_string(comp_.refresh);
-  if (code_ != nullptr) s += ",code=" + code_->name();
+  const bool main_wom = is_wom_coding(comp_.main_coding);
+  const bool cache_wom =
+      cache_ != nullptr && is_wom_coding(comp_.cache_coding);
+  if (main_wom && cache_wom && main_code_name_ != cache_code_name_) {
+    s += ",main.code=" + main_code_name_ + ",cache.code=" + cache_code_name_;
+  } else if (main_wom || cache_wom) {
+    s += ",code=" + (main_wom ? main_code_name_ : cache_code_name_);
+  }
   s += "]";
   return s;
 }

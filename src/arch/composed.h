@@ -100,7 +100,10 @@ class ComposedArchitecture final : public Architecture {
   // stays exact whether channels run interleaved (serial) or each on its
   // own worker against its own replica (sharded).
   unsigned active_channel_ = 0;
-  WomCodePtr code_;  // shared by the WOM-coded regions; null when none
+  WomCodePtr code_;  // symbol code behind a WOM-coded region; null when
+                     // none exists or the region runs a native block family
+  std::string main_code_name_;   // empty when main memory is not WOM-coded
+  std::string cache_code_name_;  // empty without a WOM-coded cache
   std::unique_ptr<CodingPolicy> main_coding_;
   std::unique_ptr<CacheLayer> cache_;             // null = no front end
   std::unique_ptr<RatRefreshPolicy> main_rat_;    // null = not attached

@@ -17,8 +17,8 @@ constexpr const char* kKnownKeys[] = {
     "channels", "ranks", "banks", "rows", "cols", "devices", "bits_per_col",
     "burst", "mapping", "row_read", "row_write", "reset", "set", "col_read",
     "refresh_period", "tag_check", "pause_resume", "arch", "code",
-    "organization", "rat", "main.coding", "cache.enabled", "cache.coding",
-    "refresh", "refresh_enabled", "require_empty_queues", "rth",
+    "organization", "rat", "main.coding", "main.code", "cache.enabled",
+    "cache.coding", "cache.code", "refresh", "refresh_enabled", "require_empty_queues", "rth",
     "pausing", "fnw_fast", "start_gap", "start_gap_interval", "seed",
     "policy", "write_q_high", "write_q_low", "row_hit_first", "scan_limit",
     "scan_mode", "row_policy", "queue_capacity", "read_forwarding",
@@ -163,6 +163,14 @@ SimConfig apply_overrides(SimConfig cfg, const KeyValueConfig& kv,
     cfg.arch.composition.reset();
   }
   if (kv.has("code")) cfg.arch.code = kv.get_string_or("code", cfg.arch.code);
+  // Per-region code overrides; empty means "derive from code= (classic
+  // kinds) or the family default (sectioned kinds)".
+  if (kv.has("main.code")) {
+    cfg.arch.main_code = kv.get_string_or("main.code", cfg.arch.main_code);
+  }
+  if (kv.has("cache.code")) {
+    cfg.arch.cache_code = kv.get_string_or("cache.code", cfg.arch.cache_code);
+  }
   if (kv.has("organization")) {
     const std::string o = kv.get_string_or("organization", "");
     if (o == "wide") {
@@ -181,9 +189,16 @@ SimConfig apply_overrides(SimConfig cfg, const KeyValueConfig& kv,
       kv.has("cache.coding") || kv.has("refresh")) {
     Composition c = cfg.arch.composition.value_or(
         canonical_composition(cfg.arch.kind, cfg.arch.organization));
+    // Invalid coding kinds list the valid ones: the axis gained cells
+    // (polar, ts-constrained) that older configs will not know about.
+    constexpr const char* kCodingKinds =
+        "raw, symmetric, fnw, wom-wide, wom-hidden, polar, ts-constrained";
     if (kv.has("main.coding")) {
       const std::string v = kv.get_string_or("main.coding", "");
-      if (!coding_kind_from_string(v, &c.main_coding)) bad("main.coding", v);
+      if (!coding_kind_from_string(v, &c.main_coding)) {
+        throw std::invalid_argument("config: bad value for main.coding: " + v +
+                                    " (valid: " + kCodingKinds + ")");
+      }
     }
     if (kv.has("cache.enabled")) {
       const auto v = kv.get_bool("cache.enabled");
@@ -192,7 +207,10 @@ SimConfig apply_overrides(SimConfig cfg, const KeyValueConfig& kv,
     }
     if (kv.has("cache.coding")) {
       const std::string v = kv.get_string_or("cache.coding", "");
-      if (!coding_kind_from_string(v, &c.cache_coding)) bad("cache.coding", v);
+      if (!coding_kind_from_string(v, &c.cache_coding)) {
+        throw std::invalid_argument("config: bad value for cache.coding: " +
+                                    v + " (valid: " + kCodingKinds + ")");
+      }
     }
     if (kv.has("refresh")) {
       const std::string v = kv.get_string_or("refresh", "");
@@ -461,8 +479,16 @@ std::string describe(const SimConfig& cfg) {
       break;
   }
   os << "arch=" << arch << "\n"
-     << "code=" << cfg.arch.code << "\n"
-     << "organization="
+     << "code=" << cfg.arch.code << "\n";
+  // Empty region overrides mean "derive" and stay implicit: "main.code="
+  // with no value would not tokenize back into a key/value pair anyway.
+  if (!cfg.arch.main_code.empty()) {
+    os << "main.code=" << cfg.arch.main_code << "\n";
+  }
+  if (!cfg.arch.cache_code.empty()) {
+    os << "cache.code=" << cfg.arch.cache_code << "\n";
+  }
+  os << "organization="
      << (cfg.arch.organization == WomOrganization::kWideColumn ? "wide"
                                                                : "hidden")
      << "\n"

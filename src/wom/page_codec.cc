@@ -1,68 +1,39 @@
 #include "wom/page_codec.h"
 
-#include <cassert>
 #include <stdexcept>
+#include <utility>
 
 #include "common/perf.h"
+#include "wom/sectioned_codec.h"
 
 namespace wompcm {
 
-namespace {
-
-BitVec initial_image(const WomCode& code, std::size_t symbols) {
-  BitVec img;
-  const BitVec init = code.initial_state();
-  for (std::size_t s = 0; s < symbols; ++s) img.append(init);
-  return img;
-}
-
-}  // namespace
-
 PageCodec::PageCodec(WomCodePtr code, std::size_t data_bits)
-    : code_(std::move(code)), data_bits_(data_bits) {
+    : code_(code) {
   if (code_ == nullptr) throw std::invalid_argument("PageCodec: null code");
-  if (data_bits_ == 0 || data_bits_ % code_->data_bits() != 0) {
+  block_ = std::make_unique<SectionedCodec>(std::move(code));
+  data_bits_ = data_bits;
+  if (data_bits_ == 0 || data_bits_ % block_->section_data_bits() != 0) {
     throw std::invalid_argument(
         "PageCodec: data_bits must be a positive multiple of the symbol size");
   }
-  symbols_ = data_bits_ / code_->data_bits();
-  fresh_ = initial_image(*code_, symbols_);
-  image_ = fresh_;
-  next_ = fresh_;
-  lut_ = EncodeLut::for_code(code_);
-  // Data packs symbols MSB-first while word views are LSB-first; a k-bit
-  // reversal table converts between the two in O(1) per symbol.
-  const unsigned k = code_->data_bits();
-  bitrev_.resize(std::size_t{1} << k);
-  for (std::uint32_t v = 0; v < bitrev_.size(); ++v) {
-    std::uint16_t r = 0;
-    for (unsigned b = 0; b < k; ++b) {
-      r = static_cast<std::uint16_t>(r | (((v >> b) & 1u) << (k - 1 - b)));
-    }
-    bitrev_[v] = r;
-  }
+  sections_ = data_bits_ / block_->section_data_bits();
+  gens_.assign(sections_, 0);
+  image_ = BitVec(sections_ * block_->section_wits());
+  for (std::size_t s = 0; s < sections_; ++s) block_->erase_section(image_, s);
 }
 
-void PageCodec::encode_symbols(const BitVec& data) {
-  const unsigned k = code_->data_bits();
-  const unsigned n = code_->wits();
-  if (lut_ != nullptr) {
-    for (std::size_t s = 0; s < symbols_; ++s) {
-      const unsigned value = bitrev_[data.extract_word(s * k, k)];
-      const auto cur =
-          static_cast<std::uint32_t>(image_.extract_word(s * n, n));
-      next_.deposit_word(s * n, n, lut_->encode(value, generation_, cur));
-    }
-    return;
+PageCodec::PageCodec(BlockCodecPtr block, std::size_t data_bits)
+    : block_(std::move(block)), data_bits_(data_bits) {
+  if (block_ == nullptr) throw std::invalid_argument("PageCodec: null code");
+  if (data_bits_ == 0 || data_bits_ % block_->section_data_bits() != 0) {
+    throw std::invalid_argument(
+        "PageCodec: data_bits must be a positive multiple of the symbol size");
   }
-  // Wide-code fallback: the virtual encode still allocates its result, but
-  // the current-symbol view reuses the scratch buffer.
-  for (std::size_t s = 0; s < symbols_; ++s) {
-    const unsigned value = bitrev_[data.extract_word(s * k, k)];
-    image_.slice_into(s * n, n, sym_);
-    const BitVec enc = code_->encode(value, generation_, sym_);
-    for (unsigned b = 0; b < n; ++b) next_.set(s * n + b, enc.get(b));
-  }
+  sections_ = data_bits_ / block_->section_data_bits();
+  gens_.assign(sections_, 0);
+  image_ = BitVec(sections_ * block_->section_wits());
+  for (std::size_t s = 0; s < sections_; ++s) block_->erase_section(image_, s);
 }
 
 PageWriteResult PageCodec::write(const BitVec& data) {
@@ -71,44 +42,29 @@ PageWriteResult PageCodec::write(const BitVec& data) {
     throw std::invalid_argument("PageCodec::write: wrong data size");
   }
   PageWriteResult r;
-  if (at_rewrite_limit()) {
-    // Alpha-write: re-initialize, then program as a fresh first write.
-    r.write_class = WriteClass::kAlpha;
-    r.set_pulses += image_.set_transitions_to(fresh_);
-    r.reset_pulses += image_.reset_transitions_to(fresh_);
-    image_.assign_from(fresh_);
-    generation_ = 0;
+  for (std::size_t s = 0; s < sections_; ++s) {
+    const SectionWrite w = block_->write_section(image_, data, s, &gens_[s]);
+    if (w.alpha) r.write_class = WriteClass::kAlpha;
+    r.set_pulses += w.set_pulses;
+    r.reset_pulses += w.reset_pulses;
   }
-  encode_symbols(data);
-  r.set_pulses += image_.set_transitions_to(next_);
-  r.reset_pulses += image_.reset_transitions_to(next_);
-  // In-budget writes under an inverted code must be RESET-only.
-  assert(code_->raises_bits() || r.write_class == WriteClass::kAlpha ||
-         image_.set_transitions_to(next_) == 0);
-  image_.assign_from(next_);
-  ++generation_;
-  r.generation_after = generation_;
+  r.generation_after = gens_[0];
+  if (block_->lut_backed()) {
+    ++lut_hits_;
+  } else {
+    ++lut_fallbacks_;
+  }
   return r;
 }
 
 void PageCodec::read_into(BitVec& out) const {
   perf::ScopedCodecTimer codec_timer;
-  if (generation_ == 0) {
+  if (generation() == 0) {
     throw std::logic_error("PageCodec::read: page has no written data");
   }
-  const unsigned k = code_->data_bits();
-  const unsigned n = code_->wits();
   if (out.size() != data_bits_) out = BitVec(data_bits_);
-  for (std::size_t s = 0; s < symbols_; ++s) {
-    unsigned value;
-    if (lut_ != nullptr) {
-      value = lut_->decode(
-          static_cast<std::uint32_t>(image_.extract_word(s * n, n)));
-    } else {
-      image_.slice_into(s * n, n, sym_);
-      value = code_->decode(sym_);
-    }
-    out.deposit_word(s * k, k, bitrev_[value]);
+  for (std::size_t s = 0; s < sections_; ++s) {
+    block_->read_section(image_, s, gens_[s], out);
   }
 }
 
@@ -120,9 +76,11 @@ BitVec PageCodec::read() const {
 
 std::size_t PageCodec::refresh() {
   perf::ScopedCodecTimer codec_timer;
-  const std::size_t sets = image_.set_transitions_to(fresh_);
-  image_.assign_from(fresh_);
-  generation_ = 0;
+  std::size_t sets = 0;
+  for (std::size_t s = 0; s < sections_; ++s) {
+    sets += block_->erase_section(image_, s).set_pulses;
+    gens_[s] = 0;
+  }
   return sets;
 }
 

@@ -1,28 +1,30 @@
 // Functional page-level WOM codec.
 //
 // Models the actual wit image of one memory row (page) encoded under a
-// WOM-code: data is split into k-bit symbols, each stored in its own n-wit
-// group. Tracks the write generation, classifies each write as RESET-only
-// or alpha (re-initialization needed), and counts the SET/RESET pulses a
-// programming step requires — the inputs to the energy model.
+// sectioned block codec: data is split into fixed-width sections, each
+// stored in its own wit group with its own write generation. Classifies
+// each page write as RESET-only or alpha (a page is RESET-only iff every
+// touched section is), and counts the SET/RESET pulses a programming step
+// requires — the inputs to the energy model.
 //
 // The timing simulator does not carry data payloads (the inverted code makes
 // write latency data-independent); this codec is the bit-exact reference
 // used by the examples, tests, and the energy ablations.
 //
-// The symbol loop is allocation-free in steady state: symbols are encoded
-// through the code's shared EncodeLut (two array lookups per symbol) when
-// the code is narrow enough, the next image and the pre-erased image live in
-// reusable member buffers, and data bits move through word-level BitVec
-// views. Codes too wide for a table fall back to the virtual encode path.
+// PageCodec is a thin streaming client of BlockCodec: the section loop,
+// the EncodeLut fast path, and the pulse accounting all live in the codec
+// implementations (wom/sectioned_codec.h and friends). The loop is
+// allocation-free in steady state — section scratch buffers are codec
+// members — which womcode_pcm_alloc_tests enforces.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/types.h"
-#include "wom/encode_lut.h"
+#include "wom/block_codec.h"
 #include "wom/wom_code.h"
 
 namespace wompcm {
@@ -36,23 +38,32 @@ struct PageWriteResult {
 
 class PageCodec {
  public:
+  // Wraps `code` in a SectionedCodec (one symbol per section).
   // data_bits must be a positive multiple of code->data_bits().
   PageCodec(WomCodePtr code, std::size_t data_bits);
+  // Streams through an explicit block codec. data_bits must be a positive
+  // multiple of block->section_data_bits().
+  PageCodec(BlockCodecPtr block, std::size_t data_bits);
 
   std::size_t data_bits() const { return data_bits_; }
   std::size_t wit_bits() const { return image_.size(); }
+  std::size_t sections() const { return sections_; }
+  const BlockCodec& block() const { return *block_; }
+  // The wrapped WomCode; only valid for the WomCodePtr constructor.
   const WomCode& code() const { return *code_; }
 
-  // Generation of the next write (0 after initialization / refresh).
-  unsigned generation() const { return generation_; }
+  // Generation of the next write (0 after initialization / refresh). Full-
+  // page writes keep every section's generation in lockstep, so the page
+  // generation is any section's.
+  unsigned generation() const { return gens_.empty() ? 0 : gens_[0]; }
   bool at_rewrite_limit() const {
-    return generation_ == code_->max_writes();
+    return generation() == block_->max_writes();
   }
 
-  // Writes `data` (data_bits() bits) into the page. If the page is at its
-  // rewrite limit, this is an alpha-write: the image is re-initialized
-  // (costing SET pulses for an inverted code) and the data is stored as a
-  // fresh first write.
+  // Writes `data` (data_bits() bits) into the page. Sections at their
+  // rewrite limit take an alpha-write: they are re-initialized (costing SET
+  // pulses for an inverted code) and store the data as a fresh first write;
+  // the page write is alpha iff any section's was.
   PageWriteResult write(const BitVec& data);
 
   // Decodes the current image back into data bits. Must not be called on a
@@ -62,25 +73,27 @@ class PageCodec {
   // decodes without allocating.
   void read_into(BitVec& out) const;
 
-  // Pre-erases the page to the code's initial state (the PCM-refresh
+  // Pre-erases the page to the codec's initial state (the PCM-refresh
   // operation). Returns the number of SET pulses spent re-initializing.
   std::size_t refresh();
 
   const BitVec& image() const { return image_; }
 
- private:
-  void encode_symbols(const BitVec& data);
+  // How many write() calls ran the two-lookup EncodeLut path versus the
+  // virtual/structural fallback (the observability counters the arch layer
+  // publishes as codec.lut_hits / codec.lut_fallbacks).
+  std::uint64_t lut_hits() const { return lut_hits_; }
+  std::uint64_t lut_fallbacks() const { return lut_fallbacks_; }
 
-  WomCodePtr code_;
-  std::shared_ptr<const EncodeLut> lut_;  // nullptr for wide codes
-  std::size_t data_bits_;
-  std::size_t symbols_;
-  unsigned generation_ = 0;
+ private:
+  BlockCodecPtr block_;
+  WomCodePtr code_;  // non-null only for the WomCodePtr constructor
+  std::size_t data_bits_ = 0;
+  std::size_t sections_ = 0;
+  std::vector<unsigned> gens_;  // per-section write generation
   BitVec image_;
-  BitVec fresh_;        // the pre-erased image, built once
-  BitVec next_;         // scratch: image after the write in progress
-  mutable BitVec sym_;  // scratch: one symbol's wits (virtual path only)
-  std::vector<std::uint16_t> bitrev_;  // k-bit MSB-first <-> word reversal
+  std::uint64_t lut_hits_ = 0;
+  std::uint64_t lut_fallbacks_ = 0;
 };
 
 }  // namespace wompcm

@@ -1,0 +1,151 @@
+#include "wom/polar_code.h"
+
+#include <bit>
+#include <stdexcept>
+
+namespace wompcm {
+
+namespace {
+
+// Syndrome column of cell j: bit i (< m) is set iff index j has bit i
+// clear; the all-ones kernel row contributes bit m for every cell.
+inline unsigned column_vector(unsigned j, unsigned m, unsigned n) {
+  return (~j & (n - 1)) | (1u << m);
+}
+
+}  // namespace
+
+PolarWomCode::PolarWomCode(unsigned m, bool inverted)
+    : m_(m), inverted_(inverted) {
+  if (m < kMinM || m > kMaxM) {
+    throw std::invalid_argument("PolarWomCode: m must be in [4, 8]");
+  }
+  n_ = 1u << m_;
+  k_ = m_ + 1;
+  // Each write programs at most k cells; the syndrome former keeps full
+  // rank while fewer than d_min = 2^(m-1) cells are programmed.
+  t_ = ((1u << (m_ - 1)) - 1) / k_ + 1;
+  words_ = (n_ + 63) / 64;
+  for (unsigned i = 0; i < k_; ++i) {
+    for (unsigned j = 0; j < n_; ++j) {
+      if ((column_vector(j, m_, n_) >> i) & 1u) {
+        mask_[i][j / 64] |= std::uint64_t{1} << (j % 64);
+      }
+    }
+  }
+}
+
+std::string PolarWomCode::name() const {
+  std::string s = "polar-m" + std::to_string(m_);
+  if (inverted_) s += "-inv";
+  return s;
+}
+
+unsigned PolarWomCode::syndrome(const BitVec& wits,
+                                std::uint64_t* prog) const {
+  for (unsigned w = 0; w < words_; ++w) {
+    const unsigned off = w * 64;
+    const unsigned len = n_ - off < 64 ? n_ - off : 64;
+    std::uint64_t bits = wits.extract_word(off, len);
+    if (inverted_) {
+      bits = ~bits;
+      if (len < 64) bits &= (std::uint64_t{1} << len) - 1;
+    }
+    prog[w] = bits;
+  }
+  unsigned s = 0;
+  for (unsigned i = 0; i < k_; ++i) {
+    unsigned parity = 0;
+    for (unsigned w = 0; w < words_; ++w) {
+      parity ^= static_cast<unsigned>(std::popcount(prog[w] & mask_[i][w]));
+    }
+    s |= (parity & 1u) << i;
+  }
+  return s;
+}
+
+unsigned PolarWomCode::decode(const BitVec& wits) const {
+  if (wits.size() != n_) {
+    throw std::invalid_argument("PolarWomCode::decode: wrong wit count");
+  }
+  std::uint64_t prog[kMaxWords];
+  return syndrome(wits, prog);
+}
+
+void PolarWomCode::encode_into(unsigned value, unsigned generation,
+                               const BitVec& current, BitVec& out) const {
+  if (value >= values()) {
+    throw std::invalid_argument("PolarWomCode::encode: value out of range");
+  }
+  if (generation >= t_) {
+    throw std::invalid_argument("PolarWomCode::encode: generation exhausted");
+  }
+  if (current.size() != n_) {
+    throw std::invalid_argument("PolarWomCode::encode: wrong wit count");
+  }
+  std::uint64_t prog[kMaxWords];
+  const unsigned residual = value ^ syndrome(current, prog);
+  out.assign_from(current);
+  if (residual == 0) return;  // rewriting the stored value keeps the wits
+
+  // Successive elimination over the unprogrammed cells in index order:
+  // build at most k pivots, each remembering the XOR-set of founding cells
+  // it is made of, so the correction set below touches at most k cells.
+  unsigned piv_vec[kMaxK] = {};
+  std::uint64_t piv_cells[kMaxK][kMaxWords] = {};
+  bool piv_used[kMaxK] = {};
+  unsigned found = 0;
+  for (unsigned j = 0; j < n_ && found < k_; ++j) {
+    if ((prog[j / 64] >> (j % 64)) & 1u) continue;  // already programmed
+    unsigned v = column_vector(j, m_, n_);
+    std::uint64_t cells[kMaxWords] = {};
+    cells[j / 64] = std::uint64_t{1} << (j % 64);
+    for (unsigned b = 0; b < k_ && v != 0; ++b) {
+      if (((v >> b) & 1u) == 0) continue;
+      if (piv_used[b]) {
+        v ^= piv_vec[b];
+        for (unsigned w = 0; w < words_; ++w) cells[w] ^= piv_cells[b][w];
+      } else {
+        piv_vec[b] = v;
+        for (unsigned w = 0; w < words_; ++w) piv_cells[b][w] = cells[w];
+        piv_used[b] = true;
+        ++found;
+        break;
+      }
+    }
+  }
+
+  // Express the residual syndrome in the pivot basis; each pivot's lowest
+  // set bit is its slot, so one ascending pass clears the residual.
+  std::uint64_t delta[kMaxWords] = {};
+  unsigned r = residual;
+  for (unsigned b = 0; b < k_; ++b) {
+    if (((r >> b) & 1u) == 0) continue;
+    if (!piv_used[b]) {
+      // Unreachable within the write budget: fewer than d_min cells are
+      // programmed, so the available columns span the syndrome space.
+      throw std::logic_error("PolarWomCode::encode: block exhausted");
+    }
+    r ^= piv_vec[b];
+    for (unsigned w = 0; w < words_; ++w) delta[w] ^= piv_cells[b][w];
+  }
+
+  // Program the correction set in the code's monotone direction.
+  for (unsigned w = 0; w < words_; ++w) {
+    if (delta[w] == 0) continue;
+    const unsigned off = w * 64;
+    const unsigned len = n_ - off < 64 ? n_ - off : 64;
+    std::uint64_t bits = out.extract_word(off, len);
+    bits = inverted_ ? bits & ~delta[w] : bits | delta[w];
+    out.deposit_word(off, len, bits);
+  }
+}
+
+BitVec PolarWomCode::encode(unsigned value, unsigned generation,
+                            const BitVec& current) const {
+  BitVec out;
+  encode_into(value, generation, current, out);
+  return out;
+}
+
+}  // namespace wompcm

@@ -1,0 +1,77 @@
+// Polar-kernel WOM code (after Burshtein & Strugatski, "Polar write-once-
+// memory codes").
+//
+// The code works over one length n = 2^m cell block per symbol. Its data map
+// is a syndrome (coset) code built from the m+1 highest-weight rows of the
+// polar kernel G_n = F^{(x)m}, F = [[1,0],[1,1]] — the rows with Hamming
+// weight >= 2^(m-1), i.e. the first-order Reed-Muller subcode polar codes
+// freeze last. A stored block's value is the k = m+1 bit syndrome of its
+// programmed-cell set; writing a new value programs (in the code's monotone
+// direction) a correction set found by successive elimination over the
+// still-unprogrammed cells, mirroring the successive-cancellation schedule:
+// cells are consumed in natural index order and each data bit is satisfied
+// by the first available pivot.
+//
+// Because the syndrome former has minimum distance 2^(m-1) and each write
+// programs at most k cells, the code guarantees
+//     t = (2^(m-1) - 1) / k + 1
+// writes per block: polar-m7 stores 8 bits in 128 cells for 8 writes. The
+// rate per write is low but the *total* rate t*k/n approaches the WOM
+// capacity region as m grows, which is the frontier the paper's hand-built
+// <2^2>^2/3 tables cannot reach.
+//
+// Block lengths blow past EncodeLut::kMaxWits, so this family always takes
+// the streaming encode path; encode_into is allocation-free (fixed scratch
+// for m <= 8). The inverted (RESET-only) variant is native — a flag flips
+// the programming direction — so no wrapper allocation sneaks into the hot
+// path.
+#pragma once
+
+#include <cstdint>
+
+#include "wom/wom_code.h"
+
+namespace wompcm {
+
+class PolarWomCode final : public WomCode {
+ public:
+  static constexpr unsigned kMinM = 4;
+  static constexpr unsigned kMaxM = 8;
+
+  // n = 2^m cells, k = m+1 data bits; `inverted` writes lower bits (the
+  // PCM-friendly direction).
+  explicit PolarWomCode(unsigned m, bool inverted = false);
+
+  std::string name() const override;
+  unsigned data_bits() const override { return k_; }
+  unsigned wits() const override { return n_; }
+  unsigned max_writes() const override { return t_; }
+  BitVec initial_state() const override { return BitVec(n_, inverted_); }
+  bool raises_bits() const override { return !inverted_; }
+
+  BitVec encode(unsigned value, unsigned generation,
+                const BitVec& current) const override;
+  void encode_into(unsigned value, unsigned generation, const BitVec& current,
+                   BitVec& out) const override;
+  unsigned decode(const BitVec& wits) const override;
+
+ private:
+  static constexpr unsigned kMaxWords = (1u << kMaxM) / 64;  // 4
+  static constexpr unsigned kMaxK = kMaxM + 1;
+
+  // Packs the programmed-cell indicator of `wits` into `prog` and returns
+  // the k-bit syndrome.
+  unsigned syndrome(const BitVec& wits, std::uint64_t* prog) const;
+
+  unsigned m_ = 0;
+  unsigned n_ = 0;
+  unsigned k_ = 0;
+  unsigned t_ = 0;
+  unsigned words_ = 0;
+  bool inverted_ = false;
+  // mask_[i]: cells participating in syndrome bit i. For i < m that is
+  // every cell whose index has bit i clear; bit m sums all cells.
+  std::uint64_t mask_[kMaxK][kMaxWords] = {};
+};
+
+}  // namespace wompcm

@@ -6,8 +6,11 @@
 #include "wom/encode_lut.h"
 #include "wom/identity_code.h"
 #include "wom/inverted_code.h"
+#include "wom/polar_code.h"
 #include "wom/rs_code.h"
+#include "wom/sectioned_codec.h"
 #include "wom/tabular_code.h"
+#include "wom/ts_constrained_code.h"
 
 namespace wompcm {
 
@@ -74,9 +77,30 @@ WomCodePtr make_base_code(const std::string& name) {
   return nullptr;
 }
 
+// "polar-m<M>[-inv]": the inversion is native to the block code (a flag,
+// not an InvertedCode wrapper) so the streaming encode stays in-place.
+WomCodePtr make_polar_code(const std::string& name) {
+  std::size_t pos = 7;  // past "polar-m"
+  unsigned m = 0;
+  if (!parse_num(name, &pos, &m)) return nullptr;
+  bool inverted = false;
+  if (pos != name.size()) {
+    if (name.compare(pos, std::string::npos, "-inv") != 0) return nullptr;
+    inverted = true;
+  }
+  if (m < PolarWomCode::kMinM || m > PolarWomCode::kMaxM) return nullptr;
+  return std::make_shared<PolarWomCode>(m, inverted);
+}
+
 }  // namespace
 
 WomCodePtr make_code(const std::string& name) {
+  if (name.rfind("polar-m", 0) == 0) {
+    WomCodePtr polar = make_polar_code(name);
+    if (polar == nullptr) return nullptr;
+    EncodeLut::for_code(polar);  // always a miss, but keeps the contract
+    return polar;
+  }
   const bool inverted =
       name.size() > 4 && name.compare(name.size() - 4, 4, "-inv") == 0;
   const std::string base_name =
@@ -90,9 +114,63 @@ WomCodePtr make_code(const std::string& name) {
   return code;
 }
 
+BlockCodecPtr make_block_codec(const std::string& name) {
+  if (name.rfind("tsc-", 0) == 0) {
+    // "tsc-<base>x<R>[-inv]": the trailing "-inv" belongs to the base.
+    std::string rest = name.substr(4);
+    std::string suffix;
+    if (rest.size() > 4 &&
+        rest.compare(rest.size() - 4, 4, "-inv") == 0) {
+      suffix = "-inv";
+      rest.resize(rest.size() - 4);
+    }
+    const std::size_t x = rest.rfind('x');
+    if (x == std::string::npos || x == 0) return nullptr;
+    std::size_t pos = x + 1;
+    unsigned replicas = 0;
+    if (!parse_num(rest, &pos, &replicas) || pos != rest.size()) {
+      return nullptr;
+    }
+    if (replicas < TsConstrainedCodec::kMinReplicas ||
+        replicas > TsConstrainedCodec::kMaxReplicas) {
+      return nullptr;
+    }
+    WomCodePtr base = make_code(rest.substr(0, x) + suffix);
+    if (base == nullptr) return nullptr;
+    return std::make_unique<TsConstrainedCodec>(std::move(base), replicas);
+  }
+  WomCodePtr code = make_code(name);
+  if (code == nullptr) return nullptr;
+  return std::make_unique<SectionedCodec>(std::move(code));
+}
+
+CodeInfo code_info(const std::string& name) {
+  CodeInfo info;
+  const BlockCodecPtr codec = make_block_codec(name);
+  if (codec == nullptr) return info;
+  info.valid = true;
+  info.name = codec->name();
+  info.data_bits = codec->section_data_bits();
+  info.wits = codec->section_wits();
+  info.max_writes = codec->max_writes();
+  info.overhead = codec->overhead();
+  info.wear_bound = codec->wear_bound();
+  info.lut = codec->lut_backed();
+  info.inverted = !codec->raises_bits();
+  return info;
+}
+
 std::vector<std::string> known_code_names() {
-  return {"rs23",       "rs23-inv",      "identity-k2", "identity-k4",
-          "marker-k2t2", "marker-k2t4-inv", "parity-t3",   "parity-t4-inv"};
+  return {"rs23",        "rs23-inv",        "identity-k2", "identity-k4",
+          "marker-k2t2", "marker-k2t4-inv", "parity-t3",   "parity-t4-inv",
+          "polar-m5",    "polar-m7-inv"};
+}
+
+std::vector<std::string> known_block_codec_names() {
+  std::vector<std::string> names = known_code_names();
+  names.push_back("tsc-rs23x4-inv");
+  names.push_back("tsc-marker-k2t4x2-inv");
+  return names;
 }
 
 }  // namespace wompcm

@@ -1,0 +1,112 @@
+#include "wom/sectioned_codec.h"
+
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+
+namespace wompcm {
+
+namespace {
+
+inline unsigned word_popcount(std::uint64_t w) {
+  return static_cast<unsigned>(std::popcount(w));
+}
+
+}  // namespace
+
+SectionedCodec::SectionedCodec(WomCodePtr code) : code_(std::move(code)) {
+  if (code_ == nullptr) {
+    throw std::invalid_argument("SectionedCodec: null code");
+  }
+  lut_ = EncodeLut::for_code(code_);
+  init_ = code_->initial_state();
+  // Data packs symbols MSB-first while word views are LSB-first; a k-bit
+  // reversal table converts between the two in O(1) per section.
+  const unsigned k = code_->data_bits();
+  bitrev_.resize(std::size_t{1} << k);
+  for (std::uint32_t v = 0; v < bitrev_.size(); ++v) {
+    std::uint16_t r = 0;
+    for (unsigned b = 0; b < k; ++b) {
+      r = static_cast<std::uint16_t>(r | (((v >> b) & 1u) << (k - 1 - b)));
+    }
+    bitrev_[v] = r;
+  }
+}
+
+SectionWrite SectionedCodec::erase_section(BitVec& image,
+                                           std::size_t section) const {
+  const unsigned n = code_->wits();
+  const std::size_t base = section * n;
+  SectionWrite r;
+  for (unsigned off = 0; off < n; off += 64) {
+    const unsigned w = n - off < 64 ? n - off : 64;
+    const std::uint64_t cur = image.extract_word(base + off, w);
+    const std::uint64_t fresh = init_.extract_word(off, w);
+    r.set_pulses += word_popcount(fresh & ~cur);
+    r.reset_pulses += word_popcount(cur & ~fresh);
+    image.deposit_word(base + off, w, fresh);
+  }
+  return r;
+}
+
+SectionWrite SectionedCodec::write_section(BitVec& image, const BitVec& data,
+                                           std::size_t section,
+                                           unsigned* generation) {
+  const unsigned k = code_->data_bits();
+  const unsigned n = code_->wits();
+  SectionWrite r;
+  if (*generation == code_->max_writes()) {
+    // Alpha-write: re-initialize, then program as a fresh first write.
+    r = erase_section(image, section);
+    r.alpha = true;
+    *generation = 0;
+  }
+  const unsigned value =
+      bitrev_[data.extract_word(section * k, k)];
+  std::size_t encode_sets = 0;
+  if (lut_ != nullptr) {
+    const auto cur =
+        static_cast<std::uint32_t>(image.extract_word(section * n, n));
+    const std::uint32_t next = lut_->encode(value, *generation, cur);
+    encode_sets = word_popcount(next & ~cur);
+    r.reset_pulses += word_popcount(cur & ~std::uint64_t{next});
+    image.deposit_word(section * n, n, next);
+  } else {
+    // Wide-code path: virtual encode into member scratch, then a chunked
+    // word loop counts pulses and writes the section back.
+    image.slice_into(section * n, n, sym_);
+    code_->encode_into(value, *generation, sym_, enc_);
+    for (unsigned off = 0; off < n; off += 64) {
+      const unsigned w = n - off < 64 ? n - off : 64;
+      const std::uint64_t cur = image.extract_word(section * n + off, w);
+      const std::uint64_t next = enc_.extract_word(off, w);
+      encode_sets += word_popcount(next & ~cur);
+      r.reset_pulses += word_popcount(cur & ~next);
+      image.deposit_word(section * n + off, w, next);
+    }
+  }
+  r.set_pulses += encode_sets;
+  // In-budget writes under an inverted code must be RESET-only.
+  assert(code_->raises_bits() || encode_sets == 0);
+  (void)encode_sets;
+  ++*generation;
+  return r;
+}
+
+void SectionedCodec::read_section(const BitVec& image, std::size_t section,
+                                  unsigned generation, BitVec& data) const {
+  (void)generation;  // symbol decode is generation oblivious
+  const unsigned k = code_->data_bits();
+  const unsigned n = code_->wits();
+  unsigned value;
+  if (lut_ != nullptr) {
+    value = lut_->decode(
+        static_cast<std::uint32_t>(image.extract_word(section * n, n)));
+  } else {
+    image.slice_into(section * n, n, sym_);
+    value = code_->decode(sym_);
+  }
+  data.deposit_word(section * k, k, bitrev_[value]);
+}
+
+}  // namespace wompcm

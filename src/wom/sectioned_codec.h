@@ -1,0 +1,55 @@
+// BlockCodec adapter over any WomCode: one symbol per section.
+//
+// This is the streaming form of the historical PageCodec symbol loop and is
+// bit-identical to it: the per-section SET/RESET pulse counts sum to exactly
+// the whole-page transition counts the old page-level accounting produced
+// (sections occupy disjoint bit ranges), and alpha re-initialization happens
+// per section at the same generations the whole-page limit used to trigger
+// it (full-page writes keep every section's generation in lockstep).
+//
+// Codes narrow enough for an EncodeLut keep the two-lookup fast path, now
+// applied per section; wide codes stream through the virtual encode path
+// with member scratch buffers so the steady state allocates only if the
+// wrapped code's encode_into does.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "wom/block_codec.h"
+#include "wom/encode_lut.h"
+#include "wom/wom_code.h"
+
+namespace wompcm {
+
+class SectionedCodec final : public BlockCodec {
+ public:
+  explicit SectionedCodec(WomCodePtr code);
+
+  std::string name() const override { return code_->name(); }
+  unsigned section_data_bits() const override { return code_->data_bits(); }
+  unsigned section_wits() const override { return code_->wits(); }
+  unsigned max_writes() const override { return code_->max_writes(); }
+  bool raises_bits() const override { return code_->raises_bits(); }
+  bool lut_backed() const override { return lut_ != nullptr; }
+
+  SectionWrite erase_section(BitVec& image,
+                             std::size_t section) const override;
+  SectionWrite write_section(BitVec& image, const BitVec& data,
+                             std::size_t section,
+                             unsigned* generation) override;
+  void read_section(const BitVec& image, std::size_t section,
+                    unsigned generation, BitVec& data) const override;
+
+  const WomCodePtr& code() const { return code_; }
+
+ private:
+  WomCodePtr code_;
+  std::shared_ptr<const EncodeLut> lut_;  // nullptr for wide codes
+  BitVec init_;                           // one symbol's erased wit state
+  mutable BitVec sym_;                    // scratch: current wits (virtual)
+  BitVec enc_;                            // scratch: encoded wits (virtual)
+  std::vector<std::uint16_t> bitrev_;     // k-bit MSB-first <-> word reversal
+};
+
+}  // namespace wompcm

@@ -1,0 +1,146 @@
+#include "wom/ts_constrained_code.h"
+
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+
+namespace wompcm {
+
+namespace {
+
+inline unsigned word_popcount(std::uint64_t w) {
+  return static_cast<unsigned>(std::popcount(w));
+}
+
+}  // namespace
+
+TsConstrainedCodec::TsConstrainedCodec(WomCodePtr base, unsigned replicas)
+    : base_(std::move(base)), replicas_(replicas) {
+  if (base_ == nullptr) {
+    throw std::invalid_argument("TsConstrainedCodec: null base code");
+  }
+  if (replicas_ < kMinReplicas || replicas_ > kMaxReplicas) {
+    throw std::invalid_argument(
+        "TsConstrainedCodec: replicas must be in [2, 8]");
+  }
+  lut_ = EncodeLut::for_code(base_);
+  replica_wits_ = kGroup * base_->wits();
+  const BitVec sym_init = base_->initial_state();
+  for (unsigned i = 0; i < replicas_ * kGroup; ++i) init_.append(sym_init);
+  const unsigned k = base_->data_bits();
+  bitrev_.resize(std::size_t{1} << k);
+  for (std::uint32_t v = 0; v < bitrev_.size(); ++v) {
+    std::uint16_t r = 0;
+    for (unsigned b = 0; b < k; ++b) {
+      r = static_cast<std::uint16_t>(r | (((v >> b) & 1u) << (k - 1 - b)));
+    }
+    bitrev_[v] = r;
+  }
+}
+
+std::string TsConstrainedCodec::name() const {
+  // "tsc-<base>x<R>" with any "-inv" of the base kept as the final suffix,
+  // matching the registry's parse ("tsc-rs23x4-inv" = 4x inverted rs23).
+  std::string stem = base_->name();
+  std::string suffix;
+  if (stem.size() > 4 && stem.compare(stem.size() - 4, 4, "-inv") == 0) {
+    suffix = "-inv";
+    stem.resize(stem.size() - 4);
+  }
+  return "tsc-" + stem + "x" + std::to_string(replicas_) + suffix;
+}
+
+SectionWrite TsConstrainedCodec::erase_section(BitVec& image,
+                                               std::size_t section) const {
+  const unsigned n = section_wits();
+  const std::size_t base_off = section * n;
+  SectionWrite r;
+  for (unsigned off = 0; off < n; off += 64) {
+    const unsigned w = n - off < 64 ? n - off : 64;
+    const std::uint64_t cur = image.extract_word(base_off + off, w);
+    const std::uint64_t fresh = init_.extract_word(off, w);
+    r.set_pulses += word_popcount(fresh & ~cur);
+    r.reset_pulses += word_popcount(cur & ~fresh);
+    image.deposit_word(base_off + off, w, fresh);
+  }
+  return r;
+}
+
+SectionWrite TsConstrainedCodec::write_section(BitVec& image,
+                                               const BitVec& data,
+                                               std::size_t section,
+                                               unsigned* generation) {
+  const unsigned k = base_->data_bits();
+  const unsigned n = base_->wits();
+  const unsigned t_base = base_->max_writes();
+  SectionWrite r;
+  if (*generation == max_writes()) {
+    r = erase_section(image, section);
+    r.alpha = true;
+    *generation = 0;
+  }
+  // Writes rotate through the replicas: replica q absorbs base generations
+  // [0, t_base) while every other replica's cells stay untouched.
+  const unsigned q = *generation / t_base;
+  const unsigned base_gen = *generation % t_base;
+  const std::size_t wit_off =
+      section * section_wits() + static_cast<std::size_t>(q) * replica_wits_;
+  const std::size_t data_off = section * section_data_bits();
+  std::size_t encode_sets = 0;
+  for (unsigned g = 0; g < kGroup; ++g) {
+    const unsigned value = bitrev_[data.extract_word(data_off + g * k, k)];
+    const std::size_t at = wit_off + g * n;
+    if (lut_ != nullptr) {
+      const auto cur = static_cast<std::uint32_t>(image.extract_word(at, n));
+      const std::uint32_t next = lut_->encode(value, base_gen, cur);
+      encode_sets += word_popcount(next & ~cur);
+      r.reset_pulses += word_popcount(cur & ~std::uint64_t{next});
+      image.deposit_word(at, n, next);
+    } else {
+      image.slice_into(at, n, sym_);
+      base_->encode_into(value, base_gen, sym_, enc_);
+      for (unsigned off = 0; off < n; off += 64) {
+        const unsigned w = n - off < 64 ? n - off : 64;
+        const std::uint64_t cur = image.extract_word(at + off, w);
+        const std::uint64_t next = enc_.extract_word(off, w);
+        encode_sets += word_popcount(next & ~cur);
+        r.reset_pulses += word_popcount(cur & ~next);
+        image.deposit_word(at + off, w, next);
+      }
+    }
+  }
+  r.set_pulses += encode_sets;
+  assert(base_->raises_bits() || encode_sets == 0);
+  (void)encode_sets;
+  ++*generation;
+  return r;
+}
+
+void TsConstrainedCodec::read_section(const BitVec& image,
+                                      std::size_t section, unsigned generation,
+                                      BitVec& data) const {
+  if (generation == 0) {
+    throw std::logic_error(
+        "TsConstrainedCodec::read_section: section has no written data");
+  }
+  const unsigned k = base_->data_bits();
+  const unsigned n = base_->wits();
+  // The live replica is the one the most recent write landed in.
+  const unsigned q = (generation - 1) / base_->max_writes();
+  const std::size_t wit_off =
+      section * section_wits() + static_cast<std::size_t>(q) * replica_wits_;
+  const std::size_t data_off = section * section_data_bits();
+  for (unsigned g = 0; g < kGroup; ++g) {
+    const std::size_t at = wit_off + g * n;
+    unsigned value;
+    if (lut_ != nullptr) {
+      value = lut_->decode(static_cast<std::uint32_t>(image.extract_word(at, n)));
+    } else {
+      image.slice_into(at, n, sym_);
+      value = base_->decode(sym_);
+    }
+    data.deposit_word(data_off + g * k, k, bitrev_[value]);
+  }
+}
+
+}  // namespace wompcm

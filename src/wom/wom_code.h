@@ -52,6 +52,15 @@ class WomCode {
   virtual BitVec encode(unsigned value, unsigned generation,
                         const BitVec& current) const = 0;
 
+  // In-place encode for hot paths: writes the new wit state into `out`
+  // (sized on first use). Codes wide enough to miss the EncodeLut cutoff
+  // should override this allocation-free; the default delegates to the
+  // allocating encode().
+  virtual void encode_into(unsigned value, unsigned generation,
+                           const BitVec& current, BitVec& out) const {
+    out.assign_from(encode(value, generation, current));
+  }
+
   // Recovers the stored value from a wit state. Decoding is generation
   // oblivious: the same wit pattern always decodes to the same value.
   virtual unsigned decode(const BitVec& wits) const = 0;

@@ -46,6 +46,14 @@ class WomStateTracker {
   // Records a demand write to line `line` of `row` and returns its class.
   WriteRecord record_write(RowKey row, unsigned line);
 
+  // Records a demand write touching lines [first, first + count) of `row`
+  // at once — the sectioned-codec form, where one burst line spans several
+  // independently budgeted sections. Each section advances (or alpha
+  // re-initializes) on its own, the write counts once, and the combined
+  // class is RESET-only iff every touched section's was (cold if any
+  // section was never touched). count == 1 is exactly record_write.
+  WriteRecord record_write_range(RowKey row, unsigned first, unsigned count);
+
   // Classifies what the next write to (row, line) would be, without
   // recording it.
   WriteClass peek_write(RowKey row, unsigned line) const;

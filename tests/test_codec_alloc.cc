@@ -96,6 +96,50 @@ TEST(CodecAllocation, MarkerCodeWriteIsAllocationFree) {
   EXPECT_EQ(after - before, 0u);
 }
 
+TEST(CodecAllocation, PolarSectionedWriteIsAllocationFree) {
+  // The polar family takes the virtual encode path (no LUT at n = 128),
+  // but encode_into works against caller-owned scratch with fixed-size
+  // stack arrays, so the sectioned steady state stays off the allocator.
+  constexpr std::size_t kBits = 512;
+  PageCodec page(make_code("polar-m7-inv"), kBits);
+  const BitVec a = random_data(kBits, 6);
+  const BitVec b = random_data(kBits, 7);
+  // Cross the first alpha re-init (t = 8) before the measured window.
+  for (int i = 0; i < 10; ++i) page.write((i & 1) ? b : a);
+
+  const std::uint64_t before = g_allocations.load();
+  for (int i = 0; i < 32; ++i) page.write((i & 1) ? b : a);
+  const std::uint64_t after = g_allocations.load();
+  EXPECT_EQ(after - before, 0u)
+      << (after - before) << " allocations across 32 polar writes";
+}
+
+TEST(CodecAllocation, TsConstrainedWriteAndReadAreAllocationFree) {
+  // The time-space constrained codec layers replica selection over the
+  // base code's LUT; its member scratch must keep the whole stack
+  // allocation-free, reads included (decode is generation-aware).
+  BlockCodecPtr codec = make_block_codec("tsc-rs23x4-inv");
+  ASSERT_NE(codec, nullptr);
+  const std::size_t bits = 8 * codec->section_data_bits();
+  PageCodec page(std::move(codec), bits);
+  const BitVec a = random_data(bits, 8);
+  const BitVec b = random_data(bits, 9);
+  // Cross the first alpha re-init (t = 8) before the measured window.
+  for (int i = 0; i < 10; ++i) page.write((i & 1) ? b : a);
+  BitVec out;
+  page.read_into(out);
+
+  const std::uint64_t before = g_allocations.load();
+  for (int i = 0; i < 32; ++i) {
+    page.write((i & 1) ? b : a);
+    page.read_into(out);
+  }
+  const std::uint64_t after = g_allocations.load();
+  EXPECT_EQ(after - before, 0u)
+      << (after - before)
+      << " allocations across 32 ts-constrained write/read pairs";
+}
+
 // The controller/queue steady state must be allocation-free per transaction
 // too: the indexed queues, readiness bitmaps, event heap, counter slots,
 // and the WOM/wear slab trackers all pre-reserve or bind on first touch, so

@@ -257,6 +257,104 @@ TEST(NovelCompositions, RunEndToEndFromConfigFiles) {
   }
 }
 
+// The sectioned code families as composition cells: goldens across scan
+// modes x faults x jobs in {1, 2}. Serial and sharded runs of every cell
+// must be bit-identical (the same contract the classic cells honor), and
+// the codec observability counters must surface in the SimResult.
+TEST(SectionedCells, GoldensAcrossScanModesFaultsAndJobs) {
+  struct Cell {
+    const char* label;
+    Composition comp;
+    const char* code;       // legacy code= key (cache region)
+    bool lut;               // main region encode runs the LUT fast path
+  };
+  const Cell cells[] = {
+      {"polar-main",
+       {CodingKind::kPolar, false, CodingKind::kWomWide, RefreshKind::kRat},
+       "",
+       false},
+      {"tsc-main+wom-cache",
+       {CodingKind::kTsConstrained, true, CodingKind::kWomWide,
+        RefreshKind::kRat},
+       "rs23-inv",
+       true},
+  };
+  const WorkloadProfile profile = *find_profile("401.bzip2");
+  for (const Cell& cell : cells) {
+    for (const ScanMode scan : {ScanMode::kIndexed, ScanMode::kReference}) {
+      for (const bool faults : {false, true}) {
+        SimConfig cfg = small_config();
+        cfg.geom.channels = 2;
+        cfg.sched.scan_mode = scan;
+        cfg.arch.composition = validate_composition(cell.comp);
+        cfg.arch.code = cell.code;
+        if (faults) {
+          cfg.fault.enabled = true;
+          cfg.fault.seed = 7;
+          cfg.fault.endurance = 400;
+          cfg.fault.sigma = 0.35;
+          cfg.fault.initial_wear = 0.75;
+          cfg.fault.spare_rows = 4;
+          cfg.fault.read_disturb = 0.0005;
+        }
+        SCOPED_TRACE(std::string(cell.label) + "/scan=" +
+                     std::to_string(static_cast<int>(scan)) + "/faults=" +
+                     (faults ? "on" : "off"));
+
+        RunRequest req;
+        req.config = cfg;
+        req.trace = TraceSpec::profile(profile, 4000);
+        req.options = RunOptions::with_seed(11);
+        req.options.jobs = ParallelPolicy::with_jobs(1);
+        const SimResult serial = run(req);
+        req.options.jobs = ParallelPolicy::with_jobs(2);
+        const SimResult sharded = run(req);
+        expect_identical(serial, sharded);
+
+        // The per-section budget is genuinely in play: in-budget rewrites
+        // outnumber alpha re-inits (t = 8 for both shipped cells, so the
+        // fast:alpha ratio is far above the rs23 cell's 1:1).
+        const auto& counters = serial.stats.counters;
+        EXPECT_GT(counters.get("writes.fast"), counters.get("writes.alpha"));
+        // The LUT observability counters surface in the result.
+        if (cell.lut) {
+          EXPECT_GT(counters.get("codec.lut_hits"), 0u);
+        } else {
+          EXPECT_GT(counters.get("codec.lut_fallbacks"), 0u);
+        }
+      }
+    }
+  }
+}
+
+TEST(SectionedCells, NewConfigFilesRunEndToEnd) {
+  const WorkloadProfile profile = *find_profile("401.bzip2");
+  {
+    const SimConfig cfg = load_config_file(
+        paper_config(), WOMPCM_REPO_DIR "/configs/polar.cfg");
+    const SimResult r = run(
+        {cfg, TraceSpec::profile(profile, 3000), RunOptions::with_seed(5)});
+    EXPECT_EQ(r.arch_name, "composed[main=polar,refresh=rat,code=polar-m7-inv]");
+    // 64 sections of <2^8>^8/128 per 512-bit line: 15x capacity overhead.
+    EXPECT_DOUBLE_EQ(r.capacity_overhead, 15.0);
+    EXPECT_GT(r.stats.counters.get("writes.fast"), 0u);
+    EXPECT_GT(r.stats.counters.get("codec.lut_fallbacks"), 0u);
+  }
+  {
+    const SimConfig cfg = load_config_file(
+        paper_config(), WOMPCM_REPO_DIR "/configs/ts_constrained.cfg");
+    const SimResult r = run(
+        {cfg, TraceSpec::profile(profile, 3000), RunOptions::with_seed(5)});
+    EXPECT_EQ(r.arch_name,
+              "composed[main=ts-constrained,cache=wom-wide,refresh=rat,"
+              "main.code=tsc-rs23x4-inv,cache.code=rs23-inv]");
+    EXPECT_GT(r.stats.counters.get("wcpcm.write_hits") +
+                  r.stats.counters.get("wcpcm.write_misses"),
+              0u);
+    EXPECT_GT(r.stats.counters.get("codec.lut_hits"), 0u);
+  }
+}
+
 TEST(NovelCompositions, HiddenMainPlusCacheChargesHiddenExtrasOnMisses) {
   // Hidden-page main behind a cache still pays the hidden-page extra
   // accesses when a read misses the cache or a victim lands in main memory.

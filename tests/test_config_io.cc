@@ -241,6 +241,8 @@ TEST(ConfigIo, EveryFieldRoundTripsThroughDescribe) {
   cfg.arch.composition = validate_composition(
       {CodingKind::kFlipNWrite, true, CodingKind::kWomWide, RefreshKind::kRat});
   cfg.arch.code = "rs23";
+  cfg.arch.main_code = "polar-m7-inv";
+  cfg.arch.cache_code = "tsc-rs23x4-inv";
   cfg.arch.organization = WomOrganization::kHiddenPage;
   cfg.arch.rat_entries = 9;
   cfg.arch.fnw_fast_fraction = 0.25;
@@ -315,6 +317,8 @@ TEST(ConfigIo, EveryFieldRoundTripsThroughDescribe) {
             (Composition{CodingKind::kFlipNWrite, true, CodingKind::kWomWide,
                          RefreshKind::kRat}));
   EXPECT_EQ(back.arch.code, "rs23");
+  EXPECT_EQ(back.arch.main_code, "polar-m7-inv");
+  EXPECT_EQ(back.arch.cache_code, "tsc-rs23x4-inv");
   EXPECT_EQ(back.arch.organization, WomOrganization::kHiddenPage);
   EXPECT_EQ(back.arch.rat_entries, 9u);
   EXPECT_DOUBLE_EQ(back.arch.fnw_fast_fraction, 0.25);

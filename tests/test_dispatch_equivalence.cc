@@ -95,10 +95,11 @@ struct Books {
 };
 
 std::unique_ptr<CodingPolicy> build(CodingKind kind, const RegionContext& ctx) {
-  WomCodePtr code;
-  if (kind == CodingKind::kWomWide || kind == CodingKind::kWomHidden) {
-    code = resolve_inverted_wom_code("rs23-inv");
-  }
+  // The classic kinds resolve the legacy code= key; the sectioned kinds
+  // (polar, ts-constrained) fall through to their family defaults.
+  RegionCode code = resolve_region_code(kind, /*override_name=*/"",
+                                        /*legacy_code=*/"rs23-inv",
+                                        /*line_bits=*/512);
   return make_coding_policy(kind, ctx, std::move(code), /*lines_per_row=*/8,
                             /*erased_start=*/false,
                             /*fnw_fast_fraction=*/0.5, /*seed=*/42);
@@ -206,6 +207,14 @@ TEST(DispatchEquivalence, WomHiddenCodingMatchesVirtual) {
   drive_coding(CodingKind::kWomHidden, 205);
 }
 
+TEST(DispatchEquivalence, PolarCodingMatchesVirtual) {
+  drive_coding(CodingKind::kPolar, 206);
+}
+
+TEST(DispatchEquivalence, TsConstrainedCodingMatchesVirtual) {
+  drive_coding(CodingKind::kTsConstrained, 207);
+}
+
 // The factory's kind() <-> dynamic-type contract the static_casts in
 // coding_dispatch.h rely on.
 TEST(DispatchEquivalence, FactoryKindMatchesDynamicType) {
@@ -223,6 +232,11 @@ TEST(DispatchEquivalence, FactoryKindMatchesDynamicType) {
             nullptr);
   EXPECT_NE(dynamic_cast<WomCoding*>(build(CodingKind::kWomHidden, ctx).get()),
             nullptr);
+  EXPECT_NE(dynamic_cast<WomCoding*>(build(CodingKind::kPolar, ctx).get()),
+            nullptr);
+  EXPECT_NE(
+      dynamic_cast<WomCoding*>(build(CodingKind::kTsConstrained, ctx).get()),
+      nullptr);
 }
 
 }  // namespace

@@ -16,7 +16,8 @@ BitVec random_bits(Rng& rng, std::size_t n) {
 }
 
 TEST(PageCodec, RejectsBadConstruction) {
-  EXPECT_THROW(PageCodec(nullptr, 16), std::invalid_argument);
+  EXPECT_THROW(PageCodec(WomCodePtr(), 16), std::invalid_argument);
+  EXPECT_THROW(PageCodec(BlockCodecPtr(), 16), std::invalid_argument);
   EXPECT_THROW(PageCodec(make_code("rs23-inv"), 0), std::invalid_argument);
   EXPECT_THROW(PageCodec(make_code("rs23-inv"), 7), std::invalid_argument);
 }

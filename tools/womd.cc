@@ -21,6 +21,8 @@
 //   config=FILE        key=value config file (configs/*.cfg)
 //   any config key     overrides, same dialect as every harness
 //                      (channels=2 arch=wcpcm fault.enabled=true ...)
+//   --list-codes       print the registered code families (k/n/t/rate/
+//                      overhead/wear/LUT) and exit
 #include <cstdio>
 #include <exception>
 #include <memory>
@@ -34,6 +36,7 @@
 #include "trace/binary_source.h"
 #include "trace/profiles.h"
 #include "trace/synthetic.h"
+#include "wom/registry.h"
 
 namespace {
 
@@ -65,13 +68,40 @@ int usage() {
                "[accesses=N] [seed=S]\n"
                "            [jobs=J] [chunk=B] [config=FILE] "
                "[config-key=value ...]\n"
+               "       womd --list-codes\n"
                "  at least one trace or profile stream is required\n");
   return 2;
+}
+
+// Discovery surface for the coding registry: every name main.code= /
+// cache.code= (or the legacy code=) accepts, with its parameter sheet.
+int list_codes() {
+  std::printf("%-22s %4s %5s %4s %10s %9s %6s %5s %5s\n", "code", "k", "n",
+              "t", "rate tk/n", "overhead", "wear", "LUT", "inv");
+  for (const std::string& name : known_block_codec_names()) {
+    const CodeInfo info = code_info(name);
+    if (!info.valid) continue;
+    std::printf("%-22s %4u %5u %4u %10.3f %9.2f %6.2f %5s %5s\n",
+                info.name.c_str(), info.data_bits, info.wits, info.max_writes,
+                static_cast<double>(info.max_writes) * info.data_bits /
+                    info.wits,
+                info.overhead, info.wear_bound, info.lut ? "yes" : "no",
+                info.inverted ? "yes" : "no");
+  }
+  std::printf(
+      "\nclassic kinds (main.coding=wom-wide|wom-hidden) take symbol codes\n"
+      "via code=; the sectioned families take main.code=polar-* /\n"
+      "main.code=tsc-* under main.coding=polar / ts-constrained.\n"
+      "Architectures require the inverted (-inv) variants.\n");
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--list-codes") return list_codes();
+  }
   const KeyValueConfig args = KeyValueConfig::from_args(argc, argv);
   const std::vector<std::string> traces =
       split_list(args.get_string_or("traces", ""));
